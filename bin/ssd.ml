@@ -1,0 +1,296 @@
+(* Command-line front end:
+
+     ssd characterize [--fine]              # dump the cell library
+     ssd sta FILE.bench [--model NAME] [--clock NS]
+     ssd atpg FILE.bench [--faults N] [--no-itr] [--budget N]
+     ssd gen --gates N [--inputs N] [--outputs N] [--seed N] -o FILE.bench
+     ssd delay --skew PS [--tx NS] [--ty NS]  # query all models on a NAND2 *)
+
+module S = Ssd_spice
+module Charlib = Ssd_cell.Charlib
+module Sweep = Ssd_cell.Sweep
+module Fit = Ssd_cell.Fit
+module DM = Ssd_core.Delay_model
+module Types = Ssd_core.Types
+module Ck = Ssd_circuit
+module Sta = Ssd_sta.Sta
+module A = Ssd_atpg
+module Interval = Ssd_util.Interval
+module Texttab = Ssd_util.Texttab
+
+open Cmdliner
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
+
+let verbose_t =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
+
+let fine_t =
+  Arg.(value & flag & info [ "fine" ]
+         ~doc:"Use the fine characterization profile (default: honour \
+               \\$SSD_FAST, else fine).")
+
+let library_of fine =
+  if fine then Charlib.default ~profile:Charlib.fine ()
+  else Charlib.default ()
+
+let model_t =
+  let parse s =
+    match DM.find s with
+    | Some m -> Ok m
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown model %S (try: %s)" s
+             (String.concat ", " (List.map (fun m -> m.DM.name) DM.all))))
+  in
+  let print ppf m = Format.pp_print_string ppf m.DM.name in
+  let model_conv = Arg.conv (parse, print) in
+  Arg.(value & opt model_conv DM.proposed
+       & info [ "model" ] ~docv:"NAME"
+           ~doc:"Delay model: proposed, pin-to-pin, jun or nabavi.")
+
+let bench_file_t =
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"FILE.bench" ~doc:"ISCAS85-format netlist, or a suite \
+                                          name (c17, c880s, ...).")
+
+let load_netlist path =
+  match Ck.Benchmarks.by_name path with
+  | Some nl -> nl
+  | None ->
+    if Sys.file_exists path then Ck.Bench_io.parse_file path
+    else begin
+      Printf.eprintf
+        "ssd: %S is neither a suite name (%s) nor an existing file\n" path
+        (String.concat ", " Ck.Benchmarks.names);
+      exit 2
+    end
+
+(* ---- characterize ---- *)
+
+let characterize_cmd =
+  let run verbose fine =
+    setup_logs verbose;
+    let lib = library_of fine in
+    List.iter
+      (fun cell ->
+        Format.printf "%a@." Charlib.pp_cell_summary cell;
+        let kname =
+          match cell.Charlib.kind with Sweep.Nand -> "NAND" | Sweep.Nor -> "NOR"
+        in
+        Array.iteri
+          (fun pos ec ->
+            let k = ec.Charlib.delay.Fit.k in
+            Printf.printf
+              "  %s%d pin %d to-ctl: DR(T) = %.3e T^2 + %.3e T + %.3e  \
+               (rms %.1f ps%s)\n"
+              kname cell.Charlib.n pos k.(0) k.(1) k.(2)
+              (ec.Charlib.delay.Fit.rms *. 1e12)
+              (match ec.Charlib.delay.Fit.peak with
+              | Some p -> Printf.sprintf ", peak at %.2f ns" (p *. 1e9)
+              | None -> ""))
+          cell.Charlib.to_ctl)
+      (lib.Charlib.cells);
+    0
+  in
+  Cmd.v (Cmd.info "characterize" ~doc:"Build and print the cell library")
+    Term.(const run $ verbose_t $ fine_t)
+
+(* ---- sta ---- *)
+
+let sta_cmd =
+  let clock_t =
+    Arg.(value & opt (some float) None
+         & info [ "clock" ] ~docv:"NS" ~doc:"Clock period in ns for the \
+                                             required-time check.")
+  in
+  let run verbose fine model file clock =
+    setup_logs verbose;
+    let lib = library_of fine in
+    let nl = Ck.Decompose.to_primitive (load_netlist file) in
+    let t = Sta.analyze ~library:lib ~model nl in
+    print_endline (Sta.summary t);
+    let table = Texttab.create ~header:[ "PO"; "rise A (ns)"; "fall A (ns)" ] in
+    List.iter
+      (fun po ->
+        let lt = Sta.timing t po in
+        Texttab.add_row table
+          [
+            Ck.Netlist.signal_name nl po;
+            Interval.to_string
+              (Interval.make
+                 (Interval.lo lt.Sta.rise.Types.w_arr *. 1e9)
+                 (Interval.hi lt.Sta.rise.Types.w_arr *. 1e9));
+            Interval.to_string
+              (Interval.make
+                 (Interval.lo lt.Sta.fall.Types.w_arr *. 1e9)
+                 (Interval.hi lt.Sta.fall.Types.w_arr *. 1e9));
+          ])
+      (Ck.Netlist.outputs nl);
+    Texttab.print table;
+    (match clock with
+    | None -> ()
+    | Some ns ->
+      let q = Sta.compute_required t ~clock_period:(ns *. 1e-9) in
+      let v = Sta.violations t q in
+      Printf.printf "%d timing violation(s) at clock %.3f ns\n" (List.length v) ns;
+      List.iter (fun (_, msg) -> Printf.printf "  %s\n" msg) v);
+    0
+  in
+  Cmd.v (Cmd.info "sta" ~doc:"Static timing analysis of a netlist")
+    Term.(const run $ verbose_t $ fine_t $ model_t $ bench_file_t
+          $ clock_t)
+
+(* ---- atpg ---- *)
+
+let atpg_cmd =
+  let faults_t =
+    Arg.(value & opt int 16 & info [ "faults" ] ~docv:"N"
+           ~doc:"Number of crosstalk fault sites to target.")
+  in
+  let no_itr_t =
+    Arg.(value & flag & info [ "no-itr" ] ~doc:"Disable incremental timing \
+                                                refinement pruning.")
+  in
+  let budget_t =
+    Arg.(value & opt int 1000 & info [ "budget" ] ~docv:"N"
+           ~doc:"Search budget in decision-node expansions per fault.")
+  in
+  let seed_t =
+    Arg.(value & opt int 99 & info [ "seed" ] ~docv:"N" ~doc:"Extraction seed.")
+  in
+  let run verbose fine model file faults no_itr budget seed =
+    setup_logs verbose;
+    let lib = library_of fine in
+    let nl = Ck.Decompose.to_primitive (load_netlist file) in
+    let sta = Sta.analyze ~library:lib ~model nl in
+    let sites =
+      A.Fault.extract_screened ~count:faults ~seed:(Int64.of_int seed)
+        ~library:lib ~model nl
+    in
+    Printf.printf "%s: %d fault sites, clock %.3f ns, ITR %s\n%!"
+      (Ck.Netlist.name nl) (List.length sites)
+      (Sta.max_delay sta *. 1e9)
+      (if no_itr then "off" else "on");
+    let cfg =
+      { (A.Atpg.default_config ~clock_period:(Sta.max_delay sta)) with
+        A.Atpg.use_itr = not no_itr; max_expansions = budget }
+    in
+    let results, stats = A.Atpg.run cfg ~library:lib ~model nl sites in
+    List.iter
+      (fun r ->
+        Printf.printf "  %-50s %s (%d expansions)\n"
+          (A.Fault.describe nl r.A.Atpg.site)
+          (match r.A.Atpg.outcome with
+          | A.Atpg.Detected _ -> "DETECTED"
+          | A.Atpg.Undetectable -> "undetectable"
+          | A.Atpg.Aborted -> "aborted")
+          r.A.Atpg.expansions)
+      results;
+    Printf.printf
+      "detected %d, undetectable %d, aborted %d -> efficiency %.2f%%\n"
+      stats.A.Atpg.detected stats.A.Atpg.undetectable stats.A.Atpg.aborted
+      (A.Atpg.efficiency stats);
+    0
+  in
+  Cmd.v (Cmd.info "atpg" ~doc:"Crosstalk delay-fault test generation")
+    Term.(const run $ verbose_t $ fine_t $ model_t $ bench_file_t $ faults_t
+          $ no_itr_t $ budget_t $ seed_t)
+
+(* ---- gen ---- *)
+
+let gen_cmd =
+  let gates_t =
+    Arg.(required & opt (some int) None & info [ "gates" ] ~docv:"N"
+           ~doc:"Gate count.")
+  in
+  let inputs_t =
+    Arg.(value & opt int 16 & info [ "inputs" ] ~docv:"N" ~doc:"PI count.")
+  in
+  let outputs_t =
+    Arg.(value & opt int 8 & info [ "outputs" ] ~docv:"N" ~doc:"PO count.")
+  in
+  let seed_t =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed.")
+  in
+  let out_t =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the netlist here (default: stdout).")
+  in
+  let run verbose gates inputs outputs seed out =
+    setup_logs verbose;
+    let nl =
+      Ck.Generator.generate
+        {
+          Ck.Generator.default_params with
+          Ck.Generator.g_name = "synth";
+          n_inputs = inputs;
+          n_outputs = outputs;
+          n_gates = gates;
+          seed = Int64.of_int seed;
+        }
+    in
+    (match out with
+    | Some path ->
+      Ck.Bench_io.write_file nl path;
+      Printf.printf "wrote %s (%s)\n" path (Ck.Netlist.stats nl)
+    | None -> print_string (Ck.Bench_io.to_string nl));
+    0
+  in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a synthetic benchmark netlist")
+    Term.(const run $ verbose_t $ gates_t $ inputs_t $ outputs_t $ seed_t
+          $ out_t)
+
+(* ---- delay ---- *)
+
+let delay_cmd =
+  let skew_t =
+    Arg.(value & opt float 0. & info [ "skew" ] ~docv:"PS"
+           ~doc:"Skew A_Y − A_X in picoseconds.")
+  in
+  let tx_t =
+    Arg.(value & opt float 0.5 & info [ "tx" ] ~docv:"NS"
+           ~doc:"Transition time of input X in ns.")
+  in
+  let ty_t =
+    Arg.(value & opt float 0.5 & info [ "ty" ] ~docv:"NS"
+           ~doc:"Transition time of input Y in ns.")
+  in
+  let run verbose fine skew_ps tx_ns ty_ns =
+    setup_logs verbose;
+    let lib = library_of fine in
+    let cell = Charlib.find lib Sweep.Nand 2 in
+    let a = { Types.pos = 0; arrival = 0.; t_tr = tx_ns *. 1e-9 } in
+    let b = { Types.pos = 1; arrival = skew_ps *. 1e-12; t_tr = ty_ns *. 1e-9 } in
+    let sim =
+      Sweep.pair S.Tech.default Sweep.Nand ~n:2 ~fanout:1 ~pos_a:0 ~pos_b:1
+        ~t_a:a.Types.t_tr ~t_b:b.Types.t_tr ~skew:b.Types.arrival
+    in
+    let t = Texttab.create ~header:[ "source"; "delay (ps)"; "out tt (ps)" ] in
+    Texttab.add_row_f ~prec:1 t "simulator"
+      [ sim.Sweep.m_delay *. 1e12; sim.Sweep.m_out_tt *. 1e12 ];
+    List.iter
+      (fun m ->
+        Texttab.add_row_f ~prec:1 t m.DM.name
+          [
+            m.DM.pair_delay cell ~fanout:1 ~a ~b *. 1e12;
+            m.DM.pair_out_tt cell ~fanout:1 ~a ~b *. 1e12;
+          ])
+      DM.all;
+    Texttab.print t;
+    0
+  in
+  Cmd.v
+    (Cmd.info "delay"
+       ~doc:"Query the simultaneous-switching delay of a NAND2 for every model")
+    Term.(const run $ verbose_t $ fine_t $ skew_t $ tx_t $ ty_t)
+
+let () =
+  let doc = "simultaneous-switching gate delay model toolkit (DAC 2001 repro)" in
+  let info = Cmd.info "ssd" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info
+                     [ characterize_cmd; sta_cmd; atpg_cmd; gen_cmd; delay_cmd ]))

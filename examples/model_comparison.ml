@@ -1,0 +1,67 @@
+(* Compare all four delay models (proposed V-shape, SDF-style pin-to-pin,
+   Jun-style and Nabavi-style equivalent-inverter baselines) against the
+   transistor-level simulator — the workload behind the paper's Figures
+   11 and 12.
+
+     dune exec examples/model_comparison.exe *)
+
+module Charlib = Ssd_cell.Charlib
+module Sweep = Ssd_cell.Sweep
+module DM = Ssd_core.Delay_model
+module Types = Ssd_core.Types
+module Texttab = Ssd_util.Texttab
+module Stats = Ssd_util.Stats
+module Rng = Ssd_util.Rng
+
+let tech = Ssd_spice.Tech.default
+
+let () =
+  let library = Charlib.default () in
+  let cell = Charlib.find library Sweep.Nand 2 in
+  let spice ~t_a ~t_b ~skew =
+    (Sweep.pair tech Sweep.Nand ~n:2 ~fanout:1 ~pos_a:0 ~pos_b:1 ~t_a ~t_b
+       ~skew)
+      .Sweep.m_delay
+  in
+  let model m ~t_a ~t_b ~skew =
+    m.DM.pair_delay cell ~fanout:1
+      ~a:{ Types.pos = 0; arrival = 0.; t_tr = t_a }
+      ~b:{ Types.pos = 1; arrival = skew; t_tr = t_b }
+  in
+
+  (* skew sweep at fixed transition times (Figure 12) *)
+  print_endline "delay vs. skew, T_X = T_Y = 0.5 ns:";
+  let t = Texttab.create
+      ~header:("skew (ps)" :: "SPICE" :: List.map (fun m -> m.DM.name) DM.all)
+  in
+  List.iter
+    (fun skew ->
+      let row =
+        (spice ~t_a:0.5e-9 ~t_b:0.5e-9 ~skew *. 1e12)
+        :: List.map (fun m -> model m ~t_a:0.5e-9 ~t_b:0.5e-9 ~skew *. 1e12)
+             DM.all
+      in
+      Texttab.add_row_f ~prec:1 t (Printf.sprintf "%+.0f" (skew *. 1e12)) row)
+    [ -0.8e-9; -0.4e-9; -0.15e-9; 0.; 0.15e-9; 0.4e-9; 0.8e-9 ];
+  Texttab.print t;
+
+  (* aggregate accuracy over random operating points *)
+  print_endline "\nmean |error| over 30 random (T_X, T_Y, skew) points:";
+  let rng = Rng.create 7L in
+  let pts =
+    List.init 30 (fun _ ->
+        ( Rng.float_range rng 0.15e-9 2.2e-9,
+          Rng.float_range rng 0.15e-9 2.2e-9,
+          Rng.float_range rng (-1e-9) 1e-9 ))
+  in
+  let reference =
+    List.map (fun (t_a, t_b, skew) -> spice ~t_a ~t_b ~skew) pts
+  in
+  let t2 = Texttab.create ~header:[ "model"; "mean |err| %" ] in
+  List.iter
+    (fun m ->
+      let preds = List.map (fun (t_a, t_b, skew) -> model m ~t_a ~t_b ~skew) pts in
+      Texttab.add_row_f ~prec:1 t2 m.DM.name
+        [ Stats.mean_abs_pct_error ~reference preds ])
+    DM.all;
+  Texttab.print t2

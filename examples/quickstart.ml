@@ -1,0 +1,56 @@
+(* Quickstart: characterize a NAND2 against the analog simulator, query the
+   proposed simultaneous-switching delay model, and compare both.
+
+     dune exec examples/quickstart.exe
+
+   (set SSD_FAST=1 for a coarse, faster characterization) *)
+
+module Charlib = Ssd_cell.Charlib
+module Sweep = Ssd_cell.Sweep
+module Vshape = Ssd_core.Vshape
+module Types = Ssd_core.Types
+
+let () =
+  (* 1. Get the characterized cell library.  The first run simulates the
+     transistor-level gates and fits the paper's empirical forms; the result
+     is cached on disk, so subsequent runs are instant. *)
+  let library = Charlib.default () in
+  let nand2 = Charlib.find library Sweep.Nand 2 in
+  Format.printf "characterized: %a@." Charlib.pp_cell_summary nand2;
+
+  (* 2. The V-shape anchors for a pair of 0.5 ns input transitions:
+     (SYR, DYR) — left saturation, (0, D0R) — the speed-up valley,
+     (SR, DR) — right saturation (paper Figure 2). *)
+  let (syr, dyr), (_, d0), (sr, dr) =
+    Vshape.v_points nand2 ~fanout:1 ~pos_a:0 ~pos_b:1 ~t_a:0.5e-9 ~t_b:0.5e-9
+  in
+  Printf.printf "V anchors: (%.0f ps, %.1f ps) (0, %.1f ps) (%.0f ps, %.1f ps)\n"
+    (syr *. 1e12) (dyr *. 1e12) (d0 *. 1e12) (sr *. 1e12) (dr *. 1e12);
+
+  (* 3. Query the model across the skew range and compare with a fresh
+     transistor-level simulation at each point. *)
+  Printf.printf "\n%8s %12s %12s\n" "skew(ps)" "model(ps)" "spice(ps)";
+  List.iter
+    (fun skew ->
+      let a = { Types.pos = 0; arrival = 0.; t_tr = 0.5e-9 } in
+      let b = { Types.pos = 1; arrival = skew; t_tr = 0.5e-9 } in
+      let model = Vshape.pair_delay nand2 ~fanout:1 ~a ~b in
+      let spice =
+        (Sweep.pair Ssd_spice.Tech.default Sweep.Nand ~n:2 ~fanout:1 ~pos_a:0
+           ~pos_b:1 ~t_a:0.5e-9 ~t_b:0.5e-9 ~skew)
+          .Sweep.m_delay
+      in
+      Printf.printf "%+8.0f %12.1f %12.1f\n" (skew *. 1e12) (model *. 1e12)
+        (spice *. 1e12))
+    [ -0.6e-9; -0.2e-9; 0.; 0.2e-9; 0.6e-9 ];
+
+  (* 4. A full gate event: both inputs switching 100 ps apart. *)
+  let e =
+    Vshape.ctl_event nand2 ~fanout:2
+      [
+        { Types.pos = 0; arrival = 1.0e-9; t_tr = 0.4e-9 };
+        { Types.pos = 1; arrival = 1.1e-9; t_tr = 0.6e-9 };
+      ]
+  in
+  Printf.printf "\noutput event: arrival %.1f ps, transition %.1f ps\n"
+    (e.Types.e_arr *. 1e12) (e.Types.e_tt *. 1e12)

@@ -1,0 +1,50 @@
+(** Crosstalk delay faults (paper Section 7).
+
+    A fault site couples an aggressor line to a victim line: when both
+    carry transitions in opposite directions whose arrival times align
+    within [align_window], the victim's transition is slowed by [delta].
+    Real flows obtain sites from layout extraction; with no layout in this
+    reproduction, sites are synthesized from topologically compatible line
+    pairs (neither line in the other's cone, similar logic levels — the
+    geometry-free analogue of routed neighbours). *)
+
+type site = {
+  aggressor : int;
+  victim : int;
+  agg_tr : Ssd_itr.Value2f.transition;
+  vic_tr : Ssd_itr.Value2f.transition;  (** opposite of [agg_tr] *)
+  delta : float;                        (** induced victim delay, s *)
+  align_window : float;                 (** max |A_agg − A_vic|, s *)
+}
+
+val describe : Ssd_circuit.Netlist.t -> site -> string
+
+val extract :
+  ?count:int ->
+  ?delta:float ->
+  ?align_window:float ->
+  ?max_level_diff:int ->
+  seed:int64 ->
+  Ssd_circuit.Netlist.t ->
+  site list
+(** Deterministic site selection ([count] defaults to 32, [delta] to
+    200 ps, [align_window] to 300 ps).  Victims are biased toward deep
+    (near-output) lines so a reasonable fraction of faults is
+    detectable. *)
+
+val extract_screened :
+  ?count:int ->
+  ?delta:float ->
+  ?align_window:float ->
+  ?samples:int ->
+  seed:int64 ->
+  library:Ssd_cell.Charlib.t ->
+  model:Ssd_core.Delay_model.t ->
+  Ssd_circuit.Netlist.t ->
+  site list
+(** Like {!extract} but keeps only pairs whose opposite transitions
+    co-occur within 1.5× the alignment window in at least one of
+    [samples] (default 150) random vector pairs — the timing-plausible
+    pairs a layout extractor would report as coupled neighbours.  The
+    transition directions of each site are taken from an observed
+    co-occurrence. *)

@@ -1,0 +1,81 @@
+module Netlist = Ssd_circuit.Netlist
+module Timing_sim = Ssd_sta.Timing_sim
+module Types = Ssd_core.Types
+module Value2f = Ssd_itr.Value2f
+module Rng = Ssd_util.Rng
+
+type result = {
+  coverage : float;
+  detected : (int * int) list;
+  undetected : int list;
+}
+
+let wants tr line =
+  match tr with
+  | Value2f.Rise -> Timing_sim.rising line
+  | Value2f.Fall -> Timing_sim.falling line
+
+let excited_and_aligned lines (site : Fault.site) =
+  let la = lines.(site.Fault.aggressor) in
+  let lv = lines.(site.Fault.victim) in
+  wants site.Fault.agg_tr la
+  && wants site.Fault.vic_tr lv
+  &&
+  match (la.Timing_sim.event, lv.Timing_sim.event) with
+  | Some ea, Some ev ->
+    Float.abs (ea.Types.e_arr -. ev.Types.e_arr) <= site.Fault.align_window
+  | _, _ -> false
+
+let observable nl (site : Fault.site) faultfree faulty clock =
+  List.exists
+    (fun po ->
+      match
+        (faultfree.(po).Timing_sim.event, faulty.(po).Timing_sim.event)
+      with
+      | Some ff, Some f ->
+        ff.Types.e_arr <= clock
+        && f.Types.e_arr -. ff.Types.e_arr >= 0.45 *. site.Fault.delta
+      | _, _ -> false)
+    (Netlist.outputs nl)
+
+let simulate ~library ~model ~clock_period nl sites vectors =
+  let sites = Array.of_list sites in
+  let alive = Array.make (Array.length sites) true in
+  let detected = ref [] in
+  List.iteri
+    (fun vi vector ->
+      if Array.exists Fun.id alive then begin
+        let faultfree = Timing_sim.simulate ~library ~model nl vector in
+        Array.iteri
+          (fun fi site ->
+            if alive.(fi) && excited_and_aligned faultfree site then begin
+              let faulty =
+                Timing_sim.simulate
+                  ~extra_delay:(fun i ->
+                    if i = site.Fault.victim then site.Fault.delta else 0.)
+                  ~library ~model nl vector
+              in
+              if observable nl site faultfree faulty clock_period then begin
+                alive.(fi) <- false;
+                detected := (fi, vi) :: !detected
+              end
+            end)
+          sites
+      end)
+    vectors;
+  let undetected = ref [] in
+  Array.iteri (fun fi a -> if a then undetected := fi :: !undetected) alive;
+  let total = Array.length sites in
+  {
+    coverage =
+      (if total = 0 then 0.
+       else 100. *. float_of_int (List.length !detected) /. float_of_int total);
+    detected = List.rev !detected;
+    undetected = List.rev !undetected;
+  }
+
+let random_vectors ~seed ~count nl =
+  let rng = Rng.create seed in
+  let npi = List.length (Netlist.inputs nl) in
+  List.init count (fun _ ->
+      Array.init npi (fun _ -> (Rng.bool rng, Rng.bool rng)))

@@ -1,0 +1,27 @@
+(** Crosstalk delay fault simulation.
+
+    Given a set of two-pattern vectors (e.g. a generated test set, or
+    random patterns for comparison), determine which faults of a list each
+    vector detects, with fault dropping.  The expensive faulty-circuit
+    timing simulation runs only for faults whose excitation and alignment
+    conditions already hold under the fault-free simulation of the
+    vector. *)
+
+type result = {
+  coverage : float;             (** detected / total, percent *)
+  detected : (int * int) list;  (** (fault index, detecting vector index) *)
+  undetected : int list;        (** fault indices left undetected *)
+}
+
+val simulate :
+  library:Ssd_cell.Charlib.t ->
+  model:Ssd_core.Delay_model.t ->
+  clock_period:float ->
+  Ssd_circuit.Netlist.t ->
+  Fault.site list ->
+  (bool * bool) array list ->
+  result
+
+val random_vectors :
+  seed:int64 -> count:int -> Ssd_circuit.Netlist.t -> (bool * bool) array list
+(** Deterministic random two-pattern vectors (for coverage baselines). *)

@@ -1,0 +1,68 @@
+module Lsq = Ssd_util.Lsq
+module Func1d = Ssd_util.Func1d
+
+type fit1 = {
+  k : float array;
+  range : float * float;
+  peak : float option;
+  rms : float;
+}
+
+type basis2 = Quad2 | Cuberoot2 | Cubic2
+
+type fit2 = {
+  k2 : float array;
+  basis : basis2;
+  range2 : float * float;
+  rms2 : float;
+}
+
+let fit1_of_samples ~range samples =
+  let pts = List.map (fun (x, y) -> ([| x |], y)) samples in
+  let k = Lsq.fit Lsq.quadratic_1d pts in
+  let lo, hi = range in
+  let peak =
+    (* interior extremum of k0·T² + k1·T + k2 at T = −k1 / 2k0 *)
+    if k.(0) = 0. then None
+    else begin
+      let p = -.k.(1) /. (2. *. k.(0)) in
+      if p > lo && p < hi then Some p else None
+    end
+  in
+  { k; range; peak; rms = Lsq.rms_error Lsq.quadratic_1d k pts }
+
+let clamp (lo, hi) x = Float.max lo (Float.min hi x)
+
+let eval1_raw f t = Lsq.predict Lsq.quadratic_1d f.k [| t |]
+let eval1 f t = eval1_raw f (clamp f.range t)
+
+let basis_fn = function
+  | Quad2 -> Lsq.quadratic_2d
+  | Cuberoot2 -> Lsq.bilinear_cuberoot_2d
+  | Cubic2 -> Lsq.cubic_2d
+
+let fit2_of_samples ~basis ~range samples =
+  let pts = List.map (fun ((x, y), v) -> ([| x; y |], v)) samples in
+  let b = basis_fn basis in
+  let k2 = Lsq.fit b pts in
+  { k2; basis; range2 = range; rms2 = Lsq.rms_error b k2 pts }
+
+let fit2_best ~range samples =
+  let candidates =
+    List.map
+      (fun basis -> fit2_of_samples ~basis ~range samples)
+      [ Cuberoot2; Quad2; Cubic2 ]
+  in
+  match candidates with
+  | [] -> assert false
+  | c :: rest ->
+    List.fold_left (fun best f -> if f.rms2 < best.rms2 then f else best) c rest
+
+let eval2 f x y =
+  let x = clamp f.range2 x and y = clamp f.range2 y in
+  Lsq.predict (basis_fn f.basis) f.k2 [| x; y |]
+
+let shape1 f =
+  match f.peak with
+  | None -> Func1d.Monotonic
+  | Some p -> Func1d.Bitonic p

@@ -1,0 +1,49 @@
+(** Fitted empirical timing functions (the paper's Section 3.4 forms).
+
+    [fit1] is the quadratic used for pin-to-pin quantities,
+    DR(T) = K10·T² + K11·T + K12, carrying the abscissa of its interior
+    extremum when one exists inside the characterized range (the paper's
+    bi-tonic peak, needed for worst-case corner identification).
+    [fit2] covers the two-variable forms: the full quadratic (SR) and the
+    expanded cube-root bilinear (D0R). *)
+
+type fit1 = {
+  k : float array;          (** 3 coefficients for {!Ssd_util.Lsq.quadratic_1d} *)
+  range : float * float;    (** characterized T range *)
+  peak : float option;      (** interior extremum abscissa, if any *)
+  rms : float;              (** fit residual (same unit as the output) *)
+}
+
+type basis2 = Quad2 | Cuberoot2 | Cubic2
+
+type fit2 = {
+  k2 : float array;
+  basis : basis2;
+  range2 : float * float;   (** shared characterized range of both inputs *)
+  rms2 : float;
+}
+
+val fit1_of_samples : range:float * float -> (float * float) list -> fit1
+(** Least-squares quadratic over [(T, value)] samples. *)
+
+val eval1 : fit1 -> float -> float
+(** Evaluation with the argument clamped into the characterized range —
+    the model never extrapolates the quadratic beyond its data. *)
+
+val eval1_raw : fit1 -> float -> float
+(** Unclamped evaluation (used by tests). *)
+
+val fit2_of_samples : basis:basis2 -> range:float * float
+  -> ((float * float) * float) list -> fit2
+
+val fit2_best : range:float * float -> ((float * float) * float) list -> fit2
+(** Fits both candidate bases and keeps the lower-residual one.  The paper
+    derives its D0R form from its own experimental data; our technology's
+    D0R surface is bi-tonic in each transition time, which the cube-root
+    product cannot express, so the flow selects per surface. *)
+
+val eval2 : fit2 -> float -> float -> float
+
+val shape1 : fit1 -> Ssd_util.Func1d.shape
+(** [Monotonic] when no interior extremum, otherwise [Bitonic peak] — the
+    description consumed by the STA corner search. *)

@@ -1,0 +1,56 @@
+type t = {
+  t_grid : float array;
+  skew_grid : float array;
+  (* delay.(ia).(ib).(is) *)
+  table : float array array array;
+}
+
+let default_t_grid = [ 0.15e-9; 0.6e-9; 1.4e-9; 2.4e-9 ]
+
+let default_skew_grid =
+  [ -1.2e-9; -0.6e-9; -0.3e-9; -0.1e-9; 0.; 0.1e-9; 0.3e-9; 0.6e-9; 1.2e-9 ]
+
+let build ?(t_grid = default_t_grid) ?(skew_grid = default_skew_grid) tech kind
+    ~n ~pos_a ~pos_b =
+  let tg = Array.of_list t_grid and sg = Array.of_list skew_grid in
+  let table =
+    Array.map
+      (fun t_a ->
+        Array.map
+          (fun t_b ->
+            Array.map
+              (fun skew ->
+                (Sweep.pair tech kind ~n ~fanout:1 ~pos_a ~pos_b ~t_a ~t_b
+                   ~skew)
+                  .Sweep.m_delay)
+              sg)
+          tg)
+      tg
+  in
+  { t_grid = tg; skew_grid = sg; table }
+
+(* locate x on a grid: returns (index, fraction) with both clamped *)
+let locate grid x =
+  let n = Array.length grid in
+  if x <= grid.(0) then (0, 0.)
+  else if x >= grid.(n - 1) then (n - 2, 1.)
+  else begin
+    let rec find i = if grid.(i + 1) >= x then i else find (i + 1) in
+    let i = find 0 in
+    (i, (x -. grid.(i)) /. (grid.(i + 1) -. grid.(i)))
+  end
+
+let pair_delay t ~t_a ~t_b ~skew =
+  let ia, fa = locate t.t_grid t_a in
+  let ib, fb = locate t.t_grid t_b in
+  let is, fs = locate t.skew_grid skew in
+  let v da db ds = t.table.(ia + da).(ib + db).(is + ds) in
+  let lerp f a b = a +. (f *. (b -. a)) in
+  lerp fa
+    (lerp fb (lerp fs (v 0 0 0) (v 0 0 1)) (lerp fs (v 0 1 0) (v 0 1 1)))
+    (lerp fb (lerp fs (v 1 0 0) (v 1 0 1)) (lerp fs (v 1 1 0) (v 1 1 1)))
+
+let entries t =
+  Array.length t.t_grid * Array.length t.t_grid * Array.length t.skew_grid
+
+let sample_count = entries

@@ -1,0 +1,39 @@
+(** Table-lookup delay model — the comparator class the paper dismisses.
+
+    Lookup methods ([14]–[17] in the paper) store measured delays in a
+    grid and interpolate.  They can be made accurate with enough entries,
+    but they carry no shape information: identifying the input
+    combinations that produce a timing-range extreme requires scanning
+    the table, which is why the paper's STA/ITR cannot adopt them
+    ("it is difficult to identify the combinations ... unless all
+    possible pairs of vectors are simulated").
+
+    This implementation samples the analog simulator on a
+    (T_a, T_b, skew) grid for the simultaneous to-controlling delay of a
+    gate pair and answers queries by trilinear interpolation.  It exists
+    for the ablation study: accuracy and cost versus the paper's
+    three-coefficient V-shape. *)
+
+type t
+
+val build :
+  ?t_grid:float list ->
+  ?skew_grid:float list ->
+  Ssd_spice.Tech.t ->
+  Sweep.gate_kind ->
+  n:int ->
+  pos_a:int ->
+  pos_b:int ->
+  t
+(** Samples |t_grid|² × |skew_grid| simulator runs (defaults: 4 × 4 × 9). *)
+
+val pair_delay : t -> t_a:float -> t_b:float -> skew:float -> float
+(** Trilinear interpolation; arguments clamped to the grid span. *)
+
+val entries : t -> int
+(** Table size — the memory-cost side of the ablation. *)
+
+val sample_count : t -> int
+(** Simulator runs spent building the table — the characterization-cost
+    side (the V-shape needs a comparable number but compresses them into
+    a handful of coefficients). *)

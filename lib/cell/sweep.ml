@@ -1,0 +1,133 @@
+module S = Ssd_spice
+
+type gate_kind = Nand | Nor
+
+let controlling_value = function Nand -> false | Nor -> true
+let output_rises_on_controlling = function Nand -> true | Nor -> false
+
+type stimulus =
+  | Steady of bool
+  | To_controlling of { arrival : float; t_tr : float }
+  | To_non_controlling of { arrival : float; t_tr : float }
+
+type meas = { m_delay : float; m_out_tt : float }
+
+let ramp_lead t_tr = 0.5 *. (t_tr /. 0.8)
+
+let run ?(sim_h = 2e-12) tech kind ~n ~fanout stimuli =
+  if Array.length stimuli <> n then
+    invalid_arg "Sweep.run: stimulus arity mismatch";
+  let cv = controlling_value kind in
+  let to_ctl_dir = cv in
+  (* Shift all arrivals so every ramp starts after a small settling margin. *)
+  let margin = 0.3e-9 in
+  let min_start =
+    Array.fold_left
+      (fun acc s ->
+        match s with
+        | Steady _ -> acc
+        | To_controlling { arrival; t_tr } | To_non_controlling { arrival; t_tr }
+          ->
+          Float.min acc (arrival -. ramp_lead t_tr))
+      infinity stimuli
+  in
+  if min_start = infinity then
+    invalid_arg "Sweep.run: no transition in stimulus";
+  let shift = margin -. min_start in
+  let c = S.Circuit.create tech in
+  let io =
+    match kind with
+    | Nand -> S.Gates.nand c ~name:"dut" ~n
+    | Nor -> S.Gates.nor c ~name:"dut" ~n
+  in
+  S.Gates.attach_inverter_load c ~fanout io.S.Gates.output;
+  let latest_end = ref 0. in
+  let ctl_arrivals = ref [] in
+  let non_arrivals = ref [] in
+  let any_to_controlling = ref false in
+  let any_to_non = ref false in
+  Array.iteri
+    (fun pos stim ->
+      let node = io.S.Gates.inputs.(pos) in
+      match stim with
+      | Steady level -> S.Circuit.drive c node (S.Gates.steady tech ~level)
+      | To_controlling { arrival; t_tr } ->
+        any_to_controlling := true;
+        let arrival = arrival +. shift in
+        ctl_arrivals := arrival :: !ctl_arrivals;
+        latest_end := Float.max !latest_end (arrival +. ramp_lead t_tr);
+        let w =
+          (* the controlling value decides the ramp direction: toward 0 for
+             NAND, toward Vdd for NOR *)
+          if to_ctl_dir then S.Gates.rising_input tech ~arrival ~t_transition:t_tr
+          else S.Gates.falling_input tech ~arrival ~t_transition:t_tr
+        in
+        S.Circuit.drive c node w
+      | To_non_controlling { arrival; t_tr } ->
+        any_to_non := true;
+        let arrival = arrival +. shift in
+        non_arrivals := arrival :: !non_arrivals;
+        latest_end := Float.max !latest_end (arrival +. ramp_lead t_tr);
+        let w =
+          if to_ctl_dir then S.Gates.falling_input tech ~arrival ~t_transition:t_tr
+          else S.Gates.rising_input tech ~arrival ~t_transition:t_tr
+        in
+        S.Circuit.drive c node w)
+    stimuli;
+  if !any_to_controlling && !any_to_non then
+    invalid_arg "Sweep.run: mixed transition directions are not supported";
+  (* Steady sides: to-controlling experiments hold the other inputs at the
+     non-controlling value so the switching inputs sensitize the output;
+     the caller passes Steady explicitly, so just validate nothing here. *)
+  let output_rising =
+    if !any_to_controlling then output_rises_on_controlling kind
+    else not (output_rises_on_controlling kind)
+  in
+  let t_stop = !latest_end +. 4.0e-9 in
+  let options =
+    { S.Transient.default_options with S.Transient.h = sim_h; t_stop }
+  in
+  let result = S.Transient.simulate ~options (S.Circuit.freeze c) in
+  let w = S.Transient.waveform result io.S.Gates.output in
+  let edge = S.Measure.edge_exn tech w ~rising:output_rising in
+  let reference =
+    if !any_to_controlling then
+      List.fold_left Float.min infinity !ctl_arrivals
+    else List.fold_left Float.max neg_infinity !non_arrivals
+  in
+  {
+    m_delay = edge.S.Measure.e_arrival -. reference;
+    m_out_tt = edge.S.Measure.e_transition;
+  }
+
+let single ?sim_h tech kind ~n ~fanout ~pos ~to_controlling ~t_in =
+  let non_cv = not (controlling_value kind) in
+  let stimuli =
+    Array.init n (fun i ->
+        if i = pos then
+          if to_controlling then To_controlling { arrival = 0.; t_tr = t_in }
+          else To_non_controlling { arrival = 0.; t_tr = t_in }
+        else Steady non_cv)
+  in
+  run ?sim_h tech kind ~n ~fanout stimuli
+
+let pair ?sim_h tech kind ~n ~fanout ~pos_a ~pos_b ~t_a ~t_b ~skew =
+  if pos_a = pos_b then invalid_arg "Sweep.pair: identical positions";
+  let non_cv = not (controlling_value kind) in
+  let stimuli =
+    Array.init n (fun i ->
+        if i = pos_a then To_controlling { arrival = 0.; t_tr = t_a }
+        else if i = pos_b then To_controlling { arrival = skew; t_tr = t_b }
+        else Steady non_cv)
+  in
+  run ?sim_h tech kind ~n ~fanout stimuli
+
+let tied ?sim_h tech kind ~n ~fanout ~k ~t_in =
+  if k < 1 || k > n then invalid_arg "Sweep.tied: bad k";
+  let non_cv = not (controlling_value kind) in
+  let stimuli =
+    Array.init n (fun i ->
+        if i < k then To_controlling { arrival = 0.; t_tr = t_in }
+        else Steady non_cv)
+  in
+  run ?sim_h tech kind ~n ~fanout stimuli

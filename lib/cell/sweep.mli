@@ -1,0 +1,55 @@
+(** Simulation sweeps: the bridge between the analog oracle and the
+    characterization fits.
+
+    Every function builds a transistor-level gate with an inverter-fanout
+    load, drives the requested stimulus, simulates, and measures the
+    paper's quantities (arrival at 50 % Vdd, transition time 10–90 %).
+    Delays follow the paper's definitions: the to-controlling gate delay is
+    measured from the {e earliest} switching input's arrival; pin-to-pin
+    delays from the switching pin's arrival. *)
+
+type gate_kind = Nand | Nor
+
+val controlling_value : gate_kind -> bool
+(** NAND: false (logic 0); NOR: true. *)
+
+val output_rises_on_controlling : gate_kind -> bool
+(** NAND: true (output rises when an input goes to 0); NOR: false. *)
+
+type stimulus =
+  | Steady of bool  (** held at a rail for the whole run *)
+  | To_controlling of { arrival : float; t_tr : float }
+      (** transition toward the gate's controlling value *)
+  | To_non_controlling of { arrival : float; t_tr : float }
+
+type meas = {
+  m_delay : float;
+      (** output arrival − reference input arrival (earliest switching
+          input for to-controlling, latest for to-non-controlling) *)
+  m_out_tt : float;  (** output transition time *)
+}
+
+val run : ?sim_h:float -> Ssd_spice.Tech.t -> gate_kind -> n:int
+  -> fanout:int -> stimulus array -> meas
+(** General entry point; [stimulus] is indexed by input position and must
+    contain at least one transition, all in the same direction.  Arrivals
+    are relative (the sweep shifts them to fit the simulation window).
+    @raise Failure when the output never completes the implied transition
+    (e.g. a non-sensitized stimulus). *)
+
+(** Convenience wrappers used by the characterization loops and benches. *)
+
+val single : ?sim_h:float -> Ssd_spice.Tech.t -> gate_kind -> n:int
+  -> fanout:int -> pos:int -> to_controlling:bool -> t_in:float -> meas
+(** One input switches; all others held at the non-controlling value. *)
+
+val pair : ?sim_h:float -> Ssd_spice.Tech.t -> gate_kind -> n:int
+  -> fanout:int -> pos_a:int -> pos_b:int -> t_a:float -> t_b:float
+  -> skew:float -> meas
+(** Two to-controlling transitions with [skew = A_b − A_a]; delay is
+    measured from min(A_a, A_b). *)
+
+val tied : ?sim_h:float -> Ssd_spice.Tech.t -> gate_kind -> n:int
+  -> fanout:int -> k:int -> t_in:float -> meas
+(** The first [k] positions switch to-controlling simultaneously with a
+    common transition time; the rest held non-controlling. *)

@@ -1,0 +1,125 @@
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let strip s = String.trim s
+
+let strip_comment s =
+  match String.index_opt s '#' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+(* "NAME ( a , b )" -> (NAME, [a; b]) *)
+let parse_call lineno s =
+  match String.index_opt s '(' with
+  | None -> fail lineno "expected '(' in %S" s
+  | Some lp ->
+    let rp =
+      match String.rindex_opt s ')' with
+      | None -> fail lineno "missing ')' in %S" s
+      | Some i -> i
+    in
+    if rp < lp then fail lineno "mismatched parentheses in %S" s;
+    let fn = strip (String.sub s 0 lp) in
+    let args = String.sub s (lp + 1) (rp - lp - 1) in
+    let args =
+      String.split_on_char ',' args |> List.map strip
+      |> List.filter (fun a -> a <> "")
+    in
+    (fn, args)
+
+let parse_string ~name text =
+  let signals = ref [] in
+  let gate_defs = ref [] in
+  let outputs = ref [] in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let line = strip (strip_comment raw) in
+      if line <> "" then begin
+        match String.index_opt line '=' with
+        | Some eq ->
+          let lhs = strip (String.sub line 0 eq) in
+          let rhs =
+            strip (String.sub line (eq + 1) (String.length line - eq - 1))
+          in
+          if lhs = "" then fail lineno "empty signal name";
+          let fn, args = parse_call lineno rhs in
+          (match Gate.of_string fn with
+          | None -> fail lineno "unknown gate type %S" fn
+          | Some kind ->
+            if args = [] then fail lineno "gate %S has no inputs" lhs;
+            gate_defs := (lhs, kind, args) :: !gate_defs)
+        | None ->
+          let fn, args = parse_call lineno line in
+          (match (String.uppercase_ascii fn, args) with
+          | "INPUT", [ a ] -> signals := (a, Netlist.Pi) :: !signals
+          | "OUTPUT", [ a ] -> outputs := a :: !outputs
+          | "INPUT", _ | "OUTPUT", _ ->
+            fail lineno "%s takes exactly one signal" fn
+          | _ -> fail lineno "unknown directive %S" fn)
+      end)
+    lines;
+  (* assign ids: PIs in order, then gates in order *)
+  let pi_list = List.rev !signals in
+  let gates = List.rev !gate_defs in
+  let all_names =
+    List.map fst pi_list @ List.map (fun (n, _, _) -> n) gates
+  in
+  let index = Hashtbl.create 64 in
+  List.iteri (fun i n -> Hashtbl.replace index n i) all_names;
+  let resolve lineno s =
+    match Hashtbl.find_opt index s with
+    | Some i -> i
+    | None -> fail lineno "undefined signal %S" s
+  in
+  let signal_nodes =
+    List.map (fun (n, _) -> (n, Netlist.Pi)) pi_list
+    @ List.map
+        (fun (n, kind, args) ->
+          ( n,
+            Netlist.Gate
+              { kind; fanin = Array.of_list (List.map (resolve 0) args) } ))
+        gates
+  in
+  Netlist.build ~name ~signals:signal_nodes ~outputs:(List.rev !outputs)
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  let base = Filename.remove_extension (Filename.basename path) in
+  parse_string ~name:base text
+
+let to_string nl =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n" (Netlist.stats nl));
+  List.iter
+    (fun i ->
+      Buffer.add_string buf
+        (Printf.sprintf "INPUT(%s)\n" (Netlist.signal_name nl i)))
+    (Netlist.inputs nl);
+  List.iter
+    (fun i ->
+      Buffer.add_string buf
+        (Printf.sprintf "OUTPUT(%s)\n" (Netlist.signal_name nl i)))
+    (Netlist.outputs nl);
+  Netlist.iter_gates_topo nl ~f:(fun i kind fanin ->
+      let args =
+        Array.to_list fanin
+        |> List.map (Netlist.signal_name nl)
+        |> String.concat ", "
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s = %s(%s)\n"
+           (Netlist.signal_name nl i)
+           (Gate.to_string kind) args));
+  Buffer.contents buf
+
+let write_file nl path =
+  let oc = open_out path in
+  output_string oc (to_string nl);
+  close_out oc

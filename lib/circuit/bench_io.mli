@@ -1,0 +1,23 @@
+(** ISCAS85 ".bench" format reader and writer.
+
+    Supported syntax (case-insensitive gate names, '#' comments):
+    {v
+      INPUT(a)
+      OUTPUT(z)
+      z = NAND(a, b)
+      w = NOT(z)
+    v} *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : name:string -> string -> Netlist.t
+(** @raise Parse_error on malformed text, {!Netlist.Invalid} on a
+    structurally broken circuit. *)
+
+val parse_file : string -> Netlist.t
+(** Netlist name is the file's basename without extension. *)
+
+val to_string : Netlist.t -> string
+(** Round-trippable ".bench" text. *)
+
+val write_file : Netlist.t -> string -> unit

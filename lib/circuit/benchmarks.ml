@@ -1,0 +1,56 @@
+let c17_text =
+  {|# c17 — ISCAS85 benchmark (smallest member, 6 NAND2 gates)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+|}
+
+let c17 () = Bench_io.parse_string ~name:"c17" c17_text
+
+(* PI/PO/gate counts of the genuine ISCAS85 circuits; the synthetic
+   substitutes reproduce the counts and approximate the shape. *)
+let synthetic_specs =
+  [
+    ("c880s", 60, 26, 383, 11L);
+    ("c1355s", 41, 32, 546, 13L);
+    ("c1908s", 33, 25, 880, 17L);
+    ("c3540s", 50, 22, 1669, 19L);
+    ("c7552s", 207, 108, 3512, 23L);
+  ]
+
+let generate_spec (g_name, n_inputs, n_outputs, n_gates, seed) =
+  Generator.generate
+    {
+      Generator.g_name;
+      n_inputs;
+      n_outputs;
+      n_gates;
+      max_fanin = 4;
+      locality = max 32 (n_gates / 12);
+      seed;
+    }
+
+let synthetic_suite () = List.map generate_spec synthetic_specs
+
+let table2_suite () = c17 () :: synthetic_suite ()
+
+let names = "c17" :: List.map (fun (n, _, _, _, _) -> n) synthetic_specs
+
+let by_name name =
+  if name = "c17" then Some (c17 ())
+  else
+    match
+      List.find_opt (fun (n, _, _, _, _) -> n = name) synthetic_specs
+    with
+    | Some spec -> Some (generate_spec spec)
+    | None -> None

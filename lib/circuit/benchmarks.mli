@@ -1,0 +1,24 @@
+(** The benchmark suite used by the paper's Table 2.
+
+    c17 is the genuine ISCAS85 netlist (6 NAND2 gates, embedded below);
+    the five larger circuits are deterministic synthetic stand-ins with
+    the real circuits' PI/PO/gate counts (see the substitution note in
+    DESIGN.md) and carry an "s" suffix to make the substitution explicit. *)
+
+val c17 : unit -> Netlist.t
+(** The real ISCAS85 c17. *)
+
+val c17_text : string
+(** Embedded ".bench" source of c17. *)
+
+val synthetic_suite : unit -> Netlist.t list
+(** c880s, c1355s, c1908s, c3540s, c7552s. *)
+
+val table2_suite : unit -> Netlist.t list
+(** c17 followed by {!synthetic_suite} — the circuits evaluated in the
+    Table 2 reproduction. *)
+
+val by_name : string -> Netlist.t option
+(** Lookup any suite member ("c17", "c880s", ...). *)
+
+val names : string list

@@ -1,0 +1,18 @@
+(** Technology mapping to the characterized primitive cells.
+
+    The timing libraries characterize NAND-n, NOR-n (n ≤ max_fanin) and
+    inverters, so AND/OR/XOR/XNOR/BUF gates and over-wide fan-ins are
+    rewritten into equivalent primitive networks:
+    - AND → NAND + NOT, OR → NOR + NOT, BUF → NOT·NOT
+    - XOR(a,b) → the classic 4-NAND network; XNOR adds an inverter;
+      wider XOR/XNOR fold pairwise
+    - NAND/NOR wider than [max_fanin] split into trees.
+
+    Original signal names are preserved for every original node, so
+    primary outputs and fault sites keep their identity. *)
+
+val to_primitive : ?max_fanin:int -> Netlist.t -> Netlist.t
+(** [max_fanin] defaults to 4.  The result contains only NAND, NOR and NOT
+    gates with fan-in at most [max_fanin]. *)
+
+val is_primitive : ?max_fanin:int -> Netlist.t -> bool

@@ -1,0 +1,67 @@
+type kind = And | Nand | Or | Nor | Xor | Xnor | Not | Buf
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "AND" -> Some And
+  | "NAND" -> Some Nand
+  | "OR" -> Some Or
+  | "NOR" -> Some Nor
+  | "XOR" -> Some Xor
+  | "XNOR" -> Some Xnor
+  | "NOT" | "INV" -> Some Not
+  | "BUF" | "BUFF" -> Some Buf
+  | _ -> None
+
+let to_string = function
+  | And -> "AND"
+  | Nand -> "NAND"
+  | Or -> "OR"
+  | Nor -> "NOR"
+  | Xor -> "XOR"
+  | Xnor -> "XNOR"
+  | Not -> "NOT"
+  | Buf -> "BUFF"
+
+let eval kind inputs =
+  let arity_one () =
+    match inputs with
+    | [ v ] -> v
+    | _ -> invalid_arg "Gate.eval: NOT/BUF take exactly one input"
+  in
+  let non_empty () =
+    if inputs = [] then invalid_arg "Gate.eval: gate with no inputs"
+  in
+  match kind with
+  | Not -> not (arity_one ())
+  | Buf -> arity_one ()
+  | And ->
+    non_empty ();
+    List.for_all Fun.id inputs
+  | Nand ->
+    non_empty ();
+    not (List.for_all Fun.id inputs)
+  | Or ->
+    non_empty ();
+    List.exists Fun.id inputs
+  | Nor ->
+    non_empty ();
+    not (List.exists Fun.id inputs)
+  | Xor ->
+    non_empty ();
+    List.fold_left (fun acc v -> if v then not acc else acc) false inputs
+  | Xnor ->
+    non_empty ();
+    not (List.fold_left (fun acc v -> if v then not acc else acc) false inputs)
+
+let controlling_value = function
+  | And | Nand -> Some false
+  | Or | Nor -> Some true
+  | Xor | Xnor | Not | Buf -> None
+
+let inverting = function
+  | Nand | Nor | Not | Xnor -> true
+  | And | Or | Xor | Buf -> false
+
+let is_primitive = function
+  | Nand | Nor | Not -> true
+  | And | Or | Xor | Xnor | Buf -> false

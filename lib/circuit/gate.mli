@@ -1,0 +1,24 @@
+(** Gate-level primitives and their logic semantics. *)
+
+type kind = And | Nand | Or | Nor | Xor | Xnor | Not | Buf
+
+val of_string : string -> kind option
+(** Case-insensitive; accepts the ISCAS85 spellings (including "BUFF"). *)
+
+val to_string : kind -> string
+
+val eval : kind -> bool list -> bool
+(** @raise Invalid_argument on an arity violation (NOT/BUF take exactly
+    one input; the others at least one). *)
+
+val controlling_value : kind -> bool option
+(** The value that alone determines the output (AND/NAND: false,
+    OR/NOR: true); [None] for XOR/XNOR/NOT/BUF. *)
+
+val inverting : kind -> bool
+(** Whether the output is the complement of the "dominant" function
+    (NAND/NOR/NOT/XNOR). *)
+
+val is_primitive : kind -> bool
+(** True for the kinds the characterized library covers directly:
+    NAND, NOR, NOT. *)

@@ -1,0 +1,194 @@
+module Rng = Ssd_util.Rng
+
+type params = {
+  g_name : string;
+  n_inputs : int;
+  n_outputs : int;
+  n_gates : int;
+  max_fanin : int;
+  locality : int;
+  seed : int64;
+}
+
+let default_params =
+  {
+    g_name = "synth";
+    n_inputs = 16;
+    n_outputs = 8;
+    n_gates = 100;
+    max_fanin = 4;
+    locality = 48;
+    seed = 1L;
+  }
+
+let gate_kinds = [| Gate.Nand; Gate.Nand; Gate.Nor; Gate.Nand; Gate.Nor;
+                    Gate.Not; Gate.And; Gate.Or |]
+
+let generate p =
+  if p.n_inputs < 1 || p.n_outputs < 1 || p.n_gates < 1 then
+    invalid_arg "Generator.generate: counts must be positive";
+  if p.max_fanin < 2 then invalid_arg "Generator.generate: max_fanin < 2";
+  let rng = Rng.create p.seed in
+  let total = p.n_inputs + p.n_gates in
+  let signals = ref [] in
+  for i = 0 to p.n_inputs - 1 do
+    signals := (Printf.sprintf "pi%d" i, Netlist.Pi) :: !signals
+  done;
+  (* Fan-ins prefer recent nodes (locality window) with a 15 % chance of a
+     long edge back to anywhere, creating both deep chains and
+     reconvergence. *)
+  let pick_fanin rng upto =
+    if upto <= 0 then 0
+    else if Rng.int rng 100 < 15 then Rng.int rng upto
+    else begin
+      let lo = max 0 (upto - p.locality) in
+      lo + Rng.int rng (upto - lo)
+    end
+  in
+  (* Random-simulation signatures (128 vectors as two 64-bit words per
+     node) guard against structurally constant lines: deep random DAGs
+     otherwise accumulate reconvergent correlations until most of the
+     circuit is stuck — unlike any real benchmark.  A gate whose signature
+     is constant across all sampled vectors is redrawn. *)
+  let words = 2 in
+  let sigs = Array.make_matrix total words 0L in
+  for i = 0 to p.n_inputs - 1 do
+    for w = 0 to words - 1 do
+      sigs.(i).(w) <- Rng.next_int64 rng
+    done
+  done;
+  let signature kind fanin =
+    let out = Array.make words 0L in
+    for w = 0 to words - 1 do
+      let ins = List.map (fun j -> sigs.(j).(w)) fanin in
+      let all op init = List.fold_left op init ins in
+      out.(w) <-
+        (match kind with
+        | Gate.And -> all Int64.logand Int64.minus_one
+        | Gate.Nand -> Int64.lognot (all Int64.logand Int64.minus_one)
+        | Gate.Or -> all Int64.logor 0L
+        | Gate.Nor -> Int64.lognot (all Int64.logor 0L)
+        | Gate.Xor -> all Int64.logxor 0L
+        | Gate.Xnor -> Int64.lognot (all Int64.logxor 0L)
+        | Gate.Not -> Int64.lognot (List.hd ins)
+        | Gate.Buf -> List.hd ins)
+    done;
+    out
+  in
+  let is_constant s =
+    Array.for_all (fun w -> w = 0L) s
+    || Array.for_all (fun w -> w = Int64.minus_one) s
+  in
+  for g = 0 to p.n_gates - 1 do
+    let id = p.n_inputs + g in
+    let draw () =
+      let kind = Rng.pick rng gate_kinds in
+      let arity =
+        match kind with
+        | Gate.Not -> 1
+        | Gate.Nand | Gate.Nor | Gate.And | Gate.Or ->
+          (* ISCAS85-like fan-in mix: mostly 2-input, some 3, few wider *)
+          let r = Rng.int rng 100 in
+          if r < 70 then 2
+          else if r < 90 then 3
+          else min p.max_fanin 4
+        | Gate.Xor | Gate.Xnor | Gate.Buf -> 2
+      in
+      let chosen = Hashtbl.create 4 in
+      let fanin = ref [] in
+      let attempts = ref 0 in
+      (* the first fan-in may be a long edge; the rest are drawn near it so
+         a gate's inputs have correlated depths — in real netlists the
+         fan-ins of a gate come from similar logic levels, which is what
+         gives short paths overlapping arrival windows *)
+      let anchor = ref None in
+      while List.length !fanin < arity && !attempts < 50 do
+        incr attempts;
+        let c =
+          match !anchor with
+          | None -> pick_fanin rng id
+          | Some a ->
+            let lo = max 0 (a - p.locality) in
+            let hi = min id (a + p.locality) in
+            lo + Rng.int rng (max 1 (hi - lo))
+        in
+        if not (Hashtbl.mem chosen c) then begin
+          Hashtbl.replace chosen c ();
+          if !anchor = None then anchor := Some c;
+          fanin := c :: !fanin
+        end
+      done;
+      let fanin =
+        match !fanin with
+        | [] -> [ Rng.int rng id ]
+        | l -> l
+      in
+      let kind = if List.length fanin = 1 then Gate.Not else kind in
+      (kind, fanin)
+    in
+    let rec attempt k =
+      let kind, fanin = draw () in
+      let s = signature kind fanin in
+      if not (is_constant s) then (kind, fanin, s)
+      else if k >= 20 then begin
+        (* a NOT of a non-constant node is never constant *)
+        let src = pick_fanin rng id in
+        (Gate.Not, [ src ], signature Gate.Not [ src ])
+      end
+      else attempt (k + 1)
+    in
+    let kind, fanin, s = attempt 0 in
+    sigs.(id) <- s;
+    signals :=
+      (Printf.sprintf "g%d" id,
+       Netlist.Gate { kind; fanin = Array.of_list fanin })
+      :: !signals
+  done;
+  let signals = List.rev !signals in
+  (* Outputs: prefer sinks (nodes with no reader) so the whole circuit is
+     observable, deepest first — shallow POs would make the circuit's
+     min-delay a trivial one-gate path, which no real benchmark has. *)
+  let consumed = Array.make total false in
+  List.iter
+    (fun (_, nd) ->
+      match nd with
+      | Netlist.Pi -> ()
+      | Netlist.Gate { fanin; _ } ->
+        Array.iter (fun j -> consumed.(j) <- true) fanin)
+    signals;
+  let level = Array.make total 0 in
+  List.iteri
+    (fun id (_, nd) ->
+      match nd with
+      | Netlist.Pi -> ()
+      | Netlist.Gate { fanin; _ } ->
+        level.(id) <-
+          1 + Array.fold_left (fun m j -> max m level.(j)) (-1) fanin)
+    signals;
+  let sinks = ref [] in
+  for id = total - 1 downto p.n_inputs do
+    if not consumed.(id) then sinks := id :: !sinks
+  done;
+  let sinks =
+    List.stable_sort (fun a b -> compare level.(b) level.(a)) !sinks
+  in
+  let outputs =
+    let rec take acc k = function
+      | _ when k = 0 -> List.rev acc
+      | [] -> List.rev acc
+      | x :: rest -> take (x :: acc) (k - 1) rest
+    in
+    let from_sinks = take [] p.n_outputs sinks in
+    let missing = p.n_outputs - List.length from_sinks in
+    let extra =
+      List.init missing (fun k -> total - 1 - k)
+      |> List.filter (fun id -> not (List.mem id from_sinks))
+    in
+    from_sinks @ extra
+  in
+  let name_of id =
+    if id < p.n_inputs then Printf.sprintf "pi%d" id
+    else Printf.sprintf "g%d" id
+  in
+  Netlist.build ~name:p.g_name ~signals
+    ~outputs:(List.map name_of outputs)

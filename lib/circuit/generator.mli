@@ -1,0 +1,24 @@
+(** Deterministic synthetic combinational benchmark generator.
+
+    Stands in for the five larger ISCAS85 netlists (see DESIGN.md): the
+    generated circuits match the originals' primary-input / primary-output
+    / gate counts and have comparable depth, a NAND/NOR/NOT-dominated gate
+    mix, fan-in ≤ 4 and reconvergent fan-out.  Generation is layered: each
+    new gate draws its fan-ins from recent layers (locality) with an
+    occasional long edge, which yields ISCAS-like level distributions. *)
+
+type params = {
+  g_name : string;
+  n_inputs : int;
+  n_outputs : int;
+  n_gates : int;
+  max_fanin : int;       (** 2..4 typical *)
+  locality : int;        (** how many recent nodes fan-ins prefer *)
+  seed : int64;
+}
+
+val default_params : params
+
+val generate : params -> Netlist.t
+(** Every PI reaches some gate and every gate transitively feeds some PO
+    (dead nodes are re-wired into the PO selection). *)

@@ -1,0 +1,46 @@
+let simulate nl pi_values =
+  let pis = Netlist.inputs nl in
+  if Array.length pi_values <> List.length pis then
+    invalid_arg "Logic.simulate: PI vector arity mismatch";
+  let values = Array.make (Netlist.size nl) false in
+  List.iteri (fun rank i -> values.(i) <- pi_values.(rank)) pis;
+  Netlist.iter_gates_topo nl ~f:(fun i kind fanin ->
+      let ins = Array.to_list (Array.map (fun j -> values.(j)) fanin) in
+      values.(i) <- Gate.eval kind ins);
+  values
+
+let outputs_of nl pi_values =
+  let values = simulate nl pi_values in
+  List.map (fun i -> values.(i)) (Netlist.outputs nl)
+
+let random_vector rng nl =
+  Array.init (List.length (Netlist.inputs nl)) (fun _ -> Ssd_util.Rng.bool rng)
+
+let equivalent ?(vectors = 256) rng a b =
+  let names nl =
+    List.map (Netlist.signal_name nl) (Netlist.inputs nl)
+    |> List.sort String.compare
+  in
+  let out_names nl = List.map (Netlist.signal_name nl) (Netlist.outputs nl) in
+  if names a <> names b || out_names a <> out_names b then false
+  else begin
+    let pi_names_a = List.map (Netlist.signal_name a) (Netlist.inputs a) in
+    (* map a's PI rank to b's PI rank via names *)
+    let b_rank =
+      let tbl = Hashtbl.create 16 in
+      List.iteri
+        (fun rank i -> Hashtbl.replace tbl (Netlist.signal_name b i) rank)
+        (Netlist.inputs b);
+      List.map (fun nm -> Hashtbl.find tbl nm) pi_names_a
+    in
+    let rec loop k =
+      if k >= vectors then true
+      else begin
+        let va = random_vector rng a in
+        let vb = Array.make (Array.length va) false in
+        List.iteri (fun ra rb -> vb.(rb) <- va.(ra)) b_rank;
+        if outputs_of a va <> outputs_of b vb then false else loop (k + 1)
+      end
+    in
+    loop 0
+  end

@@ -1,0 +1,17 @@
+(** Plain Boolean simulation of a netlist. *)
+
+val simulate : Netlist.t -> bool array -> bool array
+(** [simulate nl pi_values] evaluates every node; [pi_values] is indexed
+    by the PI's rank in [Netlist.inputs] order.  Returns a value per node
+    id.  @raise Invalid_argument on an arity mismatch. *)
+
+val outputs_of : Netlist.t -> bool array -> bool list
+(** PO values for the given PI vector. *)
+
+val random_vector : Ssd_util.Rng.t -> Netlist.t -> bool array
+
+val equivalent : ?vectors:int -> Ssd_util.Rng.t -> Netlist.t -> Netlist.t
+  -> bool
+(** Randomized functional equivalence check: both netlists must have the
+    same PI names (matched by name, any order) and the same PO names;
+    [vectors] (default 256) random stimuli are compared. *)

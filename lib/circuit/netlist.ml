@@ -1,0 +1,169 @@
+type node = Pi | Gate of { kind : Gate.kind; fanin : int array }
+
+type t = {
+  nl_name : string;
+  names : string array;
+  nodes : node array;
+  by_name : (string, int) Hashtbl.t;
+  pis : int list;
+  pos : int list;
+  fanouts : int array array;
+  topo : int array;
+  levels : int array;
+}
+
+exception Invalid of string
+
+let invalid fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+let build ~name ~signals ~outputs =
+  let n = List.length signals in
+  if n = 0 then invalid "empty netlist";
+  let by_name = Hashtbl.create (2 * n) in
+  List.iteri
+    (fun i (s, _) ->
+      if Hashtbl.mem by_name s then invalid "duplicate signal %S" s;
+      Hashtbl.replace by_name s i)
+    signals;
+  let names = Array.of_list (List.map fst signals) in
+  let resolve_names = Array.make n Pi in
+  List.iteri (fun i (_, nd) -> resolve_names.(i) <- nd) signals;
+  let nodes = resolve_names in
+  (* validate fan-ins *)
+  Array.iteri
+    (fun i nd ->
+      match nd with
+      | Pi -> ()
+      | Gate { kind; fanin } ->
+        let arity = Array.length fanin in
+        (match kind with
+        | Gate.Not | Gate.Buf ->
+          if arity <> 1 then
+            invalid "%s: %s expects 1 input, got %d" names.(i)
+              (Gate.to_string kind) arity
+        | Gate.And | Gate.Nand | Gate.Or | Gate.Nor | Gate.Xor | Gate.Xnor ->
+          if arity < 1 then invalid "%s: gate with no inputs" names.(i));
+        Array.iter
+          (fun j ->
+            if j < 0 || j >= n then
+              invalid "%s: fan-in id %d out of range" names.(i) j)
+          fanin)
+    nodes;
+  let pis =
+    List.filteri (fun i _ -> nodes.(i) = Pi) (List.init n Fun.id)
+  in
+  let pos =
+    List.map
+      (fun s ->
+        match Hashtbl.find_opt by_name s with
+        | Some i -> i
+        | None -> invalid "output %S is not a declared signal" s)
+      outputs
+  in
+  (* fanouts *)
+  let fo = Array.make n [] in
+  Array.iteri
+    (fun i nd ->
+      match nd with
+      | Pi -> ()
+      | Gate { fanin; _ } -> Array.iter (fun j -> fo.(j) <- i :: fo.(j)) fanin)
+    nodes;
+  let fanouts = Array.map (fun l -> Array.of_list (List.rev l)) fo in
+  (* topological order by Kahn's algorithm; detects cycles *)
+  let indeg = Array.make n 0 in
+  Array.iteri
+    (fun i nd ->
+      match nd with
+      | Pi -> ()
+      | Gate { fanin; _ } -> indeg.(i) <- Array.length fanin)
+    nodes;
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+  let topo = Array.make n (-1) in
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    topo.(!count) <- i;
+    incr count;
+    Array.iter
+      (fun j ->
+        indeg.(j) <- indeg.(j) - 1;
+        if indeg.(j) = 0 then Queue.add j queue)
+      fanouts.(i)
+  done;
+  if !count <> n then invalid "netlist %S contains a cycle" name;
+  let levels = Array.make n 0 in
+  Array.iter
+    (fun i ->
+      match nodes.(i) with
+      | Pi -> levels.(i) <- 0
+      | Gate { fanin; _ } ->
+        levels.(i) <-
+          1 + Array.fold_left (fun m j -> max m levels.(j)) (-1) fanin)
+    topo;
+  { nl_name = name; names; nodes; by_name; pis; pos; fanouts; topo; levels }
+
+let name t = t.nl_name
+let size t = Array.length t.nodes
+
+let gate_count t =
+  Array.fold_left
+    (fun acc nd -> match nd with Pi -> acc | Gate _ -> acc + 1)
+    0 t.nodes
+
+let pi_count t = List.length t.pis
+let node t i = t.nodes.(i)
+let signal_name t i = t.names.(i)
+let find t s = Hashtbl.find_opt t.by_name s
+let inputs t = t.pis
+let outputs t = t.pos
+let fanout t i = t.fanouts.(i)
+let load_of t i = max 1 (Array.length t.fanouts.(i))
+let topo_order t = t.topo
+let level t i = t.levels.(i)
+let depth t = Array.fold_left max 0 t.levels
+
+let fold_gates_topo t ~init ~f =
+  Array.fold_left
+    (fun acc i ->
+      match t.nodes.(i) with
+      | Pi -> acc
+      | Gate { kind; fanin } -> f acc i kind fanin)
+    init t.topo
+
+let iter_gates_topo t ~f =
+  Array.iter
+    (fun i ->
+      match t.nodes.(i) with
+      | Pi -> ()
+      | Gate { kind; fanin } -> f i kind fanin)
+    t.topo
+
+let transitive_closure next t i =
+  let n = size t in
+  let seen = Array.make n false in
+  let rec visit j =
+    if not seen.(j) then begin
+      seen.(j) <- true;
+      List.iter visit (next t j)
+    end
+  in
+  List.iter visit (next t i);
+  let order = ref [] in
+  Array.iter (fun j -> if seen.(j) then order := j :: !order) t.topo;
+  List.rev !order
+
+let transitive_fanin t i =
+  transitive_closure
+    (fun t j ->
+      match t.nodes.(j) with
+      | Pi -> []
+      | Gate { fanin; _ } -> Array.to_list fanin)
+    t i
+
+let transitive_fanout t i =
+  transitive_closure (fun t j -> Array.to_list t.fanouts.(j)) t i
+
+let stats t =
+  Printf.sprintf "%s: %d PIs, %d POs, %d gates, depth %d" t.nl_name
+    (pi_count t) (List.length t.pos) (gate_count t) (depth t)

@@ -1,0 +1,68 @@
+(** Immutable combinational gate-level netlist (DAG).
+
+    Every node is a named signal: either a primary input or the output of
+    exactly one gate.  The structure is validated at construction time
+    (defined-before-use not required, but the graph must be acyclic and
+    every fan-in must exist). *)
+
+type node = Pi | Gate of { kind : Gate.kind; fanin : int array }
+
+type t
+
+exception Invalid of string
+(** Raised by {!build} on cycles, dangling references, duplicate
+    definitions or arity violations. *)
+
+val build :
+  name:string ->
+  signals:(string * node) list ->
+  outputs:string list ->
+  t
+(** [signals] declares every node; [outputs] names the primary outputs.
+    @raise Invalid *)
+
+val name : t -> string
+val size : t -> int
+(** Total node count (PIs + gates). *)
+
+val gate_count : t -> int
+val pi_count : t -> int
+
+val node : t -> int -> node
+val signal_name : t -> int -> string
+val find : t -> string -> int option
+
+val inputs : t -> int list
+(** PI ids in declaration order. *)
+
+val outputs : t -> int list
+
+val fanout : t -> int -> int array
+(** Gate ids that consume the given node.  A PO with no readers has an
+    empty fanout; its electrical load is still at least one (see
+    {!load_of}). *)
+
+val load_of : t -> int -> int
+(** Electrical fanout used by the delay models: [max 1 (consumers)]. *)
+
+val topo_order : t -> int array
+(** All node ids, PIs first, then gates in topological order. *)
+
+val level : t -> int -> int
+(** Logic level: 0 for PIs, 1 + max fan-in level for gates. *)
+
+val depth : t -> int
+(** Maximum level over all nodes. *)
+
+val fold_gates_topo : t -> init:'a -> f:('a -> int -> Gate.kind -> int array -> 'a) -> 'a
+
+val iter_gates_topo : t -> f:(int -> Gate.kind -> int array -> unit) -> unit
+
+val transitive_fanin : t -> int -> int list
+(** All nodes (including PIs) feeding the given node, topologically
+    sorted. *)
+
+val transitive_fanout : t -> int -> int list
+
+val stats : t -> string
+(** One-line human-readable summary. *)

@@ -1,0 +1,81 @@
+type windowing = {
+  ctl_window :
+    Ssd_cell.Charlib.cell -> fanout:int -> Types.win_in list -> Types.win;
+  non_window :
+    Ssd_cell.Charlib.cell -> fanout:int -> Types.win_in list -> Types.win;
+}
+
+type t = {
+  name : string;
+  single_delay :
+    Ssd_cell.Charlib.cell -> fanout:int -> pos:int -> t_in:float -> float;
+  pair_delay :
+    Ssd_cell.Charlib.cell -> fanout:int -> a:Types.transition_in
+    -> b:Types.transition_in -> float;
+  pair_out_tt :
+    Ssd_cell.Charlib.cell -> fanout:int -> a:Types.transition_in
+    -> b:Types.transition_in -> float;
+  ctl_event :
+    Ssd_cell.Charlib.cell -> fanout:int -> Types.transition_in list
+    -> Types.event;
+  non_event :
+    Ssd_cell.Charlib.cell -> fanout:int -> Types.transition_in list
+    -> Types.event;
+  windowing : windowing option;
+}
+
+let proposed =
+  {
+    name = "proposed";
+    single_delay =
+      (fun cell ~fanout ~pos ~t_in ->
+        Cellfn.pin_delay cell ~fanout Cellfn.Ctl ~pos ~t_in);
+    pair_delay = Vshape.pair_delay;
+    pair_out_tt = Vshape.pair_out_tt;
+    ctl_event = Vshape.ctl_event;
+    non_event = Vshape.non_event;
+    windowing =
+      Some { ctl_window = Vshape.ctl_window; non_window = Vshape.non_window };
+  }
+
+let pin_to_pin =
+  {
+    name = "pin-to-pin";
+    single_delay = Pin_to_pin.single_delay;
+    pair_delay = Pin_to_pin.pair_delay;
+    pair_out_tt = Pin_to_pin.pair_out_tt;
+    ctl_event = Pin_to_pin.ctl_event;
+    non_event = Pin_to_pin.non_event;
+    windowing =
+      Some
+        {
+          ctl_window = Pin_to_pin.ctl_window;
+          non_window = Pin_to_pin.non_window;
+        };
+  }
+
+let jun =
+  {
+    name = "jun";
+    single_delay = Jun.single_delay;
+    pair_delay = Jun.pair_delay;
+    pair_out_tt = Jun.pair_out_tt;
+    ctl_event = Jun.ctl_event;
+    non_event = Jun.non_event;
+    windowing = None;
+  }
+
+let nabavi =
+  {
+    name = "nabavi";
+    single_delay = Nabavi.single_delay;
+    pair_delay = Nabavi.pair_delay;
+    pair_out_tt = Nabavi.pair_out_tt;
+    ctl_event = Nabavi.ctl_event;
+    non_event = Nabavi.non_event;
+    windowing = None;
+  }
+
+let all = [ proposed; pin_to_pin; jun; nabavi ]
+
+let find name = List.find_opt (fun m -> m.name = name) all

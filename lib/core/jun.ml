@@ -1,0 +1,74 @@
+open Types
+
+let single_delay cell ~fanout ~pos:_ ~t_in =
+  Cellfn.pin_delay cell ~fanout Cellfn.Ctl ~pos:0 ~t_in
+
+let single_out_tt cell ~fanout ~t_in =
+  Cellfn.pin_out_tt cell ~fanout Cellfn.Ctl ~pos:0 ~t_in
+
+(* Zero-skew delay from the collapsed equivalent inverter: both switching
+   transistors in parallel, driven by a ramp with the averaged transition
+   time. *)
+let collapsed_d0 cell ~fanout ~t_a ~t_b =
+  let t_eq = 0.5 *. (t_a +. t_b) in
+  if cell.Ssd_cell.Charlib.n >= 2 then
+    Cellfn.tied_delay cell ~fanout ~k:2 ~t_in:t_eq
+  else Cellfn.pin_delay cell ~fanout Cellfn.Ctl ~pos:0 ~t_in:t_eq
+
+let collapsed_t0 cell ~fanout ~t_a ~t_b =
+  let t_eq = 0.5 *. (t_a +. t_b) in
+  if cell.Ssd_cell.Charlib.n >= 2 then
+    Cellfn.tied_out_tt cell ~fanout ~k:2 ~t_in:t_eq
+  else Cellfn.pin_out_tt cell ~fanout Cellfn.Ctl ~pos:0 ~t_in:t_eq
+
+(* The skew scale over which Jun's polynomial transitions between the
+   overlapped and separated regimes: the averaged input transition time.
+   Crucially there is no clamp at the pin-to-pin delay — the model keeps
+   extrapolating linearly for large skews. *)
+let pair_delay cell ~fanout ~(a : transition_in) ~(b : transition_in) =
+  let skew = Float.abs (b.arrival -. a.arrival) in
+  let d0 = collapsed_d0 cell ~fanout ~t_a:a.t_tr ~t_b:b.t_tr in
+  let lead = if b.arrival >= a.arrival then a else b in
+  let d_lead = single_delay cell ~fanout ~pos:lead.pos ~t_in:lead.t_tr in
+  let sr_jun = Float.max (0.5 *. (a.t_tr +. b.t_tr)) 1e-12 in
+  d0 +. (skew *. (d_lead -. d0) /. sr_jun)
+
+let pair_out_tt cell ~fanout ~(a : transition_in) ~(b : transition_in) =
+  let skew = Float.abs (b.arrival -. a.arrival) in
+  let t0 = collapsed_t0 cell ~fanout ~t_a:a.t_tr ~t_b:b.t_tr in
+  let lead = if b.arrival >= a.arrival then a else b in
+  let t_lead = single_out_tt cell ~fanout ~t_in:lead.t_tr in
+  let sr_jun = Float.max (0.5 *. (a.t_tr +. b.t_tr)) 1e-12 in
+  t0 +. (skew *. (t_lead -. t0) /. sr_jun)
+
+let ctl_event cell ~fanout transitions =
+  match transitions with
+  | [] -> invalid_arg "Jun.ctl_event: no transitions"
+  | [ t ] ->
+    {
+      e_arr = t.arrival +. single_delay cell ~fanout ~pos:t.pos ~t_in:t.t_tr;
+      e_tt = single_out_tt cell ~fanout ~t_in:t.t_tr;
+    }
+  | t1 :: t2 :: _ ->
+    let base = Float.min t1.arrival t2.arrival in
+    {
+      e_arr = base +. pair_delay cell ~fanout ~a:t1 ~b:t2;
+      e_tt = pair_out_tt cell ~fanout ~a:t1 ~b:t2;
+    }
+
+let non_event cell ~fanout transitions =
+  match transitions with
+  | [] -> invalid_arg "Jun.non_event: no transitions"
+  | _ ->
+    List.fold_left
+      (fun best t ->
+        let arr =
+          t.arrival
+          +. Cellfn.pin_delay cell ~fanout Cellfn.Non ~pos:0 ~t_in:t.t_tr
+        in
+        let tt = Cellfn.pin_out_tt cell ~fanout Cellfn.Non ~pos:0 ~t_in:t.t_tr in
+        match best with
+        | Some e when e.e_arr >= arr -> Some e
+        | Some _ | None -> Some { e_arr = arr; e_tt = tt })
+      None transitions
+    |> Option.get

@@ -1,0 +1,25 @@
+(** Jun-style equivalent-inverter baseline ([6] in the paper).
+
+    Reimplemented from the failure modes documented in the paper rather
+    than from the original constants: the gate is collapsed into an
+    equivalent inverter (parallel transistors summed — our tied-input
+    characterization), the simultaneous delay grows linearly with skew from
+    the zero-skew value, but the growth {e never saturates} at the
+    pin-to-pin delay ("Jun's approach fails to capture the delay for large
+    skew"), and input positions are ignored. *)
+
+val single_delay : Ssd_cell.Charlib.cell -> fanout:int -> pos:int
+  -> t_in:float -> float
+(** Position-blind: always the position-0 characterization. *)
+
+val pair_delay : Ssd_cell.Charlib.cell -> fanout:int
+  -> a:Types.transition_in -> b:Types.transition_in -> float
+
+val pair_out_tt : Ssd_cell.Charlib.cell -> fanout:int
+  -> a:Types.transition_in -> b:Types.transition_in -> float
+
+val ctl_event : Ssd_cell.Charlib.cell -> fanout:int
+  -> Types.transition_in list -> Types.event
+
+val non_event : Ssd_cell.Charlib.cell -> fanout:int
+  -> Types.transition_in list -> Types.event

@@ -1,0 +1,67 @@
+open Types
+
+let full_span t_tr = t_tr /. 0.8
+
+let single_delay cell ~fanout ~pos:_ ~t_in =
+  Cellfn.pin_delay cell ~fanout Cellfn.Ctl ~pos:0 ~t_in
+
+let single_out_tt cell ~fanout ~t_in =
+  Cellfn.pin_out_tt cell ~fanout Cellfn.Ctl ~pos:0 ~t_in
+
+(* Equivalent single ramp under the aligned-start assumption: starts at the
+   earliest actual start, transition time averaged.  The predicted output
+   arrival ignores how the transitions are actually skewed. *)
+let equivalent_arrival (a : transition_in) (b : transition_in) =
+  let start t = t.arrival -. (0.5 *. full_span t.t_tr) in
+  let s_min = Float.min (start a) (start b) in
+  let t_eq = 0.5 *. (a.t_tr +. b.t_tr) in
+  (s_min +. (0.5 *. full_span t_eq), t_eq)
+
+let collapsed cell ~fanout ~t_eq =
+  if cell.Ssd_cell.Charlib.n >= 2 then
+    ( Cellfn.tied_delay cell ~fanout ~k:2 ~t_in:t_eq,
+      Cellfn.tied_out_tt cell ~fanout ~k:2 ~t_in:t_eq )
+  else
+    ( Cellfn.pin_delay cell ~fanout Cellfn.Ctl ~pos:0 ~t_in:t_eq,
+      Cellfn.pin_out_tt cell ~fanout Cellfn.Ctl ~pos:0 ~t_in:t_eq )
+
+let pair_delay cell ~fanout ~(a : transition_in) ~(b : transition_in) =
+  let a_eq, t_eq = equivalent_arrival a b in
+  let d, _ = collapsed cell ~fanout ~t_eq in
+  a_eq +. d -. Float.min a.arrival b.arrival
+
+let pair_out_tt cell ~fanout ~(a : transition_in) ~(b : transition_in) =
+  let _, t_eq = equivalent_arrival a b in
+  snd (collapsed cell ~fanout ~t_eq)
+
+let ctl_event cell ~fanout transitions =
+  match transitions with
+  | [] -> invalid_arg "Nabavi.ctl_event: no transitions"
+  | [ t ] ->
+    {
+      e_arr = t.arrival +. single_delay cell ~fanout ~pos:t.pos ~t_in:t.t_tr;
+      e_tt = single_out_tt cell ~fanout ~t_in:t.t_tr;
+    }
+  | t1 :: t2 :: _ ->
+    let base = Float.min t1.arrival t2.arrival in
+    {
+      e_arr = base +. pair_delay cell ~fanout ~a:t1 ~b:t2;
+      e_tt = pair_out_tt cell ~fanout ~a:t1 ~b:t2;
+    }
+
+let non_event cell ~fanout transitions =
+  match transitions with
+  | [] -> invalid_arg "Nabavi.non_event: no transitions"
+  | _ ->
+    List.fold_left
+      (fun best t ->
+        let arr =
+          t.arrival
+          +. Cellfn.pin_delay cell ~fanout Cellfn.Non ~pos:0 ~t_in:t.t_tr
+        in
+        let tt = Cellfn.pin_out_tt cell ~fanout Cellfn.Non ~pos:0 ~t_in:t.t_tr in
+        match best with
+        | Some e when e.e_arr >= arr -> Some e
+        | Some _ | None -> Some { e_arr = arr; e_tt = tt })
+      None transitions
+    |> Option.get

@@ -1,0 +1,24 @@
+(** Nabavi-Lishi-style inverter-model baseline ([18] in the paper).
+
+    Reimplemented from the failure modes documented in the paper: the gate
+    collapses into an equivalent inverter whose input is derived assuming
+    all transitions share the same {e start} time.  Accurate when the
+    transition times match and the starts align; degrades when transition
+    times differ (Figure 11) and is insensitive to the actual skew
+    (Figure 12).  Input positions are ignored (Figure 10). *)
+
+val single_delay : Ssd_cell.Charlib.cell -> fanout:int -> pos:int
+  -> t_in:float -> float
+(** Position-blind: always the position-0 characterization. *)
+
+val pair_delay : Ssd_cell.Charlib.cell -> fanout:int
+  -> a:Types.transition_in -> b:Types.transition_in -> float
+
+val pair_out_tt : Ssd_cell.Charlib.cell -> fanout:int
+  -> a:Types.transition_in -> b:Types.transition_in -> float
+
+val ctl_event : Ssd_cell.Charlib.cell -> fanout:int
+  -> Types.transition_in list -> Types.event
+
+val non_event : Ssd_cell.Charlib.cell -> fanout:int
+  -> Types.transition_in list -> Types.event

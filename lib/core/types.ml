@@ -1,0 +1,18 @@
+module Interval = Ssd_util.Interval
+
+type transition_in = { pos : int; arrival : float; t_tr : float }
+
+type event = { e_arr : float; e_tt : float }
+
+type win = { w_arr : Interval.t; w_tt : Interval.t }
+
+type win_in = { wpos : int; window : win }
+
+let win_point e =
+  { w_arr = Interval.point e.e_arr; w_tt = Interval.point e.e_tt }
+
+let pp_event ppf e =
+  Format.fprintf ppf "{A=%.1fps T=%.1fps}" (e.e_arr *. 1e12) (e.e_tt *. 1e12)
+
+let pp_win ppf w =
+  Format.fprintf ppf "{A=%a T=%a}" Interval.pp w.w_arr Interval.pp w.w_tt

@@ -1,0 +1,33 @@
+(** Shared value types for the delay models.
+
+    All times are in seconds.  A [transition_in] describes one switching
+    gate input; an [event] is the resulting output switching; a [win] is
+    the STA min-max timing window (arrival interval plus transition-time
+    interval) of one rise/fall transition on a line. *)
+
+type transition_in = {
+  pos : int;       (** input position (0 = closest to the output) *)
+  arrival : float; (** 50 % crossing time *)
+  t_tr : float;    (** 10–90 % transition time *)
+}
+
+type event = {
+  e_arr : float;  (** output arrival time *)
+  e_tt : float;   (** output transition time *)
+}
+
+type win = {
+  w_arr : Ssd_util.Interval.t;
+  w_tt : Ssd_util.Interval.t;
+}
+
+type win_in = {
+  wpos : int;
+  window : win;
+}
+
+val win_point : event -> win
+(** Degenerate window at an exact event. *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp_win : Format.formatter -> win -> unit

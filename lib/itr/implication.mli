@@ -1,0 +1,36 @@
+(** Two-frame logic implication over a netlist.
+
+    Maintains one nine-valued assignment per line and propagates every
+    narrowing forward (gate evaluation) and backward (direct implications)
+    to a fixpoint, as required for ITR and test generation (an extension
+    of the basic implication method of Abramovici et al. to two
+    time-frames). *)
+
+type t
+
+val create : Ssd_circuit.Netlist.t -> t
+(** All lines at xx. *)
+
+val copy : t -> t
+
+val value : t -> int -> Value2f.t
+
+val netlist : t -> Ssd_circuit.Netlist.t
+
+exception Conflict of int
+(** Carries the node id where the conflict surfaced. *)
+
+val assign : t -> int -> Value2f.t -> int list
+(** [assign t node v] narrows [node] with [v] and propagates to a
+    fixpoint; returns the list of nodes whose values changed.
+    @raise Conflict (state is left partially updated — callers keep a
+    {!copy} for backtracking). *)
+
+val assign_opt : t -> int -> Value2f.t -> int list option
+(** Like {!assign} but returns [None] on conflict. *)
+
+val is_consistent_with : t -> int -> Value2f.t -> bool
+(** Whether narrowing would not immediately conflict (no propagation). *)
+
+val specified_count : t -> int
+(** Number of fully specified lines — a progress metric. *)

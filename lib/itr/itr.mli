@@ -1,0 +1,63 @@
+(** Incremental timing refinement (paper Section 5).
+
+    Couples the two-frame implication state with the timing windows: as
+    logic values are specified, transition states S ∈ {−1, 0, 1} restrict
+    which gate inputs can or must switch, and the recomputed windows
+    shrink.  The zero-state settings of the paper's Table 1 are realized
+    as follows for each optimization target:
+
+    - earliest to-controlling arrival: every input that {e may} switch is
+      allowed to participate (simultaneous switching speeds the output up);
+    - latest to-controlling arrival: potential switchers are assumed
+      absent, but every {e definite} switcher upper-bounds the response
+      ([A_L ≤ min over definite i of (A_i,L + d_i,max)]), which is where
+      ITR beats STA;
+    - earliest to-non-controlling arrival: definite switchers lower-bound
+      it ([A_S ≥ max over definite i]);
+    - latest to-non-controlling arrival: all potential switchers at their
+      latest.
+
+    STA is the special case where every line has state 0 for every
+    transition (value xx everywhere). *)
+
+type t
+
+val create :
+  ?pi_spec:Ssd_sta.Sta.pi_spec ->
+  ?focus:int list ->
+  library:Ssd_cell.Charlib.t ->
+  model:Ssd_core.Delay_model.t ->
+  Ssd_circuit.Netlist.t ->
+  t
+(** Initial state: all values xx; windows equal the STA windows.
+    [focus] restricts window maintenance to the given lines and their
+    transitive fan-in (the ATPG only consults the fault site's windows;
+    skipping the rest makes refinement much cheaper).  Windows of
+    out-of-focus lines are unspecified.
+    @raise Invalid_argument when the model cannot identify worst-case
+    corners (no window functions). *)
+
+val copy : t -> t
+(** Snapshot for backtracking search. *)
+
+val implication : t -> Implication.t
+
+val assign : t -> int -> Value2f.t -> bool
+(** Narrow a line's logic value, propagate implications and recompute the
+    affected timing windows.  Returns false (state unspecified-safe: use
+    {!copy} beforehand) on logic conflict. *)
+
+val rise_window : t -> int -> Ssd_core.Types.win option
+(** [None] when the line definitely has no rising transition (S = −1). *)
+
+val fall_window : t -> int -> Ssd_core.Types.win option
+
+val state : t -> int -> Value2f.transition -> int
+(** The paper's S value for a line. *)
+
+val window_width_sum : t -> float
+(** Total arrival-window width over all live transitions — the shrink
+    metric reported by the ITR experiments. *)
+
+val refresh_all : t -> unit
+(** Recompute every window from the current logic state (used by tests). *)

@@ -1,0 +1,181 @@
+module Gate = Ssd_circuit.Gate
+
+type v1 = Zero | One | X
+
+type t = { f1 : v1; f2 : v1 }
+
+let xx = { f1 = X; f2 = X }
+
+let v1_of_char = function
+  | '0' -> Some Zero
+  | '1' -> Some One
+  | 'x' | 'X' -> Some X
+  | _ -> None
+
+let of_string s =
+  if String.length s <> 2 then None
+  else
+    match (v1_of_char s.[0], v1_of_char s.[1]) with
+    | Some f1, Some f2 -> Some { f1; f2 }
+    | _, _ -> None
+
+let char_of_v1 = function Zero -> '0' | One -> '1' | X -> 'x'
+
+let to_string v = Printf.sprintf "%c%c" (char_of_v1 v.f1) (char_of_v1 v.f2)
+
+let of_bools b1 b2 =
+  {
+    f1 = (if b1 then One else Zero);
+    f2 = (if b2 then One else Zero);
+  }
+
+let is_fully_specified v = v.f1 <> X && v.f2 <> X
+
+type transition = Rise | Fall
+
+let state v tr =
+  let before, after = match tr with Rise -> (Zero, One) | Fall -> (One, Zero) in
+  let ok1 = v.f1 = before || v.f1 = X in
+  let ok2 = v.f2 = after || v.f2 = X in
+  if not (ok1 && ok2) then -1
+  else if v.f1 = before && v.f2 = after then 1
+  else 0
+
+let requires = function
+  | Rise -> { f1 = Zero; f2 = One }
+  | Fall -> { f1 = One; f2 = Zero }
+
+let steady b = if b then { f1 = One; f2 = One } else { f1 = Zero; f2 = Zero }
+
+let v1_meet a b =
+  match (a, b) with
+  | X, v | v, X -> Some v
+  | Zero, Zero -> Some Zero
+  | One, One -> Some One
+  | Zero, One | One, Zero -> None
+
+let meet a b =
+  match (v1_meet a.f1 b.f1, v1_meet a.f2 b.f2) with
+  | Some f1, Some f2 -> Some { f1; f2 }
+  | _, _ -> None
+
+let v1_narrower a b = b = X || a = b
+
+let narrower_or_equal a b = v1_narrower a.f1 b.f1 && v1_narrower a.f2 b.f2
+
+(* three-valued frame evaluation *)
+let v1_not = function Zero -> One | One -> Zero | X -> X
+
+let v1_and vs =
+  if List.exists (fun v -> v = Zero) vs then Zero
+  else if List.for_all (fun v -> v = One) vs then One
+  else X
+
+let v1_or vs =
+  if List.exists (fun v -> v = One) vs then One
+  else if List.for_all (fun v -> v = Zero) vs then Zero
+  else X
+
+let v1_xor vs =
+  if List.exists (fun v -> v = X) vs then X
+  else if
+    List.fold_left (fun acc v -> if v = One then not acc else acc) false vs
+  then One
+  else Zero
+
+let eval_frame kind vs =
+  match kind with
+  | Gate.And -> v1_and vs
+  | Gate.Nand -> v1_not (v1_and vs)
+  | Gate.Or -> v1_or vs
+  | Gate.Nor -> v1_not (v1_or vs)
+  | Gate.Xor -> v1_xor vs
+  | Gate.Xnor -> v1_not (v1_xor vs)
+  | Gate.Not -> (
+    match vs with
+    | [ v ] -> v1_not v
+    | _ -> invalid_arg "Value2f: NOT arity")
+  | Gate.Buf -> (
+    match vs with
+    | [ v ] -> v
+    | _ -> invalid_arg "Value2f: BUF arity")
+
+let forward kind inputs =
+  {
+    f1 = eval_frame kind (List.map (fun v -> v.f1) inputs);
+    f2 = eval_frame kind (List.map (fun v -> v.f2) inputs);
+  }
+
+(* Backward implication for one frame of an AND/OR-family gate.
+   [inv] whether the gate inverts; [cv] the controlling input value. *)
+let backward_frame ~inv ~cv out_v ins =
+  let ncv = v1_not cv in
+  let out_ctl = if inv then v1_not cv else cv in
+  (* output at the controlled level: at least one input = cv.
+     output at the other level: all inputs = non-controlling. *)
+  match out_v with
+  | X -> Some ins
+  | v when v = v1_not out_ctl ->
+    (* all inputs forced to the non-controlling value *)
+    let rec narrow acc = function
+      | [] -> Some (List.rev acc)
+      | i :: rest -> (
+        match v1_meet i ncv with
+        | Some n -> narrow (n :: acc) rest
+        | None -> None)
+    in
+    narrow [] ins
+  | _ ->
+    (* some input must hold cv: if exactly one input can still be cv, force
+       it; if none can, conflict *)
+    let can_be_cv v = v = cv || v = X in
+    let holders = List.filter can_be_cv ins in
+    (match holders with
+    | [] -> None
+    | [ _ ] when not (List.exists (fun v -> v = cv) ins) ->
+      (* a single candidate and nobody already holds cv: force it *)
+      Some
+        (List.map (fun v -> if can_be_cv v && v = X then cv else v) ins)
+    | _ -> Some ins)
+
+let backward kind ~out ins =
+  match kind with
+  | Gate.Not | Gate.Buf -> (
+    let flip v = if kind = Gate.Not then v1_not v else v in
+    match ins with
+    | [ i ] -> (
+      match
+        ( v1_meet i.f1 (flip out.f1),
+          v1_meet i.f2 (flip out.f2) )
+      with
+      | Some f1, Some f2 -> Some [ { f1; f2 } ]
+      | _, _ -> None)
+    | _ -> invalid_arg "Value2f.backward: NOT/BUF arity")
+  | Gate.And | Gate.Nand | Gate.Or | Gate.Nor ->
+    let inv = Gate.inverting kind in
+    let cv =
+      match Gate.controlling_value kind with
+      | Some true -> One
+      | Some false -> Zero
+      | None -> assert false
+    in
+    let frame sel_out sel_in rebuild =
+      match
+        backward_frame ~inv ~cv (sel_out out) (List.map sel_in ins)
+      with
+      | None -> None
+      | Some narrowed -> Some (rebuild narrowed)
+    in
+    (match
+       frame (fun v -> v.f1) (fun v -> v.f1) (fun n1 ->
+           List.map2 (fun i f1 -> { i with f1 }) ins n1)
+     with
+    | None -> None
+    | Some ins1 ->
+      frame (fun v -> v.f2) (fun v -> v.f2) (fun n2 ->
+          List.map2 (fun i f2 -> { i with f2 }) ins1 n2))
+  | Gate.Xor | Gate.Xnor ->
+    (* forward-only for XOR family *)
+    Some ins
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)

@@ -1,0 +1,53 @@
+(** Nine-value two-frame logic (paper Section 5.1).
+
+    A line's value is a pair of three-valued frames (v1, v2) ∈ {0, 1, x}²,
+    where x is the unspecified/unknown value.  01 is a rising transition;
+    0x, x1 and xx are potential rising transitions, etc. *)
+
+type v1 = Zero | One | X
+
+type t = { f1 : v1; f2 : v1 }
+
+val xx : t
+val of_string : string -> t option
+(** "01", "x1", ... *)
+
+val to_string : t -> string
+
+val of_bools : bool -> bool -> t
+(** Fully specified value from two Booleans. *)
+
+val is_fully_specified : t -> bool
+
+type transition = Rise | Fall
+
+val state : t -> transition -> int
+(** The paper's S value: 1 when the line definitely has the transition,
+    0 when it potentially has it, −1 when it definitely does not. *)
+
+val requires : transition -> t
+(** The value demanding the transition (Rise ↦ 01). *)
+
+val steady : bool -> t
+(** 00 or 11. *)
+
+val meet : t -> t -> t option
+(** Intersection of the two value sets per frame: x meets anything;
+    conflicting constants yield [None]. *)
+
+val narrower_or_equal : t -> t -> bool
+(** [narrower_or_equal a b]: every concrete behaviour of [a] is allowed by
+    [b]. *)
+
+val forward : Ssd_circuit.Gate.kind -> t list -> t
+(** Frame-wise three-valued gate evaluation. *)
+
+val backward :
+  Ssd_circuit.Gate.kind -> out:t -> t list -> t list option
+(** Backward implication: given the (possibly narrowed) output value and
+    current input values, returns narrowed input values, or [None] on
+    conflict.  Sound but not complete (standard direct implications:
+    forced-controlling, last-free-input). *)
+
+val v1_meet : v1 -> v1 -> v1 option
+val pp : Format.formatter -> t -> unit

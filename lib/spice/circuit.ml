@@ -1,0 +1,116 @@
+type node = int
+
+type element =
+  | Mosfet of Device.params * node * node * node
+  | Cap of node * node * float
+  | Res of node * node * float
+
+type t = {
+  c_tech : Tech.t;
+  mutable next : int;
+  mutable elements : element list;
+  driven : (node, Ssd_util.Pwl.t) Hashtbl.t;
+  by_name : (string, node) Hashtbl.t;
+  mutable names_rev : (node * string) list;
+  mutable vdd : node option;
+}
+
+let ground = 0
+
+let create c_tech =
+  let c =
+    {
+      c_tech;
+      next = 1;
+      elements = [];
+      driven = Hashtbl.create 16;
+      by_name = Hashtbl.create 16;
+      names_rev = [ (0, "gnd") ];
+      vdd = None;
+    }
+  in
+  Hashtbl.replace c.by_name "gnd" 0;
+  c
+
+let tech c = c.c_tech
+
+let alloc c name =
+  let id = c.next in
+  c.next <- c.next + 1;
+  c.names_rev <- (id, name) :: c.names_rev;
+  id
+
+let node c name =
+  match Hashtbl.find_opt c.by_name name with
+  | Some n -> n
+  | None ->
+    let id = alloc c name in
+    Hashtbl.replace c.by_name name id;
+    id
+
+let fresh_node c prefix = alloc c (Printf.sprintf "%s#%d" prefix c.next)
+
+let node_name c n =
+  match List.assoc_opt n c.names_rev with
+  | Some s -> s
+  | None -> Printf.sprintf "n%d" n
+
+let drive c n w =
+  if n = ground then invalid_arg "Circuit.drive: cannot drive ground";
+  Hashtbl.replace c.driven n w
+
+let drive_dc c n v = drive c n (Ssd_util.Pwl.constant v)
+
+let vdd_node c =
+  match c.vdd with
+  | Some n -> n
+  | None ->
+    let n = node c "vdd" in
+    drive_dc c n c.c_tech.Tech.vdd;
+    c.vdd <- Some n;
+    n
+
+let add_element c e = c.elements <- e :: c.elements
+
+let add_cap c n1 n2 v =
+  if v < 0. then invalid_arg "Circuit.add_cap: negative capacitance";
+  if n1 <> n2 && v > 0. then add_element c (Cap (n1, n2, v))
+
+let add_res c n1 n2 v =
+  if v <= 0. then invalid_arg "Circuit.add_res: non-positive resistance";
+  if n1 <> n2 then add_element c (Res (n1, n2, v))
+
+let add_mosfet c (p : Device.params) ~d ~g ~s =
+  let t = c.c_tech in
+  add_element c (Mosfet (p, d, g, s));
+  (* Parasitics: overlap cap couples gate and drain (Miller); the remaining
+     gate capacitance and the junction caps go to ground.  Widths scale all
+     of them. *)
+  add_cap c g d (t.Tech.cgd_per_w *. p.Device.w);
+  add_cap c g ground (t.Tech.cg_per_w *. p.Device.w);
+  add_cap c d ground (t.Tech.cj_per_w *. p.Device.w);
+  add_cap c s ground (t.Tech.cj_per_w *. p.Device.w)
+
+type frozen = {
+  f_tech : Tech.t;
+  n_nodes : int;
+  elements : element list;
+  driven : (node * Ssd_util.Pwl.t) list;
+  names : string array;
+}
+
+let freeze c =
+  let names = Array.make c.next "?" in
+  List.iter
+    (fun (n, s) -> if n < c.next then names.(n) <- s)
+    c.names_rev;
+  {
+    f_tech = c.c_tech;
+    n_nodes = c.next;
+    elements = List.rev c.elements;
+    driven = Hashtbl.fold (fun n w acc -> (n, w) :: acc) c.driven [];
+    names;
+  }
+
+let node_count (c : t) = c.next
+let element_count (c : t) = List.length c.elements

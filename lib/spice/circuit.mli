@@ -1,0 +1,64 @@
+(** Analog circuit under construction: nodes, devices, sources.
+
+    Node 0 is ground.  Nodes driven by a voltage source ("driven" nodes)
+    have their voltage imposed by a PWL waveform; all remaining nodes are
+    "free" and solved by the transient engine.  The builder is mutable;
+    {!freeze} produces the immutable description consumed by
+    {!Transient.simulate}. *)
+
+type node = int
+
+type element =
+  | Mosfet of Device.params * node * node * node
+      (** params, drain, gate, source *)
+  | Cap of node * node * float  (** n1, n2, capacitance in F *)
+  | Res of node * node * float  (** n1, n2, resistance in Ω *)
+
+type t
+
+val create : Tech.t -> t
+
+val tech : t -> Tech.t
+
+val ground : node
+(** Always node 0. *)
+
+val node : t -> string -> node
+(** [node c name] returns the node registered under [name], creating it on
+    first use.  Names are unique handles; "gnd" maps to ground. *)
+
+val fresh_node : t -> string -> node
+(** Create an anonymous internal node; [name] is a prefix for debugging. *)
+
+val node_name : t -> node -> string
+
+val vdd_node : t -> node
+(** The supply node; created and driven at Vdd on first access. *)
+
+val add_element : t -> element -> unit
+
+val add_mosfet : t -> Device.params -> d:node -> g:node -> s:node -> unit
+(** Adds the transistor plus its parasitic capacitances derived from
+    [Tech]: gate–drain overlap cap, gate-to-ground cap, and junction caps
+    at drain and source. *)
+
+val add_cap : t -> node -> node -> float -> unit
+val add_res : t -> node -> node -> float -> unit
+
+val drive : t -> node -> Ssd_util.Pwl.t -> unit
+(** Impose a waveform on a node.  Re-driving a node replaces its waveform. *)
+
+val drive_dc : t -> node -> float -> unit
+
+type frozen = {
+  f_tech : Tech.t;
+  n_nodes : int;
+  elements : element list;
+  driven : (node * Ssd_util.Pwl.t) list;
+  names : string array;  (** index = node id *)
+}
+
+val freeze : t -> frozen
+
+val node_count : t -> int
+val element_count : t -> int

@@ -1,0 +1,81 @@
+type kind = Nmos | Pmos
+
+type params = { kind : kind; w : float; l : float }
+
+type eval = { id : float; gm : float; gds : float; gms : float }
+
+let beta tech p =
+  let k = match p.kind with Nmos -> tech.Tech.kn | Pmos -> tech.Tech.kp in
+  k *. p.w /. p.l
+
+(* Core level-1 equations for an N-type device with vds >= 0.
+   Returns (id, gm, gds) w.r.t. the *local* (possibly swapped) terminals. *)
+let eval_n beta vt lambda ~vgs ~vds =
+  if vgs <= vt then (0., 0., 0.)
+  else begin
+    let vov = vgs -. vt in
+    let clm = 1. +. (lambda *. vds) in
+    if vds < vov then begin
+      (* triode *)
+      let id = beta *. ((vov *. vds) -. (0.5 *. vds *. vds)) *. clm in
+      let gm = beta *. vds *. clm in
+      let gds =
+        (beta *. (vov -. vds) *. clm)
+        +. (beta *. ((vov *. vds) -. (0.5 *. vds *. vds)) *. lambda)
+      in
+      (id, gm, gds)
+    end
+    else begin
+      (* saturation *)
+      let id = 0.5 *. beta *. vov *. vov *. clm in
+      let gm = beta *. vov *. clm in
+      let gds = 0.5 *. beta *. vov *. vov *. lambda in
+      (id, gm, gds)
+    end
+  end
+
+let eval tech p ~vg ~vd ~vs =
+  let b = beta tech p in
+  match p.kind with
+  | Nmos ->
+    let lambda = tech.Tech.lambda_n and vt = tech.Tech.vtn in
+    if vd >= vs then begin
+      let id, gm, gds = eval_n b vt lambda ~vgs:(vg -. vs) ~vds:(vd -. vs) in
+      { id; gm; gds; gms = -.gm -. gds }
+    end
+    else begin
+      (* swapped: local drain = s, local source = d; current local-d→local-s
+         is s→d, i.e. −(d→s). *)
+      let id, gm, gds = eval_n b vt lambda ~vgs:(vg -. vd) ~vds:(vs -. vd) in
+      (* id_nominal = −id_local; derivatives follow from the chain rule:
+         vd appears as local source, vs as local drain. *)
+      { id = -.id; gm = -.gm; gds = gm +. gds; gms = -.gds }
+    end
+  | Pmos ->
+    (* Mirror through sign flips: treat (−v) as an N device with vt = −vtp. *)
+    let lambda = tech.Tech.lambda_p and vt = -.tech.Tech.vtp in
+    if vd <= vs then begin
+      (* "on" orientation: source is the higher terminal *)
+      let id, gm, gds = eval_n b vt lambda ~vgs:(vs -. vg) ~vds:(vs -. vd) in
+      (* Channel current flows source→drain; nominal drain→source current is
+         −id_local... we define id as nominal drain → source, so current
+         into the drain node from the source is id_local; drain→source =
+         −id_local. *)
+      { id = -.id; gm; gds = gds; gms = -.gm -. gds }
+    end
+    else begin
+      (* swapped: the nominal drain sits at the higher potential and acts as
+         the source; vgs_eq = vd − vg, vds_eq = vd − vs, current flows
+         nominal-drain → nominal-source, i.e. +id_local. *)
+      let id, gm, gds = eval_n b vt lambda ~vgs:(vd -. vg) ~vds:(vd -. vs) in
+      { id; gm = -.gm; gds = gm +. gds; gms = -.gds }
+    end
+
+let saturation_current tech p =
+  let b = beta tech p in
+  let vov =
+    match p.kind with
+    | Nmos -> tech.Tech.vdd -. tech.Tech.vtn
+    | Pmos -> tech.Tech.vdd +. tech.Tech.vtp
+  in
+  0.5 *. b *. vov *. vov

@@ -1,0 +1,34 @@
+(** MOSFET large-signal model (Shichman–Hodges / SPICE level 1).
+
+    The evaluation returns both the drain current and its partial
+    derivatives, which the transient engine stamps into the Newton
+    Jacobian.  Devices are treated as symmetric: when the nominal drain
+    voltage is below the nominal source voltage the terminals are swapped
+    internally so the same equations apply. *)
+
+type kind = Nmos | Pmos
+
+type params = {
+  kind : kind;
+  w : float;  (** channel width, m *)
+  l : float;  (** channel length, m *)
+}
+
+type eval = {
+  id : float;   (** channel current flowing nominal-drain → nominal-source, A *)
+  gm : float;   (** ∂id/∂vg, S *)
+  gds : float;  (** ∂id/∂vd, S *)
+  gms : float;  (** ∂id/∂vs, S (equals −gm − gds for this model) *)
+}
+
+val eval : Tech.t -> params -> vg:float -> vd:float -> vs:float -> eval
+(** Evaluate the device at the given absolute node voltages (bulk assumed
+    tied to the rail: ground for NMOS, Vdd for PMOS; body effect is not
+    modelled). *)
+
+val saturation_current : Tech.t -> params -> float
+(** |Id| at Vgs = Vds = full rail — a convenient drive-strength scale used
+    by tests and by the equivalent-inverter baselines. *)
+
+val beta : Tech.t -> params -> float
+(** k' · W / L for the device. *)

@@ -1,0 +1,110 @@
+module Pwl = Ssd_util.Pwl
+
+type io = { inputs : Circuit.node array; output : Circuit.node }
+
+let default_widths c wn wp =
+  let t = Circuit.tech c in
+  let wn = match wn with Some w -> w | None -> t.Tech.wn_min in
+  let wp = match wp with Some w -> w | None -> t.Tech.wp_min in
+  (wn, wp)
+
+let inverter ?wn ?wp c ~input ~output =
+  let wn, wp = default_widths c wn wp in
+  let t = Circuit.tech c in
+  let vdd = Circuit.vdd_node c in
+  Circuit.add_mosfet c
+    { Device.kind = Device.Pmos; w = wp; l = t.Tech.l_min }
+    ~d:output ~g:input ~s:vdd;
+  Circuit.add_mosfet c
+    { Device.kind = Device.Nmos; w = wn; l = t.Tech.l_min }
+    ~d:output ~g:input ~s:Circuit.ground
+
+let nand ?wn ?wp c ~name ~n =
+  if n < 1 then invalid_arg "Gates.nand: need n >= 1";
+  let wn, wp = default_widths c wn wp in
+  let t = Circuit.tech c in
+  let vdd = Circuit.vdd_node c in
+  let inputs =
+    Array.init n (fun i -> Circuit.node c (Printf.sprintf "%s.in%d" name i))
+  in
+  let output = Circuit.node c (Printf.sprintf "%s.out" name) in
+  (* Parallel PMOS pull-ups, one per input. *)
+  Array.iter
+    (fun g ->
+      Circuit.add_mosfet c
+        { Device.kind = Device.Pmos; w = wp; l = t.Tech.l_min }
+        ~d:output ~g ~s:vdd)
+    inputs;
+  (* Series NMOS pull-down: input 0 adjacent to the output. *)
+  let upper = ref output in
+  for i = 0 to n - 1 do
+    let lower =
+      if i = n - 1 then Circuit.ground
+      else Circuit.fresh_node c (Printf.sprintf "%s.stk%d" name i)
+    in
+    Circuit.add_mosfet c
+      { Device.kind = Device.Nmos; w = wn; l = t.Tech.l_min }
+      ~d:!upper ~g:inputs.(i) ~s:lower;
+    upper := lower
+  done;
+  { inputs; output }
+
+let nor ?wn ?wp c ~name ~n =
+  if n < 1 then invalid_arg "Gates.nor: need n >= 1";
+  let wn, wp = default_widths c wn wp in
+  let t = Circuit.tech c in
+  let vdd = Circuit.vdd_node c in
+  let inputs =
+    Array.init n (fun i -> Circuit.node c (Printf.sprintf "%s.in%d" name i))
+  in
+  let output = Circuit.node c (Printf.sprintf "%s.out" name) in
+  (* Parallel NMOS pull-downs. *)
+  Array.iter
+    (fun g ->
+      Circuit.add_mosfet c
+        { Device.kind = Device.Nmos; w = wn; l = t.Tech.l_min }
+        ~d:output ~g ~s:Circuit.ground)
+    inputs;
+  (* Series PMOS pull-up: input 0 adjacent to the output. *)
+  let lower = ref output in
+  for i = 0 to n - 1 do
+    let upper =
+      if i = n - 1 then vdd
+      else Circuit.fresh_node c (Printf.sprintf "%s.stk%d" name i)
+    in
+    Circuit.add_mosfet c
+      { Device.kind = Device.Pmos; w = wp; l = t.Tech.l_min }
+      ~d:!lower ~g:inputs.(i) ~s:upper;
+    lower := upper
+  done;
+  { inputs; output }
+
+let attach_inverter_load c ?(fanout = 1) ?(extra_cap = 0.) node =
+  for k = 0 to fanout - 1 do
+    let out = Circuit.fresh_node c (Printf.sprintf "load%d" k) in
+    inverter c ~input:node ~output:out
+  done;
+  if extra_cap > 0. then Circuit.add_cap c node Circuit.ground extra_cap
+
+(* A ramp's 50 % crossing sits at its midpoint, so the start time is the
+   arrival minus half the full (0 %–100 %) span. *)
+let ramp_start ~arrival ~t_transition =
+  let full = t_transition /. 0.8 in
+  let t0 = arrival -. (0.5 *. full) in
+  if t0 < 0. then
+    invalid_arg
+      (Printf.sprintf
+         "Gates: input ramp with arrival %.3e and transition %.3e starts \
+          before t=0"
+         arrival t_transition);
+  t0
+
+let falling_input tech ~arrival ~t_transition =
+  let t0 = ramp_start ~arrival ~t_transition in
+  Pwl.falling_ramp ~t0 ~t_transition ~v_lo:0. ~v_hi:tech.Tech.vdd
+
+let rising_input tech ~arrival ~t_transition =
+  let t0 = ramp_start ~arrival ~t_transition in
+  Pwl.rising_ramp ~t0 ~t_transition ~v_lo:0. ~v_hi:tech.Tech.vdd
+
+let steady tech ~level = Pwl.constant (if level then tech.Tech.vdd else 0.)

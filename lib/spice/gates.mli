@@ -1,0 +1,42 @@
+(** Transistor-level builders for the primitive gates under study.
+
+    Input position follows the paper's convention: position 0 is the series
+    transistor closest to the gate output (Figure 3), so a NAND's input 0
+    gates the topmost NMOS of the pull-down stack and a NOR's input 0 gates
+    the series PMOS adjacent to the output. *)
+
+type io = {
+  inputs : Circuit.node array;  (** index = input position *)
+  output : Circuit.node;
+}
+
+val inverter : ?wn:float -> ?wp:float -> Circuit.t
+  -> input:Circuit.node -> output:Circuit.node -> unit
+(** Minimum-size by default. *)
+
+val nand : ?wn:float -> ?wp:float -> Circuit.t -> name:string -> n:int -> io
+(** [nand c ~name ~n] builds an [n]-input NAND ([n >= 1]); nodes are named
+    ["<name>.in<i>"] and ["<name>.out"].  Internal stack nodes get their
+    junction capacitance from the transistor builder, which is what creates
+    the input-position delay effect. *)
+
+val nor : ?wn:float -> ?wp:float -> Circuit.t -> name:string -> n:int -> io
+
+val attach_inverter_load : Circuit.t -> ?fanout:int -> ?extra_cap:float
+  -> Circuit.node -> unit
+(** Attach [fanout] (default 1) minimum-size inverters as a realistic load
+    (their gate capacitance plus Miller kickback), each driving its own
+    junction-loaded output node, plus [extra_cap] (default 0) of wiring
+    capacitance to ground. *)
+
+val falling_input : Tech.t -> arrival:float -> t_transition:float
+  -> Ssd_util.Pwl.t
+(** A Vdd→0 ramp whose 50 % crossing (the paper's arrival time) is at
+    [arrival] and whose 10–90 % transition time is [t_transition].
+    @raise Invalid_argument when the ramp would need to start before t = 0. *)
+
+val rising_input : Tech.t -> arrival:float -> t_transition:float
+  -> Ssd_util.Pwl.t
+
+val steady : Tech.t -> level:bool -> Ssd_util.Pwl.t
+(** Constant rail waveform: [level = true] is Vdd. *)

@@ -1,0 +1,32 @@
+module Pwl = Ssd_util.Pwl
+
+let arrival tech w ~rising =
+  Pwl.first_crossing w ~rising (Tech.v_mid_frac *. tech.Tech.vdd)
+
+let transition_time tech w ~rising =
+  match
+    Pwl.crossing_pair w ~rising ~low_frac:Tech.v_low_frac
+      ~high_frac:Tech.v_high_frac ~v_lo:0. ~v_hi:tech.Tech.vdd
+  with
+  | None -> None
+  | Some (t_first, t_second) -> Some (Float.abs (t_second -. t_first))
+
+let swings_to tech w ~high =
+  let v = Pwl.end_value w in
+  let vdd = tech.Tech.vdd in
+  if high then v > 0.95 *. vdd else v < 0.05 *. vdd
+
+type edge = { e_arrival : float; e_transition : float }
+
+let edge tech w ~rising =
+  match (arrival tech w ~rising, transition_time tech w ~rising) with
+  | Some a, Some t -> Some { e_arrival = a; e_transition = t }
+  | _, _ -> None
+
+let edge_exn tech w ~rising =
+  match edge tech w ~rising with
+  | Some e -> e
+  | None ->
+    failwith
+      (Printf.sprintf "Measure.edge_exn: no %s transition found"
+         (if rising then "rising" else "falling"))

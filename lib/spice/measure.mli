@@ -1,0 +1,27 @@
+(** Waveform post-processing: the paper's timing measurements.
+
+    Arrival time A is the 50 % Vdd crossing; transition time T is the
+    10 %–90 % span (Section 3, definitions). *)
+
+val arrival : Tech.t -> Ssd_util.Pwl.t -> rising:bool -> float option
+(** First 50 % crossing in the requested direction. *)
+
+val transition_time : Tech.t -> Ssd_util.Pwl.t -> rising:bool -> float option
+(** 10–90 % (rising) or 90–10 % (falling) span of the first full swing. *)
+
+val swings_to : Tech.t -> Ssd_util.Pwl.t -> high:bool -> bool
+(** True when the waveform's final value is within 5 % of the requested
+    rail — used to validate that a stimulus actually produced the expected
+    response before measuring it. *)
+
+type edge = {
+  e_arrival : float;         (** 50 % crossing, s *)
+  e_transition : float;      (** 10–90 % span, s *)
+}
+
+val edge : Tech.t -> Ssd_util.Pwl.t -> rising:bool -> edge option
+(** Both measurements, [None] when the waveform does not complete the
+    requested transition. *)
+
+val edge_exn : Tech.t -> Ssd_util.Pwl.t -> rising:bool -> edge
+(** @raise Failure when the transition is absent. *)

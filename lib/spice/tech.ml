@@ -1,0 +1,38 @@
+type t = {
+  vdd : float;
+  vtn : float;
+  vtp : float;
+  kn : float;
+  kp : float;
+  lambda_n : float;
+  lambda_p : float;
+  l_min : float;
+  wn_min : float;
+  wp_min : float;
+  cg_per_w : float;
+  cgd_per_w : float;
+  cj_per_w : float;
+  gmin : float;
+}
+
+let default =
+  {
+    vdd = 3.3;
+    vtn = 0.7;
+    vtp = -0.8;
+    kn = 45e-6;
+    kp = 100e-6;
+    lambda_n = 0.05;
+    lambda_p = 0.05;
+    l_min = 0.5e-6;
+    wn_min = 2.0e-6;
+    wp_min = 1.6e-6;
+    cg_per_w = 2.0e-9;
+    cgd_per_w = 0.4e-9;
+    cj_per_w = 3.5e-9;
+    gmin = 1e-12;
+  }
+
+let v_low_frac = 0.1
+let v_high_frac = 0.9
+let v_mid_frac = 0.5

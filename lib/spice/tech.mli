@@ -1,0 +1,36 @@
+(** Technology parameters for the transistor-level simulator.
+
+    A 0.5 µm-flavoured parameter set standing in for the paper's
+    "SPICE LEVEL 3 model and 0.5 µm technology".  The exact constants are
+    not calibrated to any foundry; they are chosen so gate delays land in
+    the paper's few-hundred-picosecond regime and so all the qualitative
+    phenomena the delay model targets are present. *)
+
+type t = {
+  vdd : float;          (** supply voltage, V *)
+  vtn : float;          (** NMOS threshold, V (positive) *)
+  vtp : float;          (** PMOS threshold, V (negative) *)
+  kn : float;           (** NMOS transconductance k' = µnCox, A/V² *)
+  kp : float;           (** PMOS transconductance k' = µpCox, A/V² *)
+  lambda_n : float;     (** NMOS channel-length modulation, 1/V *)
+  lambda_p : float;     (** PMOS channel-length modulation, 1/V *)
+  l_min : float;        (** drawn channel length, m *)
+  wn_min : float;       (** minimum NMOS width, m *)
+  wp_min : float;       (** minimum PMOS width, m *)
+  cg_per_w : float;     (** gate capacitance per unit width (to bulk), F/m *)
+  cgd_per_w : float;    (** gate–drain overlap (Miller) cap per width, F/m *)
+  cj_per_w : float;     (** source/drain junction cap per width, F/m *)
+  gmin : float;         (** convergence-aid conductance to ground, S *)
+}
+
+val default : t
+(** The parameter set used by every experiment in this repository. *)
+
+val v_low_frac : float
+(** Fraction of Vdd defining the low measurement level (0.1). *)
+
+val v_high_frac : float
+(** Fraction of Vdd defining the high measurement level (0.9). *)
+
+val v_mid_frac : float
+(** Fraction of Vdd defining arrival times (0.5). *)

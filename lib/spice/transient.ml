@@ -1,0 +1,254 @@
+module Pwl = Ssd_util.Pwl
+module Linalg = Ssd_util.Linalg
+
+exception Convergence_failure of string
+
+type options = {
+  h : float;
+  t_stop : float;
+  newton_tol : float;
+  max_newton : int;
+  dv_limit : float;
+  settle_window : float;
+  settle_dv : float;
+}
+
+let default_options =
+  {
+    h = 2e-12;
+    t_stop = 5e-9;
+    newton_tol = 1e-6;
+    max_newton = 60;
+    dv_limit = 0.6;
+    settle_window = 0.2e-9;
+    settle_dv = 1e-5;
+  }
+
+type result = {
+  r_times : float array;
+  (* r_volt.(step).(node) *)
+  r_volt : float array array;
+}
+
+(* Workspace shared by DC and transient solves. *)
+type ws = {
+  frozen : Circuit.frozen;
+  free_of_node : int array;  (* -1 when driven or ground *)
+  node_of_free : int array;
+  nf : int;
+  jac : float array array;
+  res : float array;
+}
+
+let make_ws (fz : Circuit.frozen) =
+  let driven = Array.make fz.Circuit.n_nodes false in
+  driven.(Circuit.ground) <- true;
+  List.iter (fun (n, _) -> driven.(n) <- true) fz.Circuit.driven;
+  let free_of_node = Array.make fz.Circuit.n_nodes (-1) in
+  let node_of_free = ref [] in
+  let nf = ref 0 in
+  for n = 0 to fz.Circuit.n_nodes - 1 do
+    if not driven.(n) then begin
+      free_of_node.(n) <- !nf;
+      node_of_free := n :: !node_of_free;
+      incr nf
+    end
+  done;
+  {
+    frozen = fz;
+    free_of_node;
+    node_of_free = Array.of_list (List.rev !node_of_free);
+    nf = !nf;
+    jac = Linalg.zeros !nf !nf;
+    res = Array.make !nf 0.;
+  }
+
+(* Assemble the residual (sum of currents leaving each free node) and its
+   Jacobian at voltages [v].  When [h_inv] is 0 the capacitor currents are
+   suppressed, which turns the system into the DC equations.  [gmin] is the
+   convergence-aid conductance to ground on every free node. *)
+let assemble ws ~v ~v_prev ~h_inv ~gmin =
+  let fz = ws.frozen in
+  let nf = ws.nf in
+  for i = 0 to nf - 1 do
+    ws.res.(i) <- 0.;
+    Array.fill ws.jac.(i) 0 nf 0.
+  done;
+  let fmap = ws.free_of_node in
+  let stamp_current n i = if fmap.(n) >= 0 then
+      ws.res.(fmap.(n)) <- ws.res.(fmap.(n)) +. i
+  in
+  let stamp_jac n m g =
+    if fmap.(n) >= 0 && fmap.(m) >= 0 then begin
+      let i = fmap.(n) and j = fmap.(m) in
+      ws.jac.(i).(j) <- ws.jac.(i).(j) +. g
+    end
+  in
+  List.iter
+    (fun el ->
+      match el with
+      | Circuit.Mosfet (p, d, g, s) ->
+        let e = Device.eval fz.Circuit.f_tech p ~vg:v.(g) ~vd:v.(d) ~vs:v.(s) in
+        stamp_current d e.Device.id;
+        stamp_current s (-.e.Device.id);
+        stamp_jac d d e.Device.gds;
+        stamp_jac d g e.Device.gm;
+        stamp_jac d s e.Device.gms;
+        stamp_jac s d (-.e.Device.gds);
+        stamp_jac s g (-.e.Device.gm);
+        stamp_jac s s (-.e.Device.gms)
+      | Circuit.Cap (n1, n2, c) ->
+        if h_inv > 0. then begin
+          let dv_now = v.(n1) -. v.(n2) in
+          let dv_prev = v_prev.(n1) -. v_prev.(n2) in
+          let i = c *. h_inv *. (dv_now -. dv_prev) in
+          stamp_current n1 i;
+          stamp_current n2 (-.i);
+          let g = c *. h_inv in
+          stamp_jac n1 n1 g;
+          stamp_jac n1 n2 (-.g);
+          stamp_jac n2 n1 (-.g);
+          stamp_jac n2 n2 g
+        end
+      | Circuit.Res (n1, n2, r) ->
+        let g = 1. /. r in
+        let i = g *. (v.(n1) -. v.(n2)) in
+        stamp_current n1 i;
+        stamp_current n2 (-.i);
+        stamp_jac n1 n1 g;
+        stamp_jac n1 n2 (-.g);
+        stamp_jac n2 n1 (-.g);
+        stamp_jac n2 n2 g)
+    fz.Circuit.elements;
+  for i = 0 to nf - 1 do
+    let n = ws.node_of_free.(i) in
+    ws.res.(i) <- ws.res.(i) +. (gmin *. v.(n));
+    ws.jac.(i).(i) <- ws.jac.(i).(i) +. gmin
+  done
+
+(* One Newton solve to convergence at fixed sources.  Mutates [v] in place
+   on the free nodes.  Returns true on convergence. *)
+let newton ws ~v ~v_prev ~h_inv ~gmin ~tol ~max_iter ~dv_limit =
+  let nf = ws.nf in
+  if nf = 0 then true
+  else begin
+    let rec iterate k =
+      assemble ws ~v ~v_prev ~h_inv ~gmin;
+      let rhs = Array.map (fun r -> -.r) ws.res in
+      (match Linalg.solve_in_place ws.jac rhs with
+      | () -> ()
+      | exception Linalg.Singular ->
+        raise (Convergence_failure "singular Jacobian"));
+      let dmax = ref 0. in
+      for i = 0 to nf - 1 do
+        let d = rhs.(i) in
+        let d =
+          if d > dv_limit then dv_limit
+          else if d < -.dv_limit then -.dv_limit
+          else d
+        in
+        dmax := Float.max !dmax (Float.abs d);
+        let n = ws.node_of_free.(i) in
+        v.(n) <- v.(n) +. d
+      done;
+      if !dmax < tol then true
+      else if k >= max_iter then false
+      else iterate (k + 1)
+    in
+    iterate 1
+  end
+
+let set_sources fz v t =
+  List.iter (fun (n, w) -> v.(n) <- Pwl.value_at w t) fz.Circuit.driven
+
+let dc_operating_point (fz : Circuit.frozen) =
+  let ws = make_ws fz in
+  let tech = fz.Circuit.f_tech in
+  let v = Array.make fz.Circuit.n_nodes (0.5 *. tech.Tech.vdd) in
+  v.(Circuit.ground) <- 0.;
+  set_sources fz v 0.;
+  (* gmin stepping: start with a strong conductance to ground and relax it,
+     warm-starting each stage from the previous solution. *)
+  let stages = [ 1e-3; 1e-5; 1e-7; 1e-9; tech.Tech.gmin ] in
+  List.iter
+    (fun gmin ->
+      let ok =
+        newton ws ~v ~v_prev:v ~h_inv:0. ~gmin ~tol:1e-7 ~max_iter:200
+          ~dv_limit:0.3
+      in
+      if not ok then
+        raise
+          (Convergence_failure
+             (Printf.sprintf "DC gmin stage %.1e did not converge" gmin)))
+    stages;
+  v
+
+let last_source_event fz =
+  List.fold_left
+    (fun acc (_, w) -> Float.max acc (Pwl.end_time w))
+    0. fz.Circuit.driven
+
+let simulate ?(options = default_options) (fz : Circuit.frozen) =
+  let ws = make_ws fz in
+  let tech = fz.Circuit.f_tech in
+  let gmin = tech.Tech.gmin in
+  let v = dc_operating_point fz in
+  let n_nodes = fz.Circuit.n_nodes in
+  let times = ref [ 0. ] in
+  let snaps = ref [ Array.copy v ] in
+  let last_event = last_source_event fz in
+  (* Advance from [v_prev] at time [t] by [h], subdividing on Newton
+     failure. *)
+  let rec advance v_prev t h depth =
+    let v_new = Array.copy v_prev in
+    set_sources fz v_new (t +. h);
+    let ok =
+      newton ws ~v:v_new ~v_prev ~h_inv:(1. /. h) ~gmin
+        ~tol:options.newton_tol ~max_iter:options.max_newton
+        ~dv_limit:options.dv_limit
+    in
+    if ok then v_new
+    else if depth >= 8 then
+      raise
+        (Convergence_failure
+           (Printf.sprintf "transient step at t=%.3e did not converge" t))
+    else begin
+      let half = advance v_prev t (0.5 *. h) (depth + 1) in
+      advance half (t +. (0.5 *. h)) (0.5 *. h) (depth + 1)
+    end
+  in
+  let rec loop v_prev t =
+    if t >= options.t_stop -. (0.5 *. options.h) then ()
+    else begin
+      let h = Float.min options.h (options.t_stop -. t) in
+      let v_new = advance v_prev t h 0 in
+      let t' = t +. h in
+      times := t' :: !times;
+      snaps := v_new :: !snaps;
+      let settled =
+        options.settle_window > 0.
+        && t' > last_event +. options.settle_window
+        &&
+        let moved = ref 0. in
+        for n = 0 to n_nodes - 1 do
+          moved := Float.max !moved (Float.abs (v_new.(n) -. v_prev.(n)))
+        done;
+        !moved < options.settle_dv
+      in
+      if not settled then loop v_new t'
+    end
+  in
+  loop v 0.;
+  {
+    r_times = Array.of_list (List.rev !times);
+    r_volt = Array.of_list (List.rev !snaps);
+  }
+
+let times r = r.r_times
+let voltage_at r n step = r.r_volt.(step).(n)
+let final_voltages r = r.r_volt.(Array.length r.r_volt - 1)
+let step_count r = Array.length r.r_times
+
+let waveform r n =
+  Pwl.of_points
+    (Array.to_list (Array.mapi (fun i t -> (t, r.r_volt.(i).(n))) r.r_times))

@@ -1,0 +1,44 @@
+(** Transient and DC analysis engine.
+
+    Backward-Euler integration with a damped Newton–Raphson solve at every
+    time step (dense Gaussian elimination; the gate circuits characterized
+    here have at most a handful of free nodes).  DC operating points are
+    found by the same Newton loop with capacitor currents suppressed and a
+    gmin-stepping continuation for robustness. *)
+
+exception Convergence_failure of string
+
+type options = {
+  h : float;            (** nominal time step, s *)
+  t_stop : float;       (** simulation end time, s *)
+  newton_tol : float;   (** convergence threshold on ‖Δv‖∞, V *)
+  max_newton : int;     (** Newton iterations per step before subdividing *)
+  dv_limit : float;     (** per-iteration voltage damping limit, V *)
+  settle_window : float;
+      (** stop early once all inputs are past their final breakpoint by this
+          margin and the solution moves less than [settle_dv] per step;
+          non-positive disables early exit *)
+  settle_dv : float;
+}
+
+val default_options : options
+(** h = 2 ps, t_stop = 5 ns, tol = 1 µV-scale, early settling enabled. *)
+
+type result
+
+val simulate : ?options:options -> Circuit.frozen -> result
+(** Run from t = 0 with driven nodes following their waveforms and free
+    nodes starting from the DC operating point of the t = 0 source values.
+    @raise Convergence_failure if Newton diverges even after step
+    subdivision. *)
+
+val dc_operating_point : Circuit.frozen -> float array
+(** Voltages (indexed by node id) with all sources at their t = 0 values. *)
+
+val times : result -> float array
+val voltage_at : result -> Circuit.node -> int -> float
+val final_voltages : result -> float array
+val waveform : result -> Circuit.node -> Ssd_util.Pwl.t
+(** The simulated voltage waveform of any node (driven or free). *)
+
+val step_count : result -> int

@@ -1,0 +1,40 @@
+let identifier k =
+  (* printable VCD id codes: '!' .. '~' base-94 *)
+  let rec go k acc =
+    let c = Char.chr (33 + (k mod 94)) in
+    let acc = String.make 1 c ^ acc in
+    if k < 94 then acc else go ((k / 94) - 1) acc
+  in
+  go k ""
+
+let of_result ?(timescale_fs = 100) (fz : Circuit.frozen) result ~nodes =
+  if timescale_fs <= 0 then invalid_arg "Vcd.of_result: bad timescale";
+  let b = Buffer.create 4096 in
+  Printf.bprintf b "$date repro $end\n$version ssd-spice $end\n";
+  Printf.bprintf b "$timescale %d fs $end\n" timescale_fs;
+  Buffer.add_string b "$scope module dut $end\n";
+  let ids = List.mapi (fun k n -> (n, identifier k)) nodes in
+  List.iter
+    (fun (n, id) ->
+      Printf.bprintf b "$var real 64 %s %s $end\n" id
+        (String.map
+           (fun c -> if c = ' ' then '_' else c)
+           fz.Circuit.names.(n)))
+    ids;
+  Buffer.add_string b "$upscope $end\n$enddefinitions $end\n";
+  let times = Transient.times result in
+  let scale = 1e-15 *. float_of_int timescale_fs in
+  Array.iteri
+    (fun step t ->
+      Printf.bprintf b "#%Ld\n" (Int64.of_float (t /. scale));
+      List.iter
+        (fun (n, id) ->
+          Printf.bprintf b "r%.6g %s\n" (Transient.voltage_at result n step) id)
+        ids)
+    times;
+  Buffer.contents b
+
+let write_file ?timescale_fs fz result ~nodes path =
+  let oc = open_out path in
+  output_string oc (of_result ?timescale_fs fz result ~nodes);
+  close_out oc

@@ -1,0 +1,22 @@
+(** Value-change-dump (VCD) export of transient results.
+
+    Node voltages are emitted as [real] variables, which waveform viewers
+    (GTKWave and friends) render as analog traces — handy for inspecting
+    the simultaneous-switching waveforms the delay model is fitted to. *)
+
+val of_result :
+  ?timescale_fs:int ->
+  Circuit.frozen ->
+  Transient.result ->
+  nodes:Circuit.node list ->
+  string
+(** VCD text for the selected nodes (names from the circuit).
+    [timescale_fs] defaults to 100 (0.1 ps resolution). *)
+
+val write_file :
+  ?timescale_fs:int ->
+  Circuit.frozen ->
+  Transient.result ->
+  nodes:Circuit.node list ->
+  string ->
+  unit

@@ -1,0 +1,40 @@
+(** Critical-path extraction and reporting on top of {!Sta}.
+
+    Paths are traced back from a primary output through the fan-in arc
+    that attains the window bound at every gate.  For latest-arrival
+    (setup) paths the proposed model's bound coincides with a single-pin
+    composition, so the trace is exact; for earliest-arrival (hold) paths
+    the simultaneous-switching speed-up can beat every single-pin
+    composition, in which case the stage is attributed to its
+    earliest-arriving input and flagged [simultaneous] — those flags mark
+    exactly the stages where the pin-to-pin model loses accuracy. *)
+
+type transition = Rise | Fall
+
+type stage = {
+  node : int;
+  s_transition : transition;
+  at : float;            (** the traced window bound at this node, s *)
+  simultaneous : bool;   (** speed-up beat every single-pin composition *)
+}
+
+type path = {
+  stages : stage list;   (** PI first, PO last *)
+  endpoint : int;
+  p_delay : float;       (** bound at the endpoint *)
+}
+
+val longest_path : Sta.t -> endpoint:int -> transition -> path
+(** Setup-critical path to one PO for the given output transition. *)
+
+val shortest_path : Sta.t -> endpoint:int -> transition -> path
+(** Hold-critical path (the Table 2 min-delay witness). *)
+
+val critical_paths : Sta.t -> k:int -> path list
+(** The [k] latest-arriving (endpoint, transition) paths over all POs. *)
+
+val min_paths : Sta.t -> k:int -> path list
+(** The [k] earliest-arriving paths over all POs. *)
+
+val to_string : Sta.t -> path -> string
+(** Multi-line report: one stage per line with arrival and flags. *)

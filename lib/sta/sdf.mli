@@ -1,0 +1,71 @@
+(** Standard Delay Format (SDF) export and import.
+
+    The paper's baseline is exactly what SDF can express: per-cell
+    IOPATH (pin-to-pin) min:typ:max delays, with no way to describe the
+    simultaneous-switching speed-up — which is why an SDF-annotated STA
+    misses it (Section 3.1).  This module writes an SDF 3.0 file for a
+    netlist from a characterized library (min/typ/max taken over a
+    transition-time range) and reads such files back into a delay
+    annotation usable by {!Annotated} below.
+
+    The subset supported: DELAYFILE header, one CELL per gate instance,
+    ABSOLUTE / IOPATH entries with (min:typ:max) rvalue triples in
+    nanoseconds. *)
+
+type triple = { d_min : float; d_typ : float; d_max : float }  (** seconds *)
+
+type iopath = {
+  from_pin : int;        (** input position *)
+  rise : triple;         (** delay to an output rise *)
+  fall : triple;
+}
+
+type cell_delays = {
+  instance : string;     (** output signal name of the gate *)
+  paths : iopath list;
+}
+
+type t = {
+  design : string;
+  timescale : string;
+  cells : cell_delays list;
+}
+
+val of_netlist :
+  library:Ssd_cell.Charlib.t ->
+  tt_range:Ssd_util.Interval.t ->
+  Ssd_circuit.Netlist.t ->
+  t
+(** Pin-to-pin delays per gate: min/max over the transition-time range
+    (honouring bi-tonic peaks), typ at the range midpoint; loads from the
+    netlist fanout.  @raise Sta.Unsupported_gate on non-primitive gates. *)
+
+val to_string : t -> string
+val write_file : t -> string -> unit
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : string -> t
+(** @raise Parse_error *)
+
+val parse_file : string -> t
+
+(** {2 Using an SDF annotation as a delay oracle} *)
+
+module Annotated : sig
+  type sdf = t
+  type t
+
+  val create : sdf -> Ssd_circuit.Netlist.t -> t
+  (** Bind the annotation to a netlist by instance names.
+      @raise Invalid_argument when an annotated instance is missing. *)
+
+  val iopath : t -> gate:int -> pin:int -> rising_out:bool -> triple option
+  (** The annotated delay of one pin-to-output arc. *)
+
+  val max_delay : t -> float
+  (** Longest path by the annotated max delays (topological sweep) —
+      a classic SDF-based STA, for comparison against the library STA. *)
+
+  val min_delay : t -> float
+end

@@ -1,0 +1,224 @@
+module Interval = Ssd_util.Interval
+module Charlib = Ssd_cell.Charlib
+module Sweep = Ssd_cell.Sweep
+module Types = Ssd_core.Types
+module Delay_model = Ssd_core.Delay_model
+module Cellfn = Ssd_core.Cellfn
+module Netlist = Ssd_circuit.Netlist
+module Gate = Ssd_circuit.Gate
+
+type line_timing = { rise : Types.win; fall : Types.win }
+
+type required = {
+  q_rise : Interval.t;
+  q_fall : Interval.t;
+}
+
+type pi_spec = { pi_arrival : Interval.t; pi_tt : Interval.t }
+
+let default_pi_spec =
+  {
+    pi_arrival = Interval.point 0.;
+    pi_tt = Interval.make 0.15e-9 0.5e-9;
+  }
+
+type t = {
+  st_netlist : Netlist.t;
+  st_library : Charlib.t;
+  st_model : Delay_model.t;
+  st_timing : line_timing array;
+}
+
+exception Unsupported_gate of string
+
+let cell_of_gate library kind n_in =
+  let lookup k n =
+    try Charlib.find library k n
+    with Not_found ->
+      raise
+        (Unsupported_gate
+           (Printf.sprintf "no characterized cell for %s with %d inputs"
+              (Gate.to_string kind) n_in))
+  in
+  match kind with
+  | Gate.Not -> lookup Sweep.Nand 1
+  | Gate.Nand -> lookup Sweep.Nand n_in
+  | Gate.Nor -> lookup Sweep.Nor n_in
+  | Gate.And | Gate.Or | Gate.Xor | Gate.Xnor | Gate.Buf ->
+    raise
+      (Unsupported_gate
+         (Printf.sprintf
+            "gate type %s is not primitive; decompose the netlist first"
+            (Gate.to_string kind)))
+
+(* Output windows of one gate given its fan-in windows.  The fan-in array
+   order defines input positions (index 0 = closest to the output).
+   For NAND/NOT the controlling input transition is the fall, and the
+   to-controlling response is the output rise; for NOR it is the dual. *)
+let gate_windows ~windowing ~cell ~load fanin_timings =
+  let wins_of sel =
+    List.mapi
+      (fun idx lt -> { Types.wpos = idx; window = sel lt })
+      fanin_timings
+  in
+  let ctl_in_is_fall =
+    match cell.Charlib.kind with Sweep.Nand -> true | Sweep.Nor -> false
+  in
+  let ctl_wins = wins_of (fun lt -> if ctl_in_is_fall then lt.fall else lt.rise) in
+  let non_wins = wins_of (fun lt -> if ctl_in_is_fall then lt.rise else lt.fall) in
+  let ctl_out = windowing.Delay_model.ctl_window cell ~fanout:load ctl_wins in
+  let non_out = windowing.Delay_model.non_window cell ~fanout:load non_wins in
+  if ctl_in_is_fall then { rise = ctl_out; fall = non_out }
+  else { rise = non_out; fall = ctl_out }
+
+let analyze ?(pi_spec = default_pi_spec) ~library ~model nl =
+  let windowing =
+    match model.Delay_model.windowing with
+    | Some w -> w
+    | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Sta.analyze: model %S has no window transfer functions"
+           model.Delay_model.name)
+  in
+  let n = Netlist.size nl in
+  let pi_win =
+    { Types.w_arr = pi_spec.pi_arrival; w_tt = pi_spec.pi_tt }
+  in
+  let timing =
+    Array.make n { rise = pi_win; fall = pi_win }
+  in
+  Netlist.iter_gates_topo nl ~f:(fun i kind fanin ->
+      let cell = cell_of_gate library kind (Array.length fanin) in
+      let fanin_timings =
+        Array.to_list (Array.map (fun j -> timing.(j)) fanin)
+      in
+      let load = Netlist.load_of nl i in
+      timing.(i) <- gate_windows ~windowing ~cell ~load fanin_timings);
+  { st_netlist = nl; st_library = library; st_model = model; st_timing = timing }
+
+let netlist t = t.st_netlist
+let library t = t.st_library
+let timing t i = t.st_timing.(i)
+
+let po_window t =
+  let pos = Netlist.outputs t.st_netlist in
+  match pos with
+  | [] -> invalid_arg "Sta.po_window: netlist has no outputs"
+  | first :: rest ->
+    let win_of i =
+      let lt = t.st_timing.(i) in
+      Interval.hull lt.rise.Types.w_arr lt.fall.Types.w_arr
+    in
+    List.fold_left (fun acc i -> Interval.hull acc (win_of i)) (win_of first)
+      rest
+
+let min_delay t = Interval.lo (po_window t)
+let max_delay t = Interval.hi (po_window t)
+
+(* Backward required-time propagation.  For each gate, a required window on
+   an output transition imposes windows on the input transitions that can
+   cause it, offset by the pin delay bounds over the input's transition-time
+   window. *)
+let compute_required t ~clock_period =
+  let nl = t.st_netlist in
+  let n = Netlist.size nl in
+  let top = Interval.make 0. clock_period in
+  let none = Interval.make neg_infinity infinity in
+  let q = Array.make n { q_rise = none; q_fall = none } in
+  let is_po =
+    let arr = Array.make n false in
+    List.iter (fun i -> arr.(i) <- true) (Netlist.outputs nl);
+    arr
+  in
+  for i = 0 to n - 1 do
+    if is_po.(i) then q.(i) <- { q_rise = top; q_fall = top }
+  done;
+  let tighten idx ~rise iv =
+    let cur = q.(idx) in
+    let merge a b =
+      (* the line must satisfy every sink: latest-allowed shrinks to the
+         min, earliest-allowed grows to the max *)
+      let lo = Float.max (Interval.lo a) (Interval.lo b) in
+      let hi = Float.min (Interval.hi a) (Interval.hi b) in
+      (* a crossed requirement stays representable as an empty-ish window:
+         collapse to [lo, lo] so violation checks still fire via A_L > Q_L *)
+      if lo <= hi then Interval.make lo hi else Interval.make lo lo
+    in
+    if rise then q.(idx) <- { cur with q_rise = merge cur.q_rise iv }
+    else q.(idx) <- { cur with q_fall = merge cur.q_fall iv }
+  in
+  (* walk gates in reverse topological order *)
+  let order = Netlist.topo_order nl in
+  for k = Array.length order - 1 downto 0 do
+    let i = order.(k) in
+    match Netlist.node nl i with
+    | Netlist.Pi -> ()
+    | Netlist.Gate { kind; fanin } ->
+      let cell = cell_of_gate t.st_library kind (Array.length fanin) in
+      let load = Netlist.load_of nl i in
+      let ctl_in_is_fall =
+        match cell.Charlib.kind with Sweep.Nand -> true | Sweep.Nor -> false
+      in
+      let qi = q.(i) in
+      Array.iteri
+        (fun pos j ->
+          let in_lt = t.st_timing.(j) in
+          let propagate resp ~out_iv ~in_rise =
+            let tt_win =
+              if in_rise then in_lt.rise.Types.w_tt else in_lt.fall.Types.w_tt
+            in
+            let _, d_min = Cellfn.min_delay_over cell ~fanout:load resp ~pos tt_win in
+            let _, d_max = Cellfn.max_delay_over cell ~fanout:load resp ~pos tt_win in
+            let lo = Interval.lo out_iv -. d_min in
+            let hi = Interval.hi out_iv -. d_max in
+            let iv = if lo <= hi then Interval.make lo hi else Interval.make lo lo in
+            tighten j ~rise:in_rise iv
+          in
+          ignore pos;
+          ignore j;
+          (* to-controlling response *)
+          let ctl_out = if ctl_in_is_fall then qi.q_rise else qi.q_fall in
+          propagate Cellfn.Ctl ~out_iv:ctl_out ~in_rise:(not ctl_in_is_fall);
+          (* to-non-controlling response *)
+          let non_out = if ctl_in_is_fall then qi.q_fall else qi.q_rise in
+          propagate Cellfn.Non ~out_iv:non_out ~in_rise:ctl_in_is_fall)
+        fanin
+  done;
+  q
+
+let violations t required =
+  let nl = t.st_netlist in
+  let issues = ref [] in
+  for i = Netlist.size nl - 1 downto 0 do
+    let lt = t.st_timing.(i) in
+    let r = required.(i) in
+    let check label (w : Types.win) q =
+      if Interval.hi w.Types.w_arr > Interval.hi q +. 1e-15 then
+        issues :=
+          ( i,
+            Printf.sprintf "%s %s: arrives by %.3f ns but required by %.3f ns"
+              (Netlist.signal_name nl i) label
+              (Interval.hi w.Types.w_arr *. 1e9)
+              (Interval.hi q *. 1e9) )
+          :: !issues
+      else if Interval.lo w.Types.w_arr < Interval.lo q -. 1e-15 then
+        issues :=
+          ( i,
+            Printf.sprintf
+              "%s %s: can arrive at %.3f ns but not allowed before %.3f ns"
+              (Netlist.signal_name nl i) label
+              (Interval.lo w.Types.w_arr *. 1e9)
+              (Interval.lo q *. 1e9) )
+          :: !issues
+    in
+    if Float.is_finite (Interval.hi r.q_rise) then check "rise" lt.rise r.q_rise;
+    if Float.is_finite (Interval.hi r.q_fall) then check "fall" lt.fall r.q_fall
+  done;
+  !issues
+
+let summary t =
+  let w = po_window t in
+  Printf.sprintf "%s [%s]: PO delay window [%.3f ns, %.3f ns]"
+    (Netlist.stats t.st_netlist) t.st_model.Delay_model.name
+    (Interval.lo w *. 1e9) (Interval.hi w *. 1e9)

@@ -1,0 +1,67 @@
+(** Static timing analysis with min-max timing windows (paper Section 4).
+
+    Arrival and transition-time windows propagate forward in topological
+    order; required-time windows propagate backward from the primary
+    outputs.  The analysis is parametric in the delay model — any
+    {!Ssd_core.Delay_model.t} carrying window transfer functions (the
+    proposed V-shape model or the pin-to-pin baseline). *)
+
+type line_timing = {
+  rise : Ssd_core.Types.win;
+  fall : Ssd_core.Types.win;
+}
+
+type required = {
+  q_rise : Ssd_util.Interval.t;
+  q_fall : Ssd_util.Interval.t;
+}
+
+type pi_spec = {
+  pi_arrival : Ssd_util.Interval.t;
+  pi_tt : Ssd_util.Interval.t;
+}
+
+val default_pi_spec : pi_spec
+(** Arrival fixed at t = 0; transition time window [0.15 ns, 0.5 ns]. *)
+
+type t
+
+exception Unsupported_gate of string
+(** Raised when the netlist contains a gate the characterized library
+    cannot time (run {!Ssd_circuit.Decompose.to_primitive} first). *)
+
+val cell_of_gate :
+  Ssd_cell.Charlib.t -> Ssd_circuit.Gate.kind -> int -> Ssd_cell.Charlib.cell
+(** Map a primitive gate (NAND/NOR/NOT) with the given fan-in count to its
+    characterized cell.  @raise Unsupported_gate *)
+
+val analyze :
+  ?pi_spec:pi_spec ->
+  library:Ssd_cell.Charlib.t ->
+  model:Ssd_core.Delay_model.t ->
+  Ssd_circuit.Netlist.t ->
+  t
+(** Forward pass only.  @raise Unsupported_gate, or [Invalid_argument]
+    when the model has no window transfer functions. *)
+
+val netlist : t -> Ssd_circuit.Netlist.t
+val library : t -> Ssd_cell.Charlib.t
+val timing : t -> int -> line_timing
+(** Windows of any node id. *)
+
+val po_window : t -> Ssd_util.Interval.t
+(** Union of both transitions' arrival windows over all primary outputs:
+    [lo] is the circuit min-delay, [hi] the max-delay (Table 2's metric). *)
+
+val min_delay : t -> float
+val max_delay : t -> float
+
+val compute_required : t -> clock_period:float -> required array
+(** Backward pass: required windows per node, [A_S >= Q_S] (hold side,
+    here 0) and [A_L <= Q_L] (setup side, the clock period) at the POs. *)
+
+val violations : t -> required array -> (int * string) list
+(** Lines whose arrival window leaves its required window, with a
+    human-readable description. *)
+
+val summary : t -> string

@@ -1,0 +1,113 @@
+module Charlib = Ssd_cell.Charlib
+module Sweep = Ssd_cell.Sweep
+module Types = Ssd_core.Types
+module Delay_model = Ssd_core.Delay_model
+module Netlist = Ssd_circuit.Netlist
+
+type line = { v1 : bool; v2 : bool; event : Types.event option }
+
+let rising l = (not l.v1) && l.v2
+let falling l = l.v1 && not l.v2
+
+let simulate ?(pi_arrival = 0.) ?(pi_tt = 0.25e-9) ?(extra_delay = fun _ -> 0.)
+    ~library ~model nl vectors =
+  let pis = Netlist.inputs nl in
+  if Array.length vectors <> List.length pis then
+    invalid_arg "Timing_sim.simulate: PI vector arity mismatch";
+  let n = Netlist.size nl in
+  let lines = Array.make n { v1 = false; v2 = false; event = None } in
+  List.iteri
+    (fun rank i ->
+      let v1, v2 = vectors.(rank) in
+      let event =
+        if v1 <> v2 then
+          Some
+            {
+              Types.e_arr = pi_arrival +. extra_delay i;
+              e_tt = pi_tt;
+            }
+        else None
+      in
+      lines.(i) <- { v1; v2; event })
+    pis;
+  Netlist.iter_gates_topo nl ~f:(fun i kind fanin ->
+      let cell =
+        (* reuse the STA cell lookup (including its unsupported-gate
+           error reporting) *)
+        Sta.cell_of_gate library kind (Array.length fanin)
+      in
+      let ins = Array.map (fun j -> lines.(j)) fanin in
+      let frame sel =
+        Ssd_circuit.Gate.eval kind
+          (Array.to_list (Array.map sel ins))
+      in
+      let v1 = frame (fun l -> l.v1) in
+      let v2 = frame (fun l -> l.v2) in
+      let event =
+        if v1 = v2 then None
+        else begin
+          let load = Netlist.load_of nl i in
+          let ctl_in_is_fall =
+            match cell.Charlib.kind with
+            | Sweep.Nand -> true
+            | Sweep.Nor -> false
+          in
+          let out_rises = (not v1) && v2 in
+          (* which input transition direction caused this response *)
+          let causal_is_ctl = out_rises = ctl_in_is_fall in
+          let wanted l =
+            if causal_is_ctl then
+              if ctl_in_is_fall then falling l else rising l
+            else if ctl_in_is_fall then rising l
+            else falling l
+          in
+          let transitions =
+            Array.to_list ins
+            |> List.mapi (fun pos l -> (pos, l))
+            |> List.filter_map (fun (pos, l) ->
+                   match l.event with
+                   | Some e when wanted l ->
+                     Some
+                       {
+                         Types.pos;
+                         arrival = e.Types.e_arr;
+                         t_tr = e.Types.e_tt;
+                       }
+                   | Some _ | None -> None)
+          in
+          match transitions with
+          | [] ->
+            (* a static output change without a causal input event can
+               only arise from a hazard we do not model; treat as
+               instantaneous inheritance of the latest input event *)
+            let latest =
+              Array.fold_left
+                (fun acc l ->
+                  match l.event with
+                  | Some e -> Float.max acc e.Types.e_arr
+                  | None -> acc)
+                0. ins
+            in
+            Some { Types.e_arr = latest +. extra_delay i; e_tt = pi_tt }
+          | _ ->
+            let e =
+              if causal_is_ctl then
+                model.Delay_model.ctl_event cell ~fanout:load transitions
+              else model.Delay_model.non_event cell ~fanout:load transitions
+            in
+            Some { e with Types.e_arr = e.Types.e_arr +. extra_delay i }
+        end
+      in
+      lines.(i) <- { v1; v2; event });
+  lines
+
+let po_latest nl lines =
+  List.fold_left
+    (fun acc i ->
+      match lines.(i).event with
+      | Some e -> (
+        match acc with
+        | Some best -> Some (Float.max best e.Types.e_arr)
+        | None -> Some e.Types.e_arr)
+      | None -> acc)
+    None (Netlist.outputs nl)

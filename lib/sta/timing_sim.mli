@@ -1,0 +1,37 @@
+(** Two-pattern timing simulation: point timing for a fully specified
+    vector pair.
+
+    Logic values are evaluated frame-wise; every line whose two frames
+    differ carries one transition event (arrival + transition time)
+    computed with the selected delay model — so the simultaneous-switching
+    speed-up applies wherever several gate inputs actually switch.
+    Hazards (multiple events per line) are not modelled, matching the
+    paper's timing-simulation framework.
+
+    [extra_delay] injects additional delay on chosen lines (the crosstalk
+    ATPG's fault effect); it is applied to the line's own event and hence
+    propagates downstream. *)
+
+type line = {
+  v1 : bool;
+  v2 : bool;
+  event : Ssd_core.Types.event option;  (** present iff v1 <> v2 *)
+}
+
+val simulate :
+  ?pi_arrival:float ->
+  ?pi_tt:float ->
+  ?extra_delay:(int -> float) ->
+  library:Ssd_cell.Charlib.t ->
+  model:Ssd_core.Delay_model.t ->
+  Ssd_circuit.Netlist.t ->
+  (bool * bool) array ->
+  line array
+(** The vector pair is indexed by PI rank ({!Ssd_circuit.Netlist.inputs}
+    order).  @raise Sta.Unsupported_gate on non-primitive gates. *)
+
+val po_latest : Ssd_circuit.Netlist.t -> line array -> float option
+(** Latest PO event arrival, [None] when no PO switches. *)
+
+val rising : line -> bool
+val falling : line -> bool

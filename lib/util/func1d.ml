@@ -1,0 +1,111 @@
+type shape = Monotonic | Bitonic of float
+
+let candidates shape iv =
+  let lo = Interval.lo iv and hi = Interval.hi iv in
+  match shape with
+  | Monotonic -> [ lo; hi ]
+  | Bitonic p -> if Interval.contains iv p then [ lo; p; hi ] else [ lo; hi ]
+
+let extremum better shape f iv =
+  match candidates shape iv with
+  | [] -> assert false
+  | x0 :: rest ->
+    List.fold_left
+      (fun (bx, bv) x ->
+        let v = f x in
+        if better v bv then (x, v) else (bx, bv))
+      (x0, f x0) rest
+
+let max_over shape f iv = extremum ( > ) shape f iv
+let min_over shape f iv = extremum ( < ) shape f iv
+
+let phi = (sqrt 5. -. 1.) /. 2.
+
+let golden better ?tol ?(iters = 200) f a b =
+  if a > b then invalid_arg "Func1d.golden: a > b";
+  let tol =
+    match tol with
+    | Some t -> t
+    | None -> Float.max (1e-4 *. (b -. a)) 1e-15
+  in
+  let rec loop a b x1 x2 f1 f2 k =
+    if b -. a <= tol || k >= iters then begin
+      let x = 0.5 *. (a +. b) in
+      (x, f x)
+    end
+    else if better f1 f2 then begin
+      (* keep [a, x2] *)
+      let b' = x2 in
+      let x2' = x1 in
+      let x1' = b' -. (phi *. (b' -. a)) in
+      loop a b' x1' x2' (f x1') f1 (k + 1)
+    end
+    else begin
+      let a' = x1 in
+      let x1' = x2 in
+      let x2' = a' +. (phi *. (b -. a')) in
+      loop a' b x1' x2' f2 (f x2') (k + 1)
+    end
+  in
+  let x1 = b -. (phi *. (b -. a)) in
+  let x2 = a +. (phi *. (b -. a)) in
+  loop a b x1 x2 (f x1) (f x2) 0
+
+let golden_max ?tol ?iters f a b = golden ( > ) ?tol ?iters f a b
+let golden_min ?tol ?iters f a b = golden ( < ) ?tol ?iters f a b
+
+let bisect ?tol ?(iters = 200) f a b =
+  if a > b then invalid_arg "Func1d.bisect: a > b";
+  let tol =
+    match tol with
+    | Some t -> t
+    | None -> Float.max (1e-9 *. (b -. a)) 1e-18
+  in
+  let fa = f a and fb = f b in
+  if fa = 0. then a
+  else if fb = 0. then b
+  else if fa *. fb > 0. then
+    invalid_arg "Func1d.bisect: no sign change on the bracket"
+  else begin
+    let rec loop a b fa k =
+      let m = 0.5 *. (a +. b) in
+      if b -. a <= tol || k >= iters then m
+      else begin
+        let fm = f m in
+        if fm = 0. then m
+        else if fa *. fm < 0. then loop a m fa (k + 1)
+        else loop m b fm (k + 1)
+      end
+    in
+    loop a b fa 0
+  end
+
+let sample f a b n =
+  if n < 2 then invalid_arg "Func1d.sample: need n >= 2";
+  List.init n (fun i ->
+      let x = a +. ((b -. a) *. float_of_int i /. float_of_int (n - 1)) in
+      (x, f x))
+
+let is_monotonic_nondecreasing ?(eps = 0.) pts =
+  let rec loop = function
+    | (_, y1) :: ((_, y2) :: _ as rest) ->
+      if y2 < y1 -. eps then false else loop rest
+    | [ _ ] | [] -> true
+  in
+  loop pts
+
+let is_bitonic_up_down ?(eps = 0.) pts =
+  (* A rise phase (possibly empty) followed by a fall phase (possibly
+     empty); once the data has started to fall it must never rise again by
+     more than [eps]. *)
+  let rec falling = function
+    | (_, y1) :: ((_, y2) :: _ as rest) ->
+      if y2 > y1 +. eps then false else falling rest
+    | [ _ ] | [] -> true
+  in
+  let rec rising = function
+    | (_, y1) :: ((_, y2) :: _ as rest) as all ->
+      if y2 >= y1 -. eps then rising rest else falling all
+    | [ _ ] | [] -> true
+  in
+  rising pts

@@ -1,0 +1,51 @@
+(** Tools for one-dimensional functions that are monotonic or bi-tonic.
+
+    The paper's sufficient condition for worst-case corner identification in
+    STA/ITR is that every timing function is monotonic or bi-tonic in each
+    input variable (Section 6.1).  This module provides:
+    - extremization of a function over a closed interval given an optional
+      interior peak/valley location (the paper's Fig. 9 case analysis), and
+    - numeric peak search (golden section) used during characterization to
+      find e.g. the transition time that maximizes a pin-to-pin delay, or the
+      skew minimizing an output transition time. *)
+
+type shape =
+  | Monotonic
+      (** Increasing or decreasing over the whole domain of interest. *)
+  | Bitonic of float
+      (** Rises then falls (or falls then rises) with the turning point at
+          the carried abscissa. *)
+
+val max_over : shape -> (float -> float) -> Interval.t -> float * float
+(** [max_over shape f iv] returns [(x_best, f x_best)] maximizing [f] over [iv],
+    evaluating [f] only at the interval endpoints plus — for [Bitonic p]
+    with [p] inside [iv] — the turning point.  This is exact when [shape]
+    correctly describes [f] and the turning point is a maximum. *)
+
+val min_over : shape -> (float -> float) -> Interval.t -> float * float
+(** Dual of {!max_over} (turning point treated as a potential minimum). *)
+
+val golden_max : ?tol:float -> ?iters:int -> (float -> float)
+  -> float -> float -> float * float
+(** [golden_max f a b] locates a maximum of a unimodal [f] on [a, b] by
+    golden-section search; returns [(x_best, f x_best)].  [tol] is on the abscissa
+    (default 1e-4 of the interval width, floor 1e-15). *)
+
+val golden_min : ?tol:float -> ?iters:int -> (float -> float)
+  -> float -> float -> float * float
+
+val bisect : ?tol:float -> ?iters:int -> (float -> float)
+  -> float -> float -> float
+(** [bisect f a b] finds a root of [f] on [a, b] assuming [f a] and [f b]
+    have opposite signs (one of them may be zero).  @raise Invalid_argument
+    when the signs agree. *)
+
+val sample : (float -> float) -> float -> float -> int -> (float * float) list
+(** [sample f a b n] evaluates [f] at [n] evenly spaced points inclusive of
+    both ends ([n >= 2]). *)
+
+val is_monotonic_nondecreasing : ?eps:float -> (float * float) list -> bool
+val is_bitonic_up_down : ?eps:float -> (float * float) list -> bool
+(** Checks on sampled data used by validation tests: [is_bitonic_up_down]
+    accepts a rise followed by a fall where either phase may be empty
+    (so monotonic data passes too). *)

@@ -1,0 +1,35 @@
+type t = { lo : float; hi : float }
+
+let make lo hi =
+  if Float.is_nan lo || Float.is_nan hi then
+    invalid_arg "Interval.make: NaN bound";
+  if lo > hi then
+    invalid_arg
+      (Printf.sprintf "Interval.make: lo (%g) > hi (%g)" lo hi);
+  { lo; hi }
+
+let point v = make v v
+let lo i = i.lo
+let hi i = i.hi
+let width i = i.hi -. i.lo
+let mid i = 0.5 *. (i.lo +. i.hi)
+let contains i x = i.lo <= x && x <= i.hi
+let overlaps a b = a.lo <= b.hi && b.lo <= a.hi
+
+let intersect a b =
+  if overlaps a b then Some (make (Float.max a.lo b.lo) (Float.min a.hi b.hi))
+  else None
+
+let hull a b = make (Float.min a.lo b.lo) (Float.max a.hi b.hi)
+let add a b = make (a.lo +. b.lo) (a.hi +. b.hi)
+let sub a b = make (a.lo -. b.hi) (a.hi -. b.lo)
+let shift i d = make (i.lo +. d) (i.hi +. d)
+let neg i = make (-.i.hi) (-.i.lo)
+let clamp i x = Float.max i.lo (Float.min i.hi x)
+let subset a b = b.lo <= a.lo && a.hi <= b.hi
+
+let equal ?(eps = 0.) a b =
+  Float.abs (a.lo -. b.lo) <= eps && Float.abs (a.hi -. b.hi) <= eps
+
+let pp ppf i = Format.fprintf ppf "[%g, %g]" i.lo i.hi
+let to_string i = Format.asprintf "%a" pp i

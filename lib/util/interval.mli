@@ -1,0 +1,56 @@
+(** Closed floating-point intervals [lo, hi].
+
+    Used throughout the timing analysis as min-max ranges of arrival times,
+    transition times and required times.  An interval is well formed when
+    [lo <= hi]; constructors enforce this. *)
+
+type t = private { lo : float; hi : float }
+
+val make : float -> float -> t
+(** [make lo hi] builds the interval.  @raise Invalid_argument if [lo > hi]
+    or either bound is NaN. *)
+
+val point : float -> t
+(** Degenerate interval [v, v]. *)
+
+val lo : t -> float
+val hi : t -> float
+
+val width : t -> float
+(** [hi - lo]. *)
+
+val mid : t -> float
+
+val contains : t -> float -> bool
+(** [contains i x] is true when [lo <= x <= hi]. *)
+
+val overlaps : t -> t -> bool
+(** True when the intersection is non-empty. *)
+
+val intersect : t -> t -> t option
+(** Intersection, or [None] when disjoint. *)
+
+val hull : t -> t -> t
+(** Smallest interval containing both arguments. *)
+
+val add : t -> t -> t
+(** Interval sum: [lo1+lo2, hi1+hi2]. *)
+
+val sub : t -> t -> t
+(** Interval difference: [lo1-hi2, hi1-lo2]. *)
+
+val shift : t -> float -> t
+(** [shift i d] translates both bounds by [d]. *)
+
+val neg : t -> t
+
+val clamp : t -> float -> float
+(** [clamp i x] projects [x] onto the interval. *)
+
+val subset : t -> t -> bool
+(** [subset a b] is true when [a] lies inside [b]. *)
+
+val equal : ?eps:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

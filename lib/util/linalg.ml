@@ -1,0 +1,124 @@
+type mat = float array array
+type vec = float array
+
+let zeros r c = Array.make_matrix r c 0.
+
+let identity n =
+  let m = zeros n n in
+  for i = 0 to n - 1 do
+    m.(i).(i) <- 1.
+  done;
+  m
+
+let copy_mat a = Array.map Array.copy a
+
+let dims a =
+  let r = Array.length a in
+  if r = 0 then (0, 0)
+  else begin
+    let c = Array.length a.(0) in
+    Array.iter
+      (fun row ->
+        if Array.length row <> c then invalid_arg "Linalg.dims: ragged matrix")
+      a;
+    (r, c)
+  end
+
+let mat_vec a x =
+  let r, c = dims a in
+  if Array.length x <> c then invalid_arg "Linalg.mat_vec: size mismatch";
+  Array.init r (fun i ->
+      let row = a.(i) in
+      let s = ref 0. in
+      for j = 0 to c - 1 do
+        s := !s +. (row.(j) *. x.(j))
+      done;
+      !s)
+
+let mat_mul a b =
+  let ra, ca = dims a in
+  let rb, cb = dims b in
+  if ca <> rb then invalid_arg "Linalg.mat_mul: size mismatch";
+  let m = zeros ra cb in
+  for i = 0 to ra - 1 do
+    for k = 0 to ca - 1 do
+      let aik = a.(i).(k) in
+      if aik <> 0. then
+        for j = 0 to cb - 1 do
+          m.(i).(j) <- m.(i).(j) +. (aik *. b.(k).(j))
+        done
+    done
+  done;
+  m
+
+let transpose a =
+  let r, c = dims a in
+  Array.init c (fun j -> Array.init r (fun i -> a.(i).(j)))
+
+let dot x y =
+  if Array.length x <> Array.length y then
+    invalid_arg "Linalg.dot: size mismatch";
+  let s = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    s := !s +. (x.(i) *. y.(i))
+  done;
+  !s
+
+let axpy a x y =
+  if Array.length x <> Array.length y then
+    invalid_arg "Linalg.axpy: size mismatch";
+  Array.init (Array.length x) (fun i -> (a *. x.(i)) +. y.(i))
+
+let norm_inf x = Array.fold_left (fun m v -> Float.max m (Float.abs v)) 0. x
+let norm2 x = sqrt (dot x x)
+
+exception Singular
+
+(* Gaussian elimination with partial pivoting, operating destructively on
+   [a] and [b].  The forward sweep keeps the multipliers implicit (classic
+   in-place schoolbook form); back-substitution writes the answer into [b]. *)
+let solve_in_place a b =
+  let n = Array.length b in
+  if Array.length a <> n then invalid_arg "Linalg.solve: size mismatch";
+  for k = 0 to n - 1 do
+    (* pivot search *)
+    let piv = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs a.(i).(k) > Float.abs a.(!piv).(k) then piv := i
+    done;
+    if Float.abs a.(!piv).(k) < 1e-300 then raise Singular;
+    if !piv <> k then begin
+      let tmp = a.(k) in
+      a.(k) <- a.(!piv);
+      a.(!piv) <- tmp;
+      let tb = b.(k) in
+      b.(k) <- b.(!piv);
+      b.(!piv) <- tb
+    end;
+    let akk = a.(k).(k) in
+    for i = k + 1 to n - 1 do
+      let f = a.(i).(k) /. akk in
+      if f <> 0. then begin
+        let ai = a.(i) and ak = a.(k) in
+        for j = k to n - 1 do
+          ai.(j) <- ai.(j) -. (f *. ak.(j))
+        done;
+        b.(i) <- b.(i) -. (f *. b.(k))
+      end
+    done
+  done;
+  for i = n - 1 downto 0 do
+    let s = ref b.(i) in
+    let ai = a.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (ai.(j) *. b.(j))
+    done;
+    b.(i) <- !s /. ai.(i)
+  done
+
+let solve a b =
+  let a = copy_mat a and b = Array.copy b in
+  solve_in_place a b;
+  b
+
+let lu_solve_many a rhss = List.map (fun b -> solve a b) rhss

@@ -1,0 +1,42 @@
+(** Small dense linear algebra: vectors and square-matrix solves.
+
+    Sized for the circuit simulator (node counts below a few dozen) and the
+    least-squares fitter (normal equations of at most ~10 unknowns).  Matrices
+    are row-major [float array array]; all operations are fresh-allocating
+    unless suffixed [_in_place]. *)
+
+type mat = float array array
+type vec = float array
+
+val zeros : int -> int -> mat
+val identity : int -> mat
+val copy_mat : mat -> mat
+
+val dims : mat -> int * int
+(** (rows, cols). @raise Invalid_argument on a ragged matrix. *)
+
+val mat_vec : mat -> vec -> vec
+val mat_mul : mat -> mat -> mat
+val transpose : mat -> mat
+
+val dot : vec -> vec -> float
+val axpy : float -> vec -> vec -> vec
+(** [axpy a x y] is [a*x + y]. *)
+
+val norm_inf : vec -> float
+val norm2 : vec -> float
+
+exception Singular
+(** Raised by solvers when pivoting finds no usable pivot. *)
+
+val solve : mat -> vec -> vec
+(** [solve a b] returns [x] with [a x = b] by Gaussian elimination with
+    partial pivoting.  [a] and [b] are not modified.  @raise Singular *)
+
+val solve_in_place : mat -> vec -> unit
+(** Destructive variant: on return [b] holds the solution and [a] is
+    overwritten with elimination garbage.  Used on the simulator's hot
+    path to avoid allocation.  @raise Singular *)
+
+val lu_solve_many : mat -> vec list -> vec list
+(** Solve the same system for several right-hand sides (one factorization). *)

@@ -1,0 +1,84 @@
+type basis = float array -> float array
+
+let fit basis samples =
+  match samples with
+  | [] -> invalid_arg "Lsq.fit: empty sample list"
+  | (x0, _) :: _ ->
+    let k = Array.length (basis x0) in
+    let n = List.length samples in
+    (* Column normalization: basis values can span tens of orders of
+       magnitude (e.g. T² with T ~ 1e-9 s), which would make the normal
+       equations hopeless in double precision.  Each column is scaled to
+       unit RMS before solving and the coefficients are unscaled after. *)
+    let scale = Array.make k 0. in
+    List.iter
+      (fun (x, _) ->
+        let phi = basis x in
+        if Array.length phi <> k then
+          invalid_arg "Lsq.fit: inconsistent basis dimension";
+        for j = 0 to k - 1 do
+          scale.(j) <- scale.(j) +. (phi.(j) *. phi.(j))
+        done)
+      samples;
+    for j = 0 to k - 1 do
+      let s = sqrt (scale.(j) /. float_of_int n) in
+      scale.(j) <- (if s > 0. then s else 1.)
+    done;
+    let ata = Linalg.zeros k k in
+    let atb = Array.make k 0. in
+    List.iter
+      (fun (x, y) ->
+        let phi = basis x in
+        for i = 0 to k - 1 do
+          let pi = phi.(i) /. scale.(i) in
+          atb.(i) <- atb.(i) +. (pi *. y);
+          for j = 0 to k - 1 do
+            ata.(i).(j) <- ata.(i).(j) +. (pi *. phi.(j) /. scale.(j))
+          done
+        done)
+      samples;
+    (* A tiny ridge keeps degenerate sweeps (duplicated columns) solvable;
+       with unit-RMS columns its size is meaningful. *)
+    for i = 0 to k - 1 do
+      ata.(i).(i) <- ata.(i).(i) +. (1e-10 *. float_of_int n)
+    done;
+    let c = Linalg.solve ata atb in
+    Array.mapi (fun j cj -> cj /. scale.(j)) c
+
+let predict basis coeffs x = Linalg.dot coeffs (basis x)
+
+let residuals basis coeffs samples =
+  List.map (fun (x, y) -> predict basis coeffs x -. y) samples
+
+let rms_error basis coeffs samples =
+  let rs = residuals basis coeffs samples in
+  let n = List.length rs in
+  if n = 0 then 0.
+  else sqrt (List.fold_left (fun a r -> a +. (r *. r)) 0. rs /. float_of_int n)
+
+let max_abs_error basis coeffs samples =
+  List.fold_left
+    (fun m r -> Float.max m (Float.abs r))
+    0.
+    (residuals basis coeffs samples)
+
+let quadratic_1d x = [| x.(0) *. x.(0); x.(0); 1. |]
+
+let quadratic_2d x =
+  let a = x.(0) and b = x.(1) in
+  [| a *. a; b *. b; a *. b; a; b; 1. |]
+
+let cbrt v = Float.pow v (1. /. 3.)
+
+let bilinear_cuberoot_2d x =
+  let a = cbrt x.(0) and b = cbrt x.(1) in
+  [| a *. b; a; b; 1. |]
+
+let linear_1d x = [| x.(0); 1. |]
+
+let cubic_2d x =
+  let a = x.(0) and b = x.(1) in
+  [|
+    a *. a *. a; b *. b *. b; a *. a *. b; a *. b *. b;
+    a *. a; b *. b; a *. b; a; b; 1.;
+  |]

@@ -1,0 +1,45 @@
+(** Linear least-squares fitting via normal equations.
+
+    The characterization flow fits the paper's empirical forms
+    (DR, D0R, SR, ...) which are all linear in their coefficients once the
+    basis functions (powers, cube roots, cross terms) are fixed. *)
+
+type basis = float array -> float array
+(** A basis maps an input point (e.g. [| t_x; t_y |]) to the vector of basis
+    function values (e.g. [| tx**2.; ty**2.; tx*.ty; tx; ty; 1. |]). *)
+
+val fit : basis -> (float array * float) list -> float array
+(** [fit basis samples] returns coefficients [c] minimizing
+    [sum_i (dot c (basis x_i) - y_i)^2] over samples [(x_i, y_i)].
+    Solves the normal equations with a small Tikhonov ridge (1e-12 relative)
+    for robustness.  @raise Invalid_argument on an empty sample list. *)
+
+val residuals : basis -> float array -> (float array * float) list
+  -> float list
+(** Per-sample signed error [predicted - observed]. *)
+
+val rms_error : basis -> float array -> (float array * float) list -> float
+val max_abs_error : basis -> float array -> (float array * float) list -> float
+
+val predict : basis -> float array -> float array -> float
+(** [predict basis coeffs x]. *)
+
+(** Ready-made bases used by the characterization fits. *)
+
+val quadratic_1d : basis
+(** x ↦ [| x²; x; 1 |] — the paper's DR(T) form. *)
+
+val quadratic_2d : basis
+(** (x,y) ↦ [| x²; y²; xy; x; y; 1 |] — the paper's SR(T_X,T_Y) form. *)
+
+val bilinear_cuberoot_2d : basis
+(** (x,y) ↦ [| x^⅓·y^⅓; x^⅓; y^⅓; 1 |] — the paper's D0R form
+    [(K20·x^⅓+K21)(K22·y^⅓+K23)+K24] expanded into a form linear in
+    its coefficients. *)
+
+val linear_1d : basis
+(** x ↦ [| x; 1 |]. *)
+
+val cubic_2d : basis
+(** Full bivariate cubic (10 terms) — used when the quadratic surface
+    underfits strongly bi-tonic characterization data. *)

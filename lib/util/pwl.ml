@@ -1,0 +1,119 @@
+type t = { times : float array; values : float array }
+
+let of_points pts =
+  match pts with
+  | [] -> invalid_arg "Pwl.of_points: empty"
+  | _ ->
+    let times = Array.of_list (List.map fst pts) in
+    let values = Array.of_list (List.map snd pts) in
+    for i = 1 to Array.length times - 1 do
+      if times.(i) <= times.(i - 1) then
+        invalid_arg "Pwl.of_points: times must be strictly increasing"
+    done;
+    { times; values }
+
+let constant v = { times = [| 0. |]; values = [| v |] }
+
+let points w =
+  Array.to_list (Array.mapi (fun i t -> (t, w.values.(i))) w.times)
+
+let n w = Array.length w.times
+let start_time w = w.times.(0)
+let end_time w = w.times.(n w - 1)
+let start_value w = w.values.(0)
+let end_value w = w.values.(n w - 1)
+
+let value_at w t =
+  let m = n w in
+  if t <= w.times.(0) then w.values.(0)
+  else if t >= w.times.(m - 1) then w.values.(m - 1)
+  else begin
+    (* binary search for the segment containing t *)
+    let lo = ref 0 and hi = ref (m - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if w.times.(mid) <= t then lo := mid else hi := mid
+    done;
+    let t0 = w.times.(!lo) and t1 = w.times.(!hi) in
+    let v0 = w.values.(!lo) and v1 = w.values.(!hi) in
+    v0 +. ((v1 -. v0) *. (t -. t0) /. (t1 -. t0))
+  end
+
+let rising_ramp ~t0 ~t_transition ~v_lo ~v_hi =
+  if t_transition <= 0. then invalid_arg "Pwl.rising_ramp: t_transition <= 0";
+  let full = t_transition /. 0.8 in
+  of_points [ (t0, v_lo); (t0 +. full, v_hi) ]
+
+let falling_ramp ~t0 ~t_transition ~v_lo ~v_hi =
+  if t_transition <= 0. then invalid_arg "Pwl.falling_ramp: t_transition <= 0";
+  let full = t_transition /. 0.8 in
+  of_points [ (t0, v_hi); (t0 +. full, v_lo) ]
+
+let segment_crossing t0 v0 t1 v1 ~rising level =
+  let crosses =
+    if rising then v0 <= level && v1 >= level && v1 > v0
+    else v0 >= level && v1 <= level && v1 < v0
+  in
+  if not crosses then None
+  else if v1 = v0 then Some t0
+  else Some (t0 +. ((level -. v0) *. (t1 -. t0) /. (v1 -. v0)))
+
+let first_crossing w ?after ~rising level =
+  let after = match after with Some a -> a | None -> start_time w in
+  let m = n w in
+  let rec loop i =
+    if i >= m - 1 then None
+    else begin
+      let t0 = w.times.(i) and t1 = w.times.(i + 1) in
+      if t1 < after then loop (i + 1)
+      else begin
+        match
+          segment_crossing t0 w.values.(i) t1 w.values.(i + 1) ~rising level
+        with
+        | Some tc when tc >= after -> Some tc
+        | Some _ | None -> loop (i + 1)
+      end
+    end
+  in
+  loop 0
+
+let last_crossing w ~rising level =
+  let m = n w in
+  let rec loop i best =
+    if i >= m - 1 then best
+    else begin
+      let cand =
+        segment_crossing w.times.(i) w.values.(i) w.times.(i + 1)
+          w.values.(i + 1) ~rising level
+      in
+      let best = match cand with Some _ -> cand | None -> best in
+      loop (i + 1) best
+    end
+  in
+  loop 0 None
+
+let shift_time w d =
+  { w with times = Array.map (fun t -> t +. d) w.times }
+
+let map_value f w = { w with values = Array.map f w.values }
+
+let crossing_pair w ~rising ~low_frac ~high_frac ~v_lo ~v_hi =
+  let span = v_hi -. v_lo in
+  let level_low = v_lo +. (low_frac *. span) in
+  let level_high = v_lo +. (high_frac *. span) in
+  if rising then begin
+    match first_crossing w ~rising:true level_low with
+    | None -> None
+    | Some t_low -> (
+      match first_crossing w ~after:t_low ~rising:true level_high with
+      | None -> None
+      | Some t_high -> Some (t_low, t_high))
+  end
+  else begin
+    match first_crossing w ~rising:false level_high with
+    | None -> None
+    | Some t_high -> (
+      match first_crossing w ~after:t_high ~rising:false level_low with
+      | None -> None
+      | Some t_low -> Some (t_high, t_low))
+  end

@@ -1,0 +1,51 @@
+(** Piecewise-linear waveforms v(t).
+
+    Used both to describe simulator input stimuli (voltage ramps) and to
+    post-process simulated node voltages (crossing times, 10–90 % transition
+    times).  A waveform is a non-empty sequence of (time, value) breakpoints
+    with strictly increasing times; the value is held constant before the
+    first and after the last breakpoint. *)
+
+type t
+
+val of_points : (float * float) list -> t
+(** @raise Invalid_argument on an empty list or non-increasing times. *)
+
+val constant : float -> t
+
+val points : t -> (float * float) list
+
+val value_at : t -> float -> float
+(** Linear interpolation between breakpoints; clamped outside the span. *)
+
+val start_time : t -> float
+val end_time : t -> float
+val start_value : t -> float
+val end_value : t -> float
+
+val rising_ramp : t0:float -> t_transition:float -> v_lo:float -> v_hi:float -> t
+(** A ramp from [v_lo] to [v_hi] whose 10 %–90 % transition time is
+    [t_transition]; the full ramp therefore spans [t_transition /. 0.8] and
+    is positioned so the ramp *starts* at [t0].  [t_transition] must be
+    positive. *)
+
+val falling_ramp : t0:float -> t_transition:float -> v_lo:float -> v_hi:float -> t
+(** Mirror image of {!rising_ramp}. *)
+
+val first_crossing : t -> ?after:float -> rising:bool -> float -> float option
+(** [first_crossing w ~after ~rising level] is the earliest time [>= after]
+    (default: the waveform start) at which the waveform crosses [level] in
+    the requested direction, by linear interpolation between samples. *)
+
+val last_crossing : t -> rising:bool -> float -> float option
+
+val shift_time : t -> float -> t
+
+val map_value : (float -> float) -> t -> t
+
+val crossing_pair : t -> rising:bool -> low_frac:float -> high_frac:float
+  -> v_lo:float -> v_hi:float -> (float * float) option
+(** For a rising output, [crossing_pair w ~rising:true ~low_frac:0.1
+    ~high_frac:0.9 ~v_lo ~v_hi] returns the (10 %, 90 %) crossing times, i.e.
+    the pair used to define transition times; for a falling output the 90 %
+    crossing comes first.  [None] when either crossing is absent. *)

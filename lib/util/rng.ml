@@ -1,0 +1,42 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+let copy r = { state = r.state }
+
+(* splitmix64: Steele, Lea & Flood (2014). *)
+let next_int64 r =
+  let open Int64 in
+  r.state <- add r.state 0x9E3779B97F4A7C15L;
+  let z = r.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let float r bound =
+  (* 53 high bits → uniform double in [0, 1). *)
+  let bits = Int64.shift_right_logical (next_int64 r) 11 in
+  let unit = Int64.to_float bits /. 9007199254740992. in
+  unit *. bound
+
+let float_range r lo hi = lo +. float r (hi -. lo)
+
+let int r bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  let v = Int64.shift_right_logical (next_int64 r) 1 in
+  Int64.to_int (Int64.rem v (Int64.of_int bound))
+
+let bool r = Int64.logand (next_int64 r) 1L = 1L
+
+let pick r arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int r (Array.length arr))
+
+let shuffle r arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int r (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let split r = create (next_int64 r)

@@ -1,0 +1,35 @@
+(** Deterministic pseudo-random generator (splitmix64).
+
+    Every stochastic component of the reproduction (synthetic benchmark
+    generation, accuracy sampling, ATPG fault selection, random vectors)
+    draws from this generator with an explicit fixed seed so results are
+    bit-reproducible across runs and machines. *)
+
+type t
+
+val create : int64 -> t
+(** Independent stream seeded by the argument. *)
+
+val copy : t -> t
+
+val next_int64 : t -> int64
+
+val float : t -> float -> float
+(** [float r bound] draws uniformly from [0, bound). *)
+
+val float_range : t -> float -> float -> float
+(** Uniform in [lo, hi). *)
+
+val int : t -> int -> int
+(** [int r bound] draws uniformly from [0, bound).  [bound > 0]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val split : t -> t
+(** Derive an independent child stream (advances the parent). *)

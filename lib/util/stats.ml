@@ -1,0 +1,50 @@
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let rms = function
+  | [] -> 0.
+  | xs ->
+    sqrt
+      (List.fold_left (fun a x -> a +. (x *. x)) 0. xs
+      /. float_of_int (List.length xs))
+
+let max_abs xs = List.fold_left (fun a x -> Float.max a (Float.abs x)) 0. xs
+
+let min_max = function
+  | [] -> None
+  | x :: xs ->
+    Some
+      (List.fold_left
+         (fun (lo, hi) v -> (Float.min lo v, Float.max hi v))
+         (x, x) xs)
+
+let pct_errors ~reference values =
+  if List.length reference <> List.length values then
+    invalid_arg "Stats: length mismatch";
+  List.filter_map
+    (fun (r, v) ->
+      if r = 0. then None
+      else Some (100. *. Float.abs (v -. r) /. Float.abs r))
+    (List.combine reference values)
+
+let mean_abs_pct_error ~reference values = mean (pct_errors ~reference values)
+let max_abs_pct_error ~reference values = max_abs (pct_errors ~reference values)
+
+let histogram ~bins xs =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins <= 0";
+  match min_max xs with
+  | None -> []
+  | Some (lo, hi) ->
+    let span = if hi > lo then hi -. lo else 1. in
+    let counts = Array.make bins 0 in
+    List.iter
+      (fun x ->
+        let i = int_of_float (float_of_int bins *. (x -. lo) /. span) in
+        let i = if i >= bins then bins - 1 else if i < 0 then 0 else i in
+        counts.(i) <- counts.(i) + 1)
+      xs;
+    List.init bins (fun i ->
+        let w = span /. float_of_int bins in
+        (lo +. (w *. float_of_int i), lo +. (w *. float_of_int (i + 1)),
+         counts.(i)))

@@ -1,0 +1,17 @@
+(** Small descriptive-statistics helpers for error reporting. *)
+
+val mean : float list -> float
+(** 0 for the empty list. *)
+
+val rms : float list -> float
+val max_abs : float list -> float
+val min_max : float list -> (float * float) option
+
+val mean_abs_pct_error : reference:float list -> float list -> float
+(** Mean of |model − reference| / |reference| over positions where the
+    reference is non-zero, in percent.  Lists must have equal length. *)
+
+val max_abs_pct_error : reference:float list -> float list -> float
+
+val histogram : bins:int -> float list -> (float * float * int) list
+(** [(lo, hi, count)] rows covering the data span; empty input → []. *)

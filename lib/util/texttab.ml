@@ -1,0 +1,61 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = { header : string list; mutable rows : row list }
+
+let create ~header = { header; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.header then
+    invalid_arg "Texttab.add_row: arity mismatch with header";
+  t.rows <- Cells cells :: t.rows
+
+let add_row_f ?(prec = 4) t label values =
+  add_row t (label :: List.map (fun v -> Printf.sprintf "%.*f" prec v) values)
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render ?align t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.header in
+  let align =
+    match align with
+    | Some a when List.length a = ncols -> a
+    | Some _ -> invalid_arg "Texttab.render: align arity mismatch"
+    | None -> List.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  let widths = Array.of_list (List.map String.length t.header) in
+  List.iter
+    (function
+      | Separator -> ()
+      | Cells cs ->
+        List.iteri
+          (fun i c -> widths.(i) <- max widths.(i) (String.length c))
+          cs)
+    rows;
+  let pad i s =
+    let w = widths.(i) in
+    let n = w - String.length s in
+    if n <= 0 then s
+    else begin
+      match List.nth align i with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+    end
+  in
+  let line cells = "| " ^ String.concat " | " (List.mapi pad cells) ^ " |" in
+  let rule =
+    "|"
+    ^ String.concat "|"
+        (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "|"
+  in
+  let body =
+    List.map
+      (function Separator -> rule | Cells cs -> line cs)
+      rows
+  in
+  String.concat "\n" ((line t.header :: rule :: body))
+
+let print ?align t = print_endline (render ?align t)

@@ -1,0 +1,24 @@
+(** Aligned ASCII table rendering for benchmark and CLI reports. *)
+
+type align = Left | Right
+
+type t
+
+val create : header:string list -> t
+(** A table whose width is fixed by the header; numeric columns default to
+    right alignment when rows are added with {!add_row_f}. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument when the arity differs from the header. *)
+
+val add_row_f : ?prec:int -> t -> string -> float list -> unit
+(** Convenience: a label column followed by formatted floats. *)
+
+val add_separator : t -> unit
+
+val render : ?align:align list -> t -> string
+(** Rendered with column separators and a header rule.  [align] overrides
+    per-column alignment (default: first column left, rest right). *)
+
+val print : ?align:align list -> t -> unit
+(** [render] to stdout followed by a newline. *)

@@ -1,0 +1,183 @@
+module Ck = Ssd_circuit
+module A = Ssd_atpg
+module Fault = A.Fault
+module Atpg = A.Atpg
+module V = Ssd_itr.Value2f
+module DM = Ssd_core.Delay_model
+module Charlib = Ssd_cell.Charlib
+module Sta = Ssd_sta.Sta
+
+let lib = lazy (Charlib.default ~profile:Charlib.coarse ())
+let c17_prim () = Ck.Decompose.to_primitive (Ck.Benchmarks.c17 ())
+
+let clock_of nl =
+  Sta.max_delay (Sta.analyze ~library:(Lazy.force lib) ~model:DM.proposed nl)
+
+(* ---------- Fault extraction ---------- *)
+
+let test_extract_valid_sites () =
+  let nl = Ck.Decompose.to_primitive (Option.get (Ck.Benchmarks.by_name "c880s")) in
+  let sites = Fault.extract ~count:12 ~seed:1L nl in
+  Alcotest.(check bool) "some sites" true (List.length sites > 0);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "distinct lines" true (s.Fault.aggressor <> s.Fault.victim);
+      Alcotest.(check bool) "opposite directions" true
+        (s.Fault.agg_tr <> s.Fault.vic_tr);
+      Alcotest.(check bool) "positive delta" true (s.Fault.delta > 0.);
+      (* the aggressor is never in the victim's cone or fanout *)
+      let tf = Ck.Netlist.transitive_fanin nl s.Fault.victim in
+      let tfo = Ck.Netlist.transitive_fanout nl s.Fault.victim in
+      Alcotest.(check bool) "no structural dependence" false
+        (List.mem s.Fault.aggressor tf || List.mem s.Fault.aggressor tfo))
+    sites
+
+let test_extract_deterministic () =
+  let nl = Ck.Decompose.to_primitive (Option.get (Ck.Benchmarks.by_name "c880s")) in
+  let a = Fault.extract ~count:8 ~seed:5L nl in
+  let b = Fault.extract ~count:8 ~seed:5L nl in
+  Alcotest.(check bool) "same sites" true (a = b)
+
+let test_extract_screened_sites () =
+  let nl = Ck.Decompose.to_primitive (Option.get (Ck.Benchmarks.by_name "c880s")) in
+  let sites =
+    Fault.extract_screened ~count:6 ~samples:40 ~seed:42L
+      ~library:(Lazy.force lib) ~model:DM.proposed nl
+  in
+  Alcotest.(check bool) "screening returns sites" true (List.length sites > 0)
+
+(* ---------- generation on c17 ---------- *)
+
+let c17_site nl =
+  let id s = Option.get (Ck.Netlist.find nl s) in
+  {
+    Fault.aggressor = id "10";
+    victim = id "19";
+    agg_tr = V.Fall;
+    vic_tr = V.Rise;
+    delta = 150e-12;
+    align_window = 400e-12;
+  }
+
+let test_atpg_detects_on_c17 () =
+  let nl = c17_prim () in
+  let site = c17_site nl in
+  let cfg = Atpg.default_config ~clock_period:(clock_of nl) in
+  List.iter
+    (fun use_itr ->
+      let cfg = { cfg with Atpg.use_itr } in
+      let r = Atpg.generate cfg ~library:(Lazy.force lib) ~model:DM.proposed nl site in
+      match r.Atpg.outcome with
+      | Atpg.Detected vector ->
+        Alcotest.(check bool)
+          (Printf.sprintf "verified (itr=%b)" use_itr)
+          true
+          (Atpg.verify_detection cfg ~library:(Lazy.force lib)
+             ~model:DM.proposed nl site vector)
+      | Atpg.Undetectable -> Alcotest.fail "expected detection, got undetectable"
+      | Atpg.Aborted -> Alcotest.fail "expected detection, got abort")
+    [ false; true ]
+
+let test_atpg_undetectable_impossible_transition () =
+  (* a victim that is constant cannot be excited: z = NAND(a, a') is
+     constant 1, so a falling victim transition is impossible *)
+  let nl =
+    Ck.Bench_io.parse_string ~name:"red"
+      "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nOUTPUT(w)\nan = NOT(a)\n\
+       z = NAND(a, an)\nw = NAND(a, b)\n"
+  in
+  let id s = Option.get (Ck.Netlist.find nl s) in
+  let site =
+    {
+      Fault.aggressor = id "w";
+      victim = id "z";
+      agg_tr = V.Rise;
+      vic_tr = V.Fall;
+      delta = 150e-12;
+      align_window = 400e-12;
+    }
+  in
+  let cfg = Atpg.default_config ~clock_period:(clock_of nl) in
+  let r = Atpg.generate cfg ~library:(Lazy.force lib) ~model:DM.proposed nl site in
+  Alcotest.(check bool) "proven undetectable" true (r.Atpg.outcome = Atpg.Undetectable)
+
+let test_atpg_undetectable_unobservable_victim () =
+  (* the victim drives no primary output: trivially undetectable *)
+  let nl =
+    Ck.Bench_io.parse_string ~name:"dead"
+      "INPUT(a)\nINPUT(b)\nOUTPUT(z)\ndeadend = NAND(a, b)\n\
+       sink = NOT(deadend)\nz = NOT(a)\n"
+  in
+  let id s = Option.get (Ck.Netlist.find nl s) in
+  let site =
+    {
+      Fault.aggressor = id "z";
+      victim = id "sink";
+      agg_tr = V.Fall;
+      vic_tr = V.Rise;
+      delta = 150e-12;
+      align_window = 400e-12;
+    }
+  in
+  let cfg = Atpg.default_config ~clock_period:(clock_of nl) in
+  let r = Atpg.generate cfg ~library:(Lazy.force lib) ~model:DM.proposed nl site in
+  Alcotest.(check bool) "unobservable is undetectable" true
+    (r.Atpg.outcome = Atpg.Undetectable)
+
+let test_atpg_run_and_stats () =
+  let nl = c17_prim () in
+  let sites = [ c17_site nl ] in
+  let cfg = Atpg.default_config ~clock_period:(clock_of nl) in
+  let results, stats = Atpg.run cfg ~library:(Lazy.force lib) ~model:DM.proposed nl sites in
+  Alcotest.(check int) "results per site" 1 (List.length results);
+  Alcotest.(check int) "total" 1 stats.Atpg.total;
+  Alcotest.(check int) "accounted" 1
+    (stats.Atpg.detected + stats.Atpg.undetectable + stats.Atpg.aborted);
+  let e = Atpg.efficiency stats in
+  Alcotest.(check bool) "efficiency in range" true (e >= 0. && e <= 100.)
+
+let test_atpg_budget_respected () =
+  let nl = Ck.Decompose.to_primitive (Option.get (Ck.Benchmarks.by_name "c880s")) in
+  let sites = Fault.extract ~count:2 ~align_window:20e-12 ~seed:3L nl in
+  let cfg =
+    { (Atpg.default_config ~clock_period:(clock_of nl)) with
+      Atpg.max_expansions = 40 }
+  in
+  List.iter
+    (fun site ->
+      let r = Atpg.generate cfg ~library:(Lazy.force lib) ~model:DM.proposed nl site in
+      Alcotest.(check bool) "expansions bounded" true
+        (r.Atpg.expansions <= 41))
+    sites
+
+let test_verify_rejects_bad_vector () =
+  let nl = c17_prim () in
+  let site = c17_site nl in
+  let cfg = Atpg.default_config ~clock_period:(clock_of nl) in
+  (* an all-steady vector excites nothing *)
+  let npi = List.length (Ck.Netlist.inputs nl) in
+  let steady = Array.make npi (true, true) in
+  Alcotest.(check bool) "steady vector rejected" false
+    (Atpg.verify_detection cfg ~library:(Lazy.force lib) ~model:DM.proposed nl
+       site steady)
+
+let suites =
+  [
+    ( "atpg.fault",
+      [
+        Alcotest.test_case "valid sites" `Slow test_extract_valid_sites;
+        Alcotest.test_case "deterministic" `Slow test_extract_deterministic;
+        Alcotest.test_case "screened" `Slow test_extract_screened_sites;
+      ] );
+    ( "atpg.generate",
+      [
+        Alcotest.test_case "detects on c17" `Slow test_atpg_detects_on_c17;
+        Alcotest.test_case "undetectable: constant victim" `Slow
+          test_atpg_undetectable_impossible_transition;
+        Alcotest.test_case "undetectable: unobservable victim" `Slow
+          test_atpg_undetectable_unobservable_victim;
+        Alcotest.test_case "run & stats" `Slow test_atpg_run_and_stats;
+        Alcotest.test_case "budget respected" `Slow test_atpg_budget_respected;
+        Alcotest.test_case "verify rejects" `Slow test_verify_rejects_bad_vector;
+      ] );
+  ]

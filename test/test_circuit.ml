@@ -1,0 +1,319 @@
+module Ck = Ssd_circuit
+module Gate = Ck.Gate
+module Netlist = Ck.Netlist
+module Rng = Ssd_util.Rng
+
+(* ---------- Gate ---------- *)
+
+let test_gate_truth_tables () =
+  let t = true and f = false in
+  Alcotest.(check bool) "nand 11" f (Gate.eval Gate.Nand [ t; t ]);
+  Alcotest.(check bool) "nand 01" t (Gate.eval Gate.Nand [ f; t ]);
+  Alcotest.(check bool) "nor 00" t (Gate.eval Gate.Nor [ f; f ]);
+  Alcotest.(check bool) "nor 01" f (Gate.eval Gate.Nor [ f; t ]);
+  Alcotest.(check bool) "and" t (Gate.eval Gate.And [ t; t; t ]);
+  Alcotest.(check bool) "or" t (Gate.eval Gate.Or [ f; f; t ]);
+  Alcotest.(check bool) "xor odd" t (Gate.eval Gate.Xor [ t; t; t ]);
+  Alcotest.(check bool) "xor even" f (Gate.eval Gate.Xor [ t; t ]);
+  Alcotest.(check bool) "xnor" t (Gate.eval Gate.Xnor [ t; t ]);
+  Alcotest.(check bool) "not" f (Gate.eval Gate.Not [ t ]);
+  Alcotest.(check bool) "buf" t (Gate.eval Gate.Buf [ t ])
+
+let test_gate_arity_checks () =
+  Alcotest.(check bool) "not arity" true
+    (match Gate.eval Gate.Not [ true; false ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "empty and" true
+    (match Gate.eval Gate.And [] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_gate_names () =
+  List.iter
+    (fun k ->
+      match Gate.of_string (Gate.to_string k) with
+      | Some k' -> Alcotest.(check bool) "roundtrip" true (k = k')
+      | None -> Alcotest.fail "name roundtrip failed")
+    [ Gate.And; Gate.Nand; Gate.Or; Gate.Nor; Gate.Xor; Gate.Xnor; Gate.Not;
+      Gate.Buf ];
+  Alcotest.(check bool) "BUFF accepted" true (Gate.of_string "buff" = Some Gate.Buf);
+  Alcotest.(check bool) "unknown" true (Gate.of_string "MUX" = None)
+
+let test_gate_metadata () =
+  Alcotest.(check bool) "nand cv" true
+    (Gate.controlling_value Gate.Nand = Some false);
+  Alcotest.(check bool) "nor cv" true
+    (Gate.controlling_value Gate.Nor = Some true);
+  Alcotest.(check bool) "xor no cv" true (Gate.controlling_value Gate.Xor = None);
+  Alcotest.(check bool) "primitives" true
+    (Gate.is_primitive Gate.Nand && Gate.is_primitive Gate.Not
+   && not (Gate.is_primitive Gate.And))
+
+(* ---------- Netlist ---------- *)
+
+let tiny () =
+  Netlist.build ~name:"tiny"
+    ~signals:
+      [
+        ("a", Netlist.Pi);
+        ("b", Netlist.Pi);
+        ("n1", Netlist.Gate { kind = Gate.Nand; fanin = [| 0; 1 |] });
+        ("z", Netlist.Gate { kind = Gate.Not; fanin = [| 2 |] });
+      ]
+    ~outputs:[ "z" ]
+
+let test_netlist_build_and_accessors () =
+  let nl = tiny () in
+  Alcotest.(check int) "size" 4 (Netlist.size nl);
+  Alcotest.(check int) "gates" 2 (Netlist.gate_count nl);
+  Alcotest.(check int) "pis" 2 (Netlist.pi_count nl);
+  Alcotest.(check int) "depth" 2 (Netlist.depth nl);
+  Alcotest.(check int) "level z" 2 (Netlist.level nl 3);
+  Alcotest.(check bool) "find" true (Netlist.find nl "n1" = Some 2);
+  Alcotest.(check bool) "fanout of n1" true (Netlist.fanout nl 2 = [| 3 |]);
+  Alcotest.(check int) "load has floor 1" 1 (Netlist.load_of nl 3);
+  Alcotest.(check bool) "tf of z" true
+    (List.sort compare (Netlist.transitive_fanin nl 3) = [ 0; 1; 2 ])
+
+let test_netlist_validation () =
+  let dup () =
+    Netlist.build ~name:"d"
+      ~signals:[ ("a", Netlist.Pi); ("a", Netlist.Pi) ]
+      ~outputs:[ "a" ]
+  in
+  Alcotest.(check bool) "duplicate" true
+    (match dup () with exception Netlist.Invalid _ -> true | _ -> false);
+  let cyc () =
+    Netlist.build ~name:"c"
+      ~signals:
+        [
+          ("a", Netlist.Pi);
+          ("x", Netlist.Gate { kind = Gate.Nand; fanin = [| 0; 2 |] });
+          ("y", Netlist.Gate { kind = Gate.Not; fanin = [| 1 |] });
+        ]
+      ~outputs:[ "y" ]
+  in
+  Alcotest.(check bool) "cycle" true
+    (match cyc () with exception Netlist.Invalid _ -> true | _ -> false);
+  let bad_out () =
+    Netlist.build ~name:"o" ~signals:[ ("a", Netlist.Pi) ] ~outputs:[ "zz" ]
+  in
+  Alcotest.(check bool) "unknown output" true
+    (match bad_out () with exception Netlist.Invalid _ -> true | _ -> false)
+
+(* ---------- Bench I/O ---------- *)
+
+let test_bench_parse_c17 () =
+  let nl = Ck.Benchmarks.c17 () in
+  Alcotest.(check int) "pis" 5 (Netlist.pi_count nl);
+  Alcotest.(check int) "gates" 6 (Netlist.gate_count nl);
+  Alcotest.(check int) "outputs" 2 (List.length (Netlist.outputs nl));
+  Alcotest.(check int) "depth" 3 (Netlist.depth nl)
+
+let test_bench_roundtrip () =
+  let nl = Ck.Benchmarks.c17 () in
+  let text = Ck.Bench_io.to_string nl in
+  let nl2 = Ck.Bench_io.parse_string ~name:"c17rt" text in
+  Alcotest.(check bool) "equivalent after roundtrip" true
+    (Ck.Logic.equivalent (Rng.create 5L) nl nl2)
+
+let test_bench_parse_errors () =
+  let bad s =
+    match Ck.Bench_io.parse_string ~name:"bad" s with
+    | exception Ck.Bench_io.Parse_error _ -> true
+    | exception Netlist.Invalid _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "unknown gate" true (bad "INPUT(a)\nz = FROB(a)\n");
+  Alcotest.(check bool) "missing paren" true (bad "INPUT a\n");
+  Alcotest.(check bool) "undefined signal" true (bad "z = NAND(a, b)\n");
+  Alcotest.(check bool) "comment-only ok" true
+    (not (bad "# nothing\nINPUT(a)\nOUTPUT(a)\n"))
+
+let test_bench_comments_and_case () =
+  let nl =
+    Ck.Bench_io.parse_string ~name:"cc"
+      "# header\nINPUT(a)  # trailing\ninput(b)\nOUTPUT(z)\nz = nand(a, b)\n"
+  in
+  Alcotest.(check int) "parsed gates" 1 (Netlist.gate_count nl)
+
+(* ---------- Logic ---------- *)
+
+let test_logic_c17_vectors () =
+  let nl = Ck.Benchmarks.c17 () in
+  (* c17 truth samples (inputs 1,2,3,6,7) computed by hand *)
+  let check_vec inputs expected =
+    Alcotest.(check (list bool)) "outputs" expected
+      (Ck.Logic.outputs_of nl (Array.of_list inputs))
+  in
+  check_vec [ false; false; false; false; false ] [ false; false ];
+  (* 1=1 3=1: 10=NAND(1,1)=0 -> 22=NAND(0,16)=1 *)
+  check_vec [ true; false; true; false; false ] [ true; false ]
+
+let test_logic_equivalence_detects_difference () =
+  let a =
+    Ck.Bench_io.parse_string ~name:"a" "INPUT(x)\nOUTPUT(z)\nz = NOT(x)\n"
+  in
+  let b =
+    Ck.Bench_io.parse_string ~name:"b" "INPUT(x)\nOUTPUT(z)\nz = BUFF(x)\n"
+  in
+  Alcotest.(check bool) "different functions" false
+    (Ck.Logic.equivalent (Rng.create 1L) a b)
+
+(* ---------- Decompose ---------- *)
+
+let test_decompose_primitive_only () =
+  let nl =
+    Ck.Bench_io.parse_string ~name:"mix"
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nOUTPUT(z)\n\
+       w = AND(a, b, c)\nx = XOR(w, d)\ny = OR(x, e)\nz = XNOR(y, a)\n"
+  in
+  let prim = Ck.Decompose.to_primitive nl in
+  Alcotest.(check bool) "is primitive" true (Ck.Decompose.is_primitive prim);
+  Alcotest.(check bool) "still equivalent" true
+    (Ck.Logic.equivalent (Rng.create 2L) nl prim)
+
+let test_decompose_wide_gates () =
+  let wide =
+    Ck.Bench_io.parse_string ~name:"wide"
+      ("INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nINPUT(f)\n\
+        INPUT(g)\nINPUT(h)\nINPUT(i)\nOUTPUT(z)\n"
+      ^ "z = NAND(a, b, c, d, e, f, g, h, i)\n")
+  in
+  let prim = Ck.Decompose.to_primitive ~max_fanin:4 wide in
+  Alcotest.(check bool) "fanin capped" true
+    (Ck.Decompose.is_primitive ~max_fanin:4 prim);
+  Alcotest.(check bool) "wide nand equivalent" true
+    (Ck.Logic.equivalent (Rng.create 3L) wide prim)
+
+let prop_decompose_preserves_function =
+  QCheck.Test.make ~name:"decompose preserves random circuits" ~count:20
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let nl =
+        Ck.Generator.generate
+          {
+            Ck.Generator.default_params with
+            Ck.Generator.g_name = "q";
+            n_inputs = 8;
+            n_outputs = 4;
+            n_gates = 40;
+            seed = Int64.of_int seed;
+          }
+      in
+      let prim = Ck.Decompose.to_primitive nl in
+      Ck.Decompose.is_primitive prim
+      && Ck.Logic.equivalent ~vectors:64 (Rng.create 11L) nl prim)
+
+(* ---------- Generator / Benchmarks ---------- *)
+
+let test_generator_counts () =
+  let p =
+    { Ck.Generator.default_params with Ck.Generator.n_inputs = 12;
+      n_outputs = 5; n_gates = 77; seed = 4L }
+  in
+  let nl = Ck.Generator.generate p in
+  Alcotest.(check int) "pis" 12 (Netlist.pi_count nl);
+  Alcotest.(check int) "gates" 77 (Netlist.gate_count nl);
+  Alcotest.(check int) "outputs" 5 (List.length (Netlist.outputs nl))
+
+let test_generator_deterministic () =
+  let gen () = Ck.Generator.generate Ck.Generator.default_params in
+  Alcotest.(check string) "same text" (Ck.Bench_io.to_string (gen ()))
+    (Ck.Bench_io.to_string (gen ()))
+
+let test_generator_no_constant_lines () =
+  (* the signature guard: every line must be able to take both values *)
+  let nl =
+    Ck.Generator.generate
+      { Ck.Generator.default_params with Ck.Generator.n_gates = 200; seed = 9L }
+  in
+  let rng = Rng.create 123L in
+  let n = Netlist.size nl in
+  let seen0 = Array.make n false and seen1 = Array.make n false in
+  for _ = 1 to 600 do
+    let v = Ck.Logic.random_vector rng nl in
+    let res = Ck.Logic.simulate nl v in
+    Array.iteri
+      (fun i b -> if b then seen1.(i) <- true else seen0.(i) <- true)
+      res
+  done;
+  let stuck = ref 0 in
+  for i = 0 to n - 1 do
+    if not (seen0.(i) && seen1.(i)) then incr stuck
+  done;
+  (* a few rare-sensitization lines may not toggle in 600 vectors, but the
+     pre-fix generator had ~50% stuck lines *)
+  Alcotest.(check bool)
+    (Printf.sprintf "almost no stuck lines (%d)" !stuck)
+    true
+    (!stuck * 20 < n)
+
+let test_benchmark_suite_shapes () =
+  List.iter2
+    (fun nl (pis, pos, gates) ->
+      Alcotest.(check int) "pis" pis (Netlist.pi_count nl);
+      Alcotest.(check int) "pos" pos (List.length (Netlist.outputs nl));
+      Alcotest.(check int) "gates" gates (Netlist.gate_count nl))
+    (Ck.Benchmarks.table2_suite ())
+    [
+      (5, 2, 6); (60, 26, 383); (41, 32, 546); (33, 25, 880); (50, 22, 1669);
+      (207, 108, 3512);
+    ]
+
+let test_benchmark_lookup () =
+  Alcotest.(check bool) "c17" true (Ck.Benchmarks.by_name "c17" <> None);
+  Alcotest.(check bool) "c880s" true (Ck.Benchmarks.by_name "c880s" <> None);
+  Alcotest.(check bool) "missing" true (Ck.Benchmarks.by_name "c6288" = None);
+  Alcotest.(check int) "names" 6 (List.length Ck.Benchmarks.names)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let suites =
+  [
+    ( "circuit.gate",
+      [
+        Alcotest.test_case "truth tables" `Quick test_gate_truth_tables;
+        Alcotest.test_case "arity" `Quick test_gate_arity_checks;
+        Alcotest.test_case "names" `Quick test_gate_names;
+        Alcotest.test_case "metadata" `Quick test_gate_metadata;
+      ] );
+    ( "circuit.netlist",
+      [
+        Alcotest.test_case "build & accessors" `Quick
+          test_netlist_build_and_accessors;
+        Alcotest.test_case "validation" `Quick test_netlist_validation;
+      ] );
+    ( "circuit.bench_io",
+      [
+        Alcotest.test_case "parse c17" `Quick test_bench_parse_c17;
+        Alcotest.test_case "roundtrip" `Quick test_bench_roundtrip;
+        Alcotest.test_case "parse errors" `Quick test_bench_parse_errors;
+        Alcotest.test_case "comments/case" `Quick test_bench_comments_and_case;
+      ] );
+    ( "circuit.logic",
+      [
+        Alcotest.test_case "c17 vectors" `Quick test_logic_c17_vectors;
+        Alcotest.test_case "detects inequivalence" `Quick
+          test_logic_equivalence_detects_difference;
+      ] );
+    ( "circuit.decompose",
+      [
+        Alcotest.test_case "primitive only" `Quick test_decompose_primitive_only;
+        Alcotest.test_case "wide gates" `Quick test_decompose_wide_gates;
+      ] );
+    qsuite "circuit.decompose.props" [ prop_decompose_preserves_function ];
+    ( "circuit.generator",
+      [
+        Alcotest.test_case "counts" `Quick test_generator_counts;
+        Alcotest.test_case "deterministic" `Quick test_generator_deterministic;
+        Alcotest.test_case "no constant lines" `Quick
+          test_generator_no_constant_lines;
+      ] );
+    ( "circuit.benchmarks",
+      [
+        Alcotest.test_case "suite shapes" `Quick test_benchmark_suite_shapes;
+        Alcotest.test_case "lookup" `Quick test_benchmark_lookup;
+      ] );
+  ]

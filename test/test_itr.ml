@@ -1,0 +1,295 @@
+module Ck = Ssd_circuit
+module I = Ssd_itr
+module V = I.Value2f
+module Impl = I.Implication
+module Itr = I.Itr
+module DM = Ssd_core.Delay_model
+module Types = Ssd_core.Types
+module Charlib = Ssd_cell.Charlib
+module Interval = Ssd_util.Interval
+module Rng = Ssd_util.Rng
+module TS = Ssd_sta.Timing_sim
+
+let lib = lazy (Charlib.default ~profile:Charlib.coarse ())
+let v s = Option.get (V.of_string s)
+let c17_prim () = Ck.Decompose.to_primitive (Ck.Benchmarks.c17 ())
+
+(* ---------- Value2f ---------- *)
+
+let test_value_parsing () =
+  List.iter
+    (fun s ->
+      match V.of_string s with
+      | Some x -> Alcotest.(check string) "roundtrip" s (V.to_string x)
+      | None -> Alcotest.fail ("parse " ^ s))
+    [ "00"; "01"; "0x"; "10"; "11"; "1x"; "x0"; "x1"; "xx" ];
+  Alcotest.(check bool) "reject" true (V.of_string "2x" = None);
+  Alcotest.(check bool) "reject length" true (V.of_string "011" = None)
+
+let test_value_states () =
+  Alcotest.(check int) "01 rises definitely" 1 (V.state (v "01") V.Rise);
+  Alcotest.(check int) "xx rises potentially" 0 (V.state (v "xx") V.Rise);
+  Alcotest.(check int) "0x rises potentially" 0 (V.state (v "0x") V.Rise);
+  Alcotest.(check int) "11 never rises" (-1) (V.state (v "11") V.Rise);
+  Alcotest.(check int) "10 never rises" (-1) (V.state (v "10") V.Rise);
+  Alcotest.(check int) "10 falls definitely" 1 (V.state (v "10") V.Fall);
+  Alcotest.(check int) "x0 falls potentially" 0 (V.state (v "x0") V.Fall)
+
+let test_value_meet () =
+  Alcotest.(check bool) "xx meets all" true (V.meet (v "xx") (v "01") = Some (v "01"));
+  Alcotest.(check bool) "0x ∧ x1 = 01" true (V.meet (v "0x") (v "x1") = Some (v "01"));
+  Alcotest.(check bool) "conflict" true (V.meet (v "00") (v "10") = None);
+  Alcotest.(check bool) "narrower" true (V.narrower_or_equal (v "01") (v "0x"));
+  Alcotest.(check bool) "not narrower" false (V.narrower_or_equal (v "0x") (v "01"))
+
+let test_value_forward () =
+  let nand = Ck.Gate.Nand in
+  Alcotest.(check string) "nand 01,01" "10"
+    (V.to_string (V.forward nand [ v "01"; v "01" ]));
+  Alcotest.(check string) "nand 0x,11" "1x"
+    (V.to_string (V.forward nand [ v "0x"; v "11" ]));
+  Alcotest.(check string) "nand x both" "1x"
+    (V.to_string (V.forward nand [ v "0x"; v "1x" ]));
+  Alcotest.(check string) "not 01" "10"
+    (V.to_string (V.forward Ck.Gate.Not [ v "01" ]))
+
+let test_value_backward () =
+  (* NAND out = 0 forces all inputs to 1 in that frame *)
+  (match V.backward Ck.Gate.Nand ~out:(v "0x") [ v "xx"; v "xx" ] with
+  | Some [ a; b ] ->
+    Alcotest.(check string) "a" "1x" (V.to_string a);
+    Alcotest.(check string) "b" "1x" (V.to_string b)
+  | _ -> Alcotest.fail "expected narrowing");
+  (* NAND out = 1 with one input already 1 forces the other to 0 *)
+  (match V.backward Ck.Gate.Nand ~out:(v "x1") [ v "x1"; v "xx" ] with
+  | Some [ _; b ] -> Alcotest.(check string) "forced" "x0" (V.to_string b)
+  | _ -> Alcotest.fail "expected forcing");
+  (* conflict: NAND out = 1 with all inputs at 1 *)
+  Alcotest.(check bool) "conflict" true
+    (V.backward Ck.Gate.Nand ~out:(v "x1") [ v "x1"; v "x1" ] = None);
+  (* NOT inverts through *)
+  (match V.backward Ck.Gate.Not ~out:(v "01") [ v "xx" ] with
+  | Some [ a ] -> Alcotest.(check string) "not backward" "10" (V.to_string a)
+  | _ -> Alcotest.fail "not backward failed")
+
+(* ---------- Implication ---------- *)
+
+let test_implication_c17 () =
+  let nl = Ck.Benchmarks.c17 () in
+  let id s = Option.get (Ck.Netlist.find nl s) in
+  let impl = Impl.create nl in
+  (* force gate 10 = NAND(1,3) to rise: frame1 out=0 needs 1=3=1 *)
+  (match Impl.assign_opt impl (id "10") (v "01") with
+  | Some _ ->
+    Alcotest.(check string) "input 1 narrowed" "1x"
+      (V.to_string (Impl.value impl (id "1")));
+    Alcotest.(check string) "input 3 narrowed" "1x"
+      (V.to_string (Impl.value impl (id "3")))
+  | None -> Alcotest.fail "assign failed");
+  (* now fixing input 1 steady-1 forces input 3 to fall *)
+  (match Impl.assign_opt impl (id "1") (v "11") with
+  | Some _ ->
+    Alcotest.(check string) "sibling forced" "10"
+      (V.to_string (Impl.value impl (id "3")))
+  | None -> Alcotest.fail "second assign failed")
+
+let test_implication_conflict_restores_via_copy () =
+  let nl = Ck.Benchmarks.c17 () in
+  let id s = Option.get (Ck.Netlist.find nl s) in
+  let impl = Impl.create nl in
+  ignore (Impl.assign_opt impl (id "10") (v "01"));
+  let snapshot = Impl.copy impl in
+  Alcotest.(check bool) "conflicting assign fails" true
+    (Impl.assign_opt snapshot (id "10") (v "10") = None);
+  (* original untouched *)
+  Alcotest.(check string) "original intact" "01"
+    (V.to_string (Impl.value impl (id "10")))
+
+let test_implication_full_specification () =
+  let nl = c17_prim () in
+  let impl = Impl.create nl in
+  let rng = Rng.create 5L in
+  List.iter
+    (fun pi ->
+      let choice = if Rng.bool rng then v "01" else v "10" in
+      match Impl.assign_opt impl pi choice with
+      | Some _ -> ()
+      | None -> Alcotest.fail "PI assignment cannot conflict from scratch")
+    (Ck.Netlist.inputs nl);
+  Alcotest.(check int) "everything specified" (Ck.Netlist.size nl)
+    (Impl.specified_count impl)
+
+let test_implication_agrees_with_simulation () =
+  let nl = c17_prim () in
+  let rng = Rng.create 6L in
+  for _ = 1 to 10 do
+    let impl = Impl.create nl in
+    let vec =
+      List.map (fun pi ->
+          let b1 = Rng.bool rng and b2 = Rng.bool rng in
+          ignore (Impl.assign_opt impl pi (V.of_bools b1 b2));
+          (b1, b2))
+        (Ck.Netlist.inputs nl)
+    in
+    let v1 = Ck.Logic.simulate nl (Array.of_list (List.map fst vec)) in
+    let v2 = Ck.Logic.simulate nl (Array.of_list (List.map snd vec)) in
+    Array.iteri
+      (fun i _ ->
+        Alcotest.(check string) "implied value matches simulation"
+          (V.to_string (V.of_bools v1.(i) v2.(i)))
+          (V.to_string (Impl.value impl i)))
+      v1
+  done
+
+(* ---------- ITR ---------- *)
+
+let make_itr nl = Itr.create ~library:(Lazy.force lib) ~model:DM.proposed nl
+
+let test_itr_initial_equals_sta () =
+  let nl = c17_prim () in
+  let itr = make_itr nl in
+  let sta = Ssd_sta.Sta.analyze ~library:(Lazy.force lib) ~model:DM.proposed nl in
+  for i = 0 to Ck.Netlist.size nl - 1 do
+    let st = Ssd_sta.Sta.timing sta i in
+    (match Itr.rise_window itr i with
+    | Some w ->
+      Alcotest.(check bool) "rise equal to STA" true
+        (Interval.equal ~eps:1e-15 w.Types.w_arr st.Ssd_sta.Sta.rise.Types.w_arr)
+    | None -> Alcotest.fail "initial window missing");
+    match Itr.fall_window itr i with
+    | Some w ->
+      Alcotest.(check bool) "fall equal to STA" true
+        (Interval.equal ~eps:1e-15 w.Types.w_arr st.Ssd_sta.Sta.fall.Types.w_arr)
+    | None -> Alcotest.fail "initial fall window missing"
+  done
+
+let test_itr_shrinks_monotonically () =
+  let nl = c17_prim () in
+  let itr = make_itr nl in
+  let rng = Rng.create 8L in
+  let before = ref (Itr.window_width_sum itr) in
+  List.iter
+    (fun pi ->
+      let choice = if Rng.bool rng then v "01" else v "11" in
+      if Itr.assign itr pi choice then begin
+        let now = Itr.window_width_sum itr in
+        Alcotest.(check bool) "width never grows" true (now <= !before +. 1e-15);
+        before := now
+      end)
+    (Ck.Netlist.inputs nl)
+
+let test_itr_impossible_transition_drops_window () =
+  let nl = c17_prim () in
+  let id s = Option.get (Ck.Netlist.find nl s) in
+  let itr = make_itr nl in
+  Alcotest.(check bool) "assign steady" true (Itr.assign itr (id "1") (v "11"));
+  Alcotest.(check bool) "assign steady 3" true (Itr.assign itr (id "3") (v "11"));
+  (* 10 = NAND(1,3) = steady 0: no transitions at all *)
+  Alcotest.(check bool) "no rise window" true (Itr.rise_window itr (id "10") = None);
+  Alcotest.(check bool) "no fall window" true (Itr.fall_window itr (id "10") = None);
+  Alcotest.(check int) "state is -1" (-1) (Itr.state itr (id "10") V.Rise)
+
+let test_itr_definite_refines_latest () =
+  (* with a definite falling input the latest to-controlling response is
+     bounded by that input's own pin-to-pin worst case *)
+  let nl = c17_prim () in
+  let id s = Option.get (Ck.Netlist.find nl s) in
+  let itr = make_itr nl in
+  let before =
+    match Itr.rise_window itr (id "10") with
+    | Some w -> Interval.hi w.Types.w_arr
+    | None -> Alcotest.fail "missing window"
+  in
+  Alcotest.(check bool) "assign falling input" true
+    (Itr.assign itr (id "1") (v "10"));
+  (match Itr.rise_window itr (id "10") with
+  | Some w ->
+    Alcotest.(check bool) "latest refined or kept" true
+      (Interval.hi w.Types.w_arr <= before +. 1e-15)
+  | None -> Alcotest.fail "window should survive");
+  ()
+
+let prop_itr_windows_sound =
+  (* the windows remain sound along any prefix of a full random assignment:
+     the final timing-simulation event always lies inside every prefix's
+     window for its line *)
+  QCheck.Test.make ~name:"ITR windows contain final timing events" ~count:15
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let nl = c17_prim () in
+      let rng = Rng.create (Int64.of_int seed) in
+      let npi = List.length (Ck.Netlist.inputs nl) in
+      let vec = Array.init npi (fun _ -> (Rng.bool rng, Rng.bool rng)) in
+      let pi_spec =
+        { Ssd_sta.Sta.pi_arrival = Interval.point 0.;
+          pi_tt = Interval.point 0.25e-9 }
+      in
+      let lines =
+        TS.simulate ~pi_arrival:0. ~pi_tt:0.25e-9 ~library:(Lazy.force lib)
+          ~model:DM.proposed nl vec
+      in
+      let itr =
+        Itr.create ~pi_spec ~library:(Lazy.force lib) ~model:DM.proposed nl
+      in
+      let sound () =
+        Array.for_all2
+          (fun l i ->
+            match l.TS.event with
+            | None -> true
+            | Some e ->
+              let w =
+                if not l.TS.v1 then Itr.rise_window itr i
+                else Itr.fall_window itr i
+              in
+              (match w with
+              | None -> false
+              | Some w ->
+                Interval.contains w.Types.w_arr e.Types.e_arr))
+          lines
+          (Array.init (Ck.Netlist.size nl) Fun.id)
+      in
+      let ok = ref (sound ()) in
+      List.iteri
+        (fun rank pi ->
+          if !ok then begin
+            let b1, b2 = vec.(rank) in
+            if not (Itr.assign itr pi (V.of_bools b1 b2)) then ok := false
+            else ok := sound ()
+          end)
+        (Ck.Netlist.inputs nl);
+      !ok)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let suites =
+  [
+    ( "itr.value2f",
+      [
+        Alcotest.test_case "parsing" `Quick test_value_parsing;
+        Alcotest.test_case "states" `Quick test_value_states;
+        Alcotest.test_case "meet" `Quick test_value_meet;
+        Alcotest.test_case "forward" `Quick test_value_forward;
+        Alcotest.test_case "backward" `Quick test_value_backward;
+      ] );
+    ( "itr.implication",
+      [
+        Alcotest.test_case "c17 deductions" `Quick test_implication_c17;
+        Alcotest.test_case "conflict isolation" `Quick
+          test_implication_conflict_restores_via_copy;
+        Alcotest.test_case "full specification" `Quick
+          test_implication_full_specification;
+        Alcotest.test_case "agrees with simulation" `Quick
+          test_implication_agrees_with_simulation;
+      ] );
+    ( "itr.refinement",
+      [
+        Alcotest.test_case "initial equals STA" `Slow test_itr_initial_equals_sta;
+        Alcotest.test_case "shrinks monotonically" `Slow
+          test_itr_shrinks_monotonically;
+        Alcotest.test_case "impossible transition" `Slow
+          test_itr_impossible_transition_drops_window;
+        Alcotest.test_case "definite refines latest" `Slow
+          test_itr_definite_refines_latest;
+      ] );
+    qsuite "itr.soundness.props" [ prop_itr_windows_sound ];
+  ]

@@ -1,0 +1,13 @@
+(* Entry point: one Alcotest run covering every library.  The
+   characterization-heavy suites share the coarse cached library via
+   SSD_FAST (set here so a bare `dune runtest` stays fast). *)
+
+let () =
+  (match Sys.getenv_opt "SSD_FAST" with
+  | None -> Unix.putenv "SSD_FAST" "1"
+  | Some _ -> ());
+  Alcotest.run "ssd"
+    (Test_util.suites @ Test_spice.suites @ Test_cell.suites
+   @ Test_core.suites @ Test_circuit.suites @ Test_sta.suites
+   @ Test_itr.suites @ Test_atpg.suites @ Test_extras.suites
+   @ Test_regression.suites)

@@ -1,0 +1,284 @@
+module S = Ssd_spice
+module Pwl = Ssd_util.Pwl
+
+let tech = S.Tech.default
+let vdd = tech.S.Tech.vdd
+
+(* ---------- Device model ---------- *)
+
+let nmos = { S.Device.kind = S.Device.Nmos; w = 2e-6; l = 0.5e-6 }
+let pmos = { S.Device.kind = S.Device.Pmos; w = 2e-6; l = 0.5e-6 }
+
+let test_device_cutoff () =
+  let e = S.Device.eval tech nmos ~vg:0.3 ~vd:vdd ~vs:0. in
+  Alcotest.(check (float 1e-12)) "cutoff current" 0. e.S.Device.id;
+  let ep = S.Device.eval tech pmos ~vg:vdd ~vd:0. ~vs:vdd in
+  Alcotest.(check (float 1e-12)) "pmos cutoff" 0. ep.S.Device.id
+
+let test_device_signs () =
+  (* NMOS with vgs > vt, vds > 0: positive drain->source current *)
+  let e = S.Device.eval tech nmos ~vg:vdd ~vd:vdd ~vs:0. in
+  Alcotest.(check bool) "nmos conducts" true (e.S.Device.id > 1e-5);
+  (* PMOS pulling up: drain low, source at vdd: current flows source->drain,
+     so nominal drain->source current is negative *)
+  let ep = S.Device.eval tech pmos ~vg:0. ~vd:0. ~vs:vdd in
+  Alcotest.(check bool) "pmos pulls up" true (ep.S.Device.id < -1e-5)
+
+let test_device_derivative_sum () =
+  (* currents depend only on voltage differences, so the three partials
+     must sum to zero in every operating region and orientation *)
+  let cases =
+    [
+      (nmos, 2.5, 3.0, 0.);   (* saturation *)
+      (nmos, 3.3, 0.4, 0.);   (* triode *)
+      (nmos, 2.5, 0., 1.5);   (* swapped *)
+      (pmos, 0.5, 0.2, 3.3);  (* pmos on *)
+      (pmos, 0.5, 3.3, 1.0);  (* pmos swapped *)
+    ]
+  in
+  List.iter
+    (fun (dev, vg, vd, vs) ->
+      let e = S.Device.eval tech dev ~vg ~vd ~vs in
+      Alcotest.(check (float 1e-9)) "partials sum to 0" 0.
+        (e.S.Device.gm +. e.S.Device.gds +. e.S.Device.gms))
+    cases
+
+let test_device_derivatives_match_fd () =
+  (* analytic Jacobian entries vs finite differences *)
+  let h = 1e-7 in
+  let cases =
+    [ (nmos, 2.0, 1.0, 0.); (nmos, 2.8, 2.9, 0.3); (pmos, 1.0, 1.5, 3.3) ]
+  in
+  List.iter
+    (fun (dev, vg, vd, vs) ->
+      let id vg vd vs = (S.Device.eval tech dev ~vg ~vd ~vs).S.Device.id in
+      let e = S.Device.eval tech dev ~vg ~vd ~vs in
+      let fd_gm = (id (vg +. h) vd vs -. id (vg -. h) vd vs) /. (2. *. h) in
+      let fd_gds = (id vg (vd +. h) vs -. id vg (vd -. h) vs) /. (2. *. h) in
+      let fd_gms = (id vg vd (vs +. h) -. id vg vd (vs -. h)) /. (2. *. h) in
+      let close a b =
+        Float.abs (a -. b) < 1e-6 +. (1e-3 *. Float.abs b)
+      in
+      Alcotest.(check bool) "gm matches FD" true (close e.S.Device.gm fd_gm);
+      Alcotest.(check bool) "gds matches FD" true (close e.S.Device.gds fd_gds);
+      Alcotest.(check bool) "gms matches FD" true (close e.S.Device.gms fd_gms))
+    cases
+
+let test_device_continuity_at_pinchoff () =
+  (* no current jump at the triode/saturation boundary *)
+  let vg = 2.5 in
+  let vov = vg -. tech.S.Tech.vtn in
+  let below = (S.Device.eval tech nmos ~vg ~vd:(vov -. 1e-9) ~vs:0.).S.Device.id in
+  let above = (S.Device.eval tech nmos ~vg ~vd:(vov +. 1e-9) ~vs:0.).S.Device.id in
+  Alcotest.(check bool) "continuous at pinch-off" true
+    (Float.abs (below -. above) < 1e-9)
+
+(* ---------- DC analysis ---------- *)
+
+let inverter_circuit vin =
+  let c = S.Circuit.create tech in
+  let input = S.Circuit.node c "in" and output = S.Circuit.node c "out" in
+  S.Gates.inverter c ~input ~output;
+  S.Circuit.drive_dc c input vin;
+  (S.Circuit.freeze c, output)
+
+let test_dc_inverter_rails () =
+  let fz, out = inverter_circuit 0. in
+  let v = S.Transient.dc_operating_point fz in
+  Alcotest.(check (float 0.01)) "out high" vdd v.(out);
+  let fz, out = inverter_circuit vdd in
+  let v = S.Transient.dc_operating_point fz in
+  Alcotest.(check (float 0.01)) "out low" 0. v.(out)
+
+let test_dc_inverter_monotone () =
+  let outs =
+    List.map
+      (fun vin ->
+        let fz, out = inverter_circuit vin in
+        (S.Transient.dc_operating_point fz).(out))
+      [ 0.; 0.5; 1.0; 1.5; 2.0; 2.5; 3.0; 3.3 ]
+  in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a >= b -. 1e-6 && decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "VTC monotone decreasing" true (decreasing outs)
+
+(* ---------- Transient analysis ---------- *)
+
+let test_transient_rc_analytic () =
+  (* R-C low-pass step response vs the analytic exponential *)
+  let c = S.Circuit.create tech in
+  let src = S.Circuit.node c "src" and out = S.Circuit.node c "out" in
+  let r = 10e3 and cap = 50e-15 in
+  S.Circuit.add_res c src out r;
+  S.Circuit.add_cap c out S.Circuit.ground cap;
+  S.Circuit.drive c src (Pwl.of_points [ (0., 0.); (1e-12, 1.) ]);
+  let options =
+    { S.Transient.default_options with S.Transient.h = 1e-12; t_stop = 3e-9;
+      settle_window = -1. }
+  in
+  let res = S.Transient.simulate ~options (S.Circuit.freeze c) in
+  let w = S.Transient.waveform res out in
+  let tau = r *. cap in
+  List.iter
+    (fun t ->
+      let expected = 1. -. exp (-.(t -. 1e-12) /. tau) in
+      Alcotest.(check (float 0.02)) (Printf.sprintf "rc at %.1e" t) expected
+        (Pwl.value_at w t))
+    [ 0.5e-9; 1.0e-9; 2.0e-9 ]
+
+let test_transient_inverter_switches () =
+  let c = S.Circuit.create tech in
+  let input = S.Circuit.node c "in" and output = S.Circuit.node c "out" in
+  S.Gates.inverter c ~input ~output;
+  S.Gates.attach_inverter_load c output;
+  S.Circuit.drive c input
+    (S.Gates.rising_input tech ~arrival:1e-9 ~t_transition:0.3e-9);
+  let res = S.Transient.simulate (S.Circuit.freeze c) in
+  let w = S.Transient.waveform res output in
+  Alcotest.(check bool) "starts high" true (Pwl.start_value w > 0.9 *. vdd);
+  Alcotest.(check bool) "ends low" true (S.Measure.swings_to tech w ~high:false);
+  match S.Measure.edge tech w ~rising:false with
+  | Some e ->
+    Alcotest.(check bool) "positive delay" true
+      (e.S.Measure.e_arrival > 1e-9);
+    Alcotest.(check bool) "sane transition" true
+      (e.S.Measure.e_transition > 1e-12 && e.S.Measure.e_transition < 1e-9)
+  | None -> Alcotest.fail "expected falling edge"
+
+let nand2_delay ~both ~skew =
+  let c = S.Circuit.create tech in
+  let g = S.Gates.nand c ~name:"g" ~n:2 in
+  S.Gates.attach_inverter_load c g.S.Gates.output;
+  let a = 2e-9 and t_tr = 0.5e-9 in
+  S.Circuit.drive c g.S.Gates.inputs.(0)
+    (S.Gates.falling_input tech ~arrival:a ~t_transition:t_tr);
+  (if both then
+     S.Circuit.drive c g.S.Gates.inputs.(1)
+       (S.Gates.falling_input tech ~arrival:(a +. skew) ~t_transition:t_tr)
+   else
+     S.Circuit.drive c g.S.Gates.inputs.(1) (S.Gates.steady tech ~level:true));
+  let options = { S.Transient.default_options with S.Transient.t_stop = 8e-9 } in
+  let res = S.Transient.simulate ~options (S.Circuit.freeze c) in
+  let e =
+    S.Measure.edge_exn tech (S.Transient.waveform res g.S.Gates.output)
+      ~rising:true
+  in
+  e.S.Measure.e_arrival -. a
+
+let test_simultaneous_speedup () =
+  let single = nand2_delay ~both:false ~skew:0. in
+  let simultaneous = nand2_delay ~both:true ~skew:0. in
+  Alcotest.(check bool) "simultaneous is faster" true
+    (simultaneous < 0.85 *. single);
+  (* large skew recovers the single-input delay (Figure 2 saturation) *)
+  let saturated = nand2_delay ~both:true ~skew:1.5e-9 in
+  Alcotest.(check bool) "saturates to pin-to-pin" true
+    (Float.abs (saturated -. single) < 0.05 *. single)
+
+let test_vshape_monotone_in_skew () =
+  (* delay grows monotonically from zero skew to saturation (Claim 1/2) *)
+  let ds = List.map (fun sk -> nand2_delay ~both:true ~skew:sk)
+      [ 0.; 0.1e-9; 0.2e-9; 0.35e-9; 0.6e-9 ] in
+  let rec non_decreasing = function
+    | a :: (b :: _ as rest) -> b >= a -. 2e-12 && non_decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "right arm monotone" true (non_decreasing ds)
+
+let test_position_effect () =
+  let delay pos =
+    let c = S.Circuit.create tech in
+    let g = S.Gates.nand c ~name:"g" ~n:5 in
+    S.Gates.attach_inverter_load c g.S.Gates.output;
+    let a = 2e-9 in
+    Array.iteri
+      (fun i node ->
+        if i = pos then
+          S.Circuit.drive c node
+            (S.Gates.falling_input tech ~arrival:a ~t_transition:0.5e-9)
+        else S.Circuit.drive c node (S.Gates.steady tech ~level:true))
+      g.S.Gates.inputs;
+    let options = { S.Transient.default_options with S.Transient.t_stop = 8e-9 } in
+    let res = S.Transient.simulate ~options (S.Circuit.freeze c) in
+    let e =
+      S.Measure.edge_exn tech (S.Transient.waveform res g.S.Gates.output)
+        ~rising:true
+    in
+    e.S.Measure.e_arrival -. a
+  in
+  let d0 = delay 0 and d4 = delay 4 in
+  Alcotest.(check bool) "position 4 slower than position 0" true (d4 > 1.05 *. d0)
+
+let test_nor_gate_function () =
+  (* NOR2: simultaneous rising inputs speed up the falling output *)
+  let run both =
+    let c = S.Circuit.create tech in
+    let g = S.Gates.nor c ~name:"g" ~n:2 in
+    S.Gates.attach_inverter_load c g.S.Gates.output;
+    let a = 2e-9 in
+    S.Circuit.drive c g.S.Gates.inputs.(0)
+      (S.Gates.rising_input tech ~arrival:a ~t_transition:0.5e-9);
+    (if both then
+       S.Circuit.drive c g.S.Gates.inputs.(1)
+         (S.Gates.rising_input tech ~arrival:a ~t_transition:0.5e-9)
+     else S.Circuit.drive c g.S.Gates.inputs.(1) (S.Gates.steady tech ~level:false));
+    let options = { S.Transient.default_options with S.Transient.t_stop = 8e-9 } in
+    let res = S.Transient.simulate ~options (S.Circuit.freeze c) in
+    let e =
+      S.Measure.edge_exn tech (S.Transient.waveform res g.S.Gates.output)
+        ~rising:false
+    in
+    e.S.Measure.e_arrival -. a
+  in
+  Alcotest.(check bool) "nor simultaneous speedup" true (run true < 0.9 *. run false)
+
+let test_gate_builders_validate () =
+  let c = S.Circuit.create tech in
+  Alcotest.check_raises "nand arity" (Invalid_argument "Gates.nand: need n >= 1")
+    (fun () -> ignore (S.Gates.nand c ~name:"x" ~n:0));
+  Alcotest.check_raises "nor arity" (Invalid_argument "Gates.nor: need n >= 1")
+    (fun () -> ignore (S.Gates.nor c ~name:"y" ~n:0))
+
+let test_ramp_arrival_definition () =
+  (* the arrival of a generated input ramp is its 50 % crossing *)
+  let w = S.Gates.falling_input tech ~arrival:2e-9 ~t_transition:0.4e-9 in
+  match Pwl.first_crossing w ~rising:false (0.5 *. vdd) with
+  | Some t -> Alcotest.(check (float 1e-13)) "arrival at 50%" 2e-9 t
+  | None -> Alcotest.fail "expected crossing"
+
+let suites =
+  [
+    ( "spice.device",
+      [
+        Alcotest.test_case "cutoff" `Quick test_device_cutoff;
+        Alcotest.test_case "signs" `Quick test_device_signs;
+        Alcotest.test_case "derivative sum" `Quick test_device_derivative_sum;
+        Alcotest.test_case "derivatives vs FD" `Quick
+          test_device_derivatives_match_fd;
+        Alcotest.test_case "pinch-off continuity" `Quick
+          test_device_continuity_at_pinchoff;
+      ] );
+    ( "spice.dc",
+      [
+        Alcotest.test_case "inverter rails" `Quick test_dc_inverter_rails;
+        Alcotest.test_case "VTC monotone" `Quick test_dc_inverter_monotone;
+      ] );
+    ( "spice.transient",
+      [
+        Alcotest.test_case "RC analytic" `Quick test_transient_rc_analytic;
+        Alcotest.test_case "inverter switches" `Quick
+          test_transient_inverter_switches;
+        Alcotest.test_case "simultaneous speedup" `Slow
+          test_simultaneous_speedup;
+        Alcotest.test_case "V right arm monotone" `Slow
+          test_vshape_monotone_in_skew;
+        Alcotest.test_case "position effect" `Slow test_position_effect;
+        Alcotest.test_case "nor function" `Slow test_nor_gate_function;
+        Alcotest.test_case "builder validation" `Quick
+          test_gate_builders_validate;
+        Alcotest.test_case "ramp arrival definition" `Quick
+          test_ramp_arrival_definition;
+      ] );
+  ]

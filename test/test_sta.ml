@@ -1,0 +1,217 @@
+module Ck = Ssd_circuit
+module Sta = Ssd_sta.Sta
+module TS = Ssd_sta.Timing_sim
+module DM = Ssd_core.Delay_model
+module Types = Ssd_core.Types
+module Charlib = Ssd_cell.Charlib
+module Interval = Ssd_util.Interval
+module Rng = Ssd_util.Rng
+
+let lib = lazy (Charlib.default ~profile:Charlib.coarse ())
+
+let c17_prim () = Ck.Decompose.to_primitive (Ck.Benchmarks.c17 ())
+
+let analyze ?pi_spec model nl =
+  Sta.analyze ?pi_spec ~library:(Lazy.force lib) ~model nl
+
+(* ---------- forward analysis ---------- *)
+
+let test_sta_c17_basic () =
+  let nl = c17_prim () in
+  let t = analyze DM.proposed nl in
+  let w = Sta.po_window t in
+  Alcotest.(check bool) "positive min delay" true (Interval.lo w > 10e-12);
+  Alcotest.(check bool) "max > min" true (Interval.hi w > Interval.lo w);
+  Alcotest.(check bool) "below 2ns for c17" true (Interval.hi w < 2e-9);
+  (* every line window well-formed and later than its fan-ins *)
+  for i = 0 to Ck.Netlist.size nl - 1 do
+    let lt = Sta.timing t i in
+    Alcotest.(check bool) "rise lo<=hi" true
+      (Interval.lo lt.Sta.rise.Types.w_arr <= Interval.hi lt.Sta.rise.Types.w_arr);
+    Alcotest.(check bool) "tt positive" true
+      (Interval.lo lt.Sta.rise.Types.w_tt > 0.)
+  done
+
+let test_sta_models_agree_on_max () =
+  (* Table 2: identical max-delay, proposed min-delay <= pin-to-pin's *)
+  List.iter
+    (fun name ->
+      let nl =
+        Ck.Decompose.to_primitive (Option.get (Ck.Benchmarks.by_name name))
+      in
+      let p = analyze DM.proposed nl in
+      let b = analyze DM.pin_to_pin nl in
+      Alcotest.(check (float 1e-15)) (name ^ " same max") (Sta.max_delay b)
+        (Sta.max_delay p);
+      Alcotest.(check bool) (name ^ " min not larger") true
+        (Sta.min_delay p <= Sta.min_delay b +. 1e-15))
+    [ "c17"; "c880s" ]
+
+let test_sta_rejects_non_primitive () =
+  let nl =
+    Ck.Bench_io.parse_string ~name:"np" "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(a, b)\n"
+  in
+  Alcotest.(check bool) "raises Unsupported_gate" true
+    (match analyze DM.proposed nl with
+    | exception Sta.Unsupported_gate _ -> true
+    | _ -> false)
+
+let test_sta_rejects_windowless_model () =
+  let nl = c17_prim () in
+  Alcotest.(check bool) "jun cannot drive STA" true
+    (match analyze DM.jun nl with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_sta_pi_spec_effect () =
+  let nl = c17_prim () in
+  let tight =
+    {
+      Sta.pi_arrival = Interval.point 0.;
+      pi_tt = Interval.point 0.3e-9;
+    }
+  in
+  let wide =
+    {
+      Sta.pi_arrival = Interval.make 0. 0.4e-9;
+      pi_tt = Interval.make 0.15e-9 0.6e-9;
+    }
+  in
+  let a = analyze ~pi_spec:tight DM.proposed nl in
+  let b = analyze ~pi_spec:wide DM.proposed nl in
+  Alcotest.(check bool) "wider PI spec widens PO window" true
+    (Interval.width (Sta.po_window b) > Interval.width (Sta.po_window a))
+
+(* ---------- required times / violations ---------- *)
+
+let test_sta_required_and_violations () =
+  let nl = c17_prim () in
+  let t = analyze DM.proposed nl in
+  let relaxed = Sta.compute_required t ~clock_period:(2. *. Sta.max_delay t) in
+  Alcotest.(check int) "no violations at relaxed clock" 0
+    (List.length (Sta.violations t relaxed));
+  let tight = Sta.compute_required t ~clock_period:(0.5 *. Sta.max_delay t) in
+  Alcotest.(check bool) "violations at tight clock" true
+    (List.length (Sta.violations t tight) > 0)
+
+let test_sta_required_monotone_backward () =
+  let nl = c17_prim () in
+  let t = analyze DM.proposed nl in
+  let clock = Sta.max_delay t in
+  let q = Sta.compute_required t ~clock_period:clock in
+  (* a PI's latest-allowed must be no later than a PO's *)
+  let po = List.hd (Ck.Netlist.outputs nl) in
+  let pi = List.hd (Ck.Netlist.inputs nl) in
+  Alcotest.(check bool) "requirements tighten backward" true
+    (Interval.hi q.(pi).Sta.q_rise <= Interval.hi q.(po).Sta.q_rise +. 1e-15)
+
+(* ---------- timing simulation ---------- *)
+
+let test_tsim_logic_matches_boolean () =
+  let nl = c17_prim () in
+  let rng = Rng.create 17L in
+  for _ = 1 to 20 do
+    let npi = List.length (Ck.Netlist.inputs nl) in
+    let vec = Array.init npi (fun _ -> (Rng.bool rng, Rng.bool rng)) in
+    let lines = TS.simulate ~library:(Lazy.force lib) ~model:DM.proposed nl vec in
+    let v1 = Ck.Logic.simulate nl (Array.map fst vec) in
+    let v2 = Ck.Logic.simulate nl (Array.map snd vec) in
+    Array.iteri
+      (fun i l ->
+        Alcotest.(check bool) "frame1 matches" l.TS.v1 v1.(i);
+        Alcotest.(check bool) "frame2 matches" l.TS.v2 v2.(i);
+        Alcotest.(check bool) "event iff changed" (l.TS.v1 <> l.TS.v2)
+          (l.TS.event <> None))
+      lines
+  done
+
+let prop_tsim_within_sta_windows =
+  (* the central soundness property: every timing-simulation event falls
+     inside the corresponding STA window *)
+  QCheck.Test.make ~name:"timing simulation within STA windows" ~count:40
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let nl = c17_prim () in
+      let pi_spec =
+        { Sta.pi_arrival = Interval.point 0.; pi_tt = Interval.point 0.25e-9 }
+      in
+      let sta = analyze ~pi_spec DM.proposed nl in
+      let rng = Rng.create (Int64.of_int seed) in
+      let npi = List.length (Ck.Netlist.inputs nl) in
+      let vec = Array.init npi (fun _ -> (Rng.bool rng, Rng.bool rng)) in
+      let lines =
+        TS.simulate ~pi_arrival:0. ~pi_tt:0.25e-9 ~library:(Lazy.force lib)
+          ~model:DM.proposed nl vec
+      in
+      Array.for_all2
+        (fun l i ->
+          match l.TS.event with
+          | None -> true
+          | Some e ->
+            let lt = Sta.timing sta i in
+            let w = if not l.TS.v1 then lt.Sta.rise else lt.Sta.fall in
+            Interval.contains w.Types.w_arr e.Types.e_arr
+            && Interval.contains w.Types.w_tt e.Types.e_tt)
+        lines
+        (Array.init (Ck.Netlist.size nl) Fun.id))
+
+let test_tsim_extra_delay_propagates () =
+  let nl = c17_prim () in
+  (* input 1 falls with 3 and 6 steady-1 and 2 steady-1: 11 = NAND(3,6) = 0
+     makes 16 = 1, so 22 = NAND(10, 16) responds to 10's rise *)
+  let vec = [| (true, false); (true, true); (true, true); (true, true); (false, false) |] in
+  let id s = Option.get (Ck.Netlist.find nl s) in
+  let base = TS.simulate ~library:(Lazy.force lib) ~model:DM.proposed nl vec in
+  let shifted =
+    TS.simulate
+      ~extra_delay:(fun i -> if i = id "10" then 100e-12 else 0.)
+      ~library:(Lazy.force lib) ~model:DM.proposed nl vec
+  in
+  match (base.(id "22").TS.event, shifted.(id "22").TS.event) with
+  | Some b, Some s ->
+    Alcotest.(check bool) "delay propagates downstream" true
+      (s.Types.e_arr -. b.Types.e_arr > 50e-12)
+  | _ -> Alcotest.fail "expected events at output 22"
+
+let test_tsim_po_latest () =
+  let nl = c17_prim () in
+  let vec = [| (true, false); (true, true); (true, true); (true, true); (false, false) |] in
+  let lines = TS.simulate ~library:(Lazy.force lib) ~model:DM.proposed nl vec in
+  (match TS.po_latest nl lines with
+  | Some t -> Alcotest.(check bool) "positive" true (t > 0.)
+  | None -> Alcotest.fail "expected a switching PO");
+  (* all-steady vector: no PO event *)
+  let steady = Array.map (fun (a, _) -> (a, a)) vec in
+  let lines2 = TS.simulate ~library:(Lazy.force lib) ~model:DM.proposed nl steady in
+  Alcotest.(check bool) "no events" true (TS.po_latest nl lines2 = None)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let suites =
+  [
+    ( "sta.forward",
+      [
+        Alcotest.test_case "c17 windows" `Slow test_sta_c17_basic;
+        Alcotest.test_case "models agree on max" `Slow
+          test_sta_models_agree_on_max;
+        Alcotest.test_case "rejects non-primitive" `Slow
+          test_sta_rejects_non_primitive;
+        Alcotest.test_case "rejects windowless model" `Slow
+          test_sta_rejects_windowless_model;
+        Alcotest.test_case "pi spec effect" `Slow test_sta_pi_spec_effect;
+      ] );
+    ( "sta.required",
+      [
+        Alcotest.test_case "violations" `Slow test_sta_required_and_violations;
+        Alcotest.test_case "backward monotone" `Slow
+          test_sta_required_monotone_backward;
+      ] );
+    ( "sta.tsim",
+      [
+        Alcotest.test_case "logic matches" `Slow test_tsim_logic_matches_boolean;
+        Alcotest.test_case "extra delay propagates" `Slow
+          test_tsim_extra_delay_propagates;
+        Alcotest.test_case "po latest" `Slow test_tsim_po_latest;
+      ] );
+    qsuite "sta.tsim.props" [ prop_tsim_within_sta_windows ];
+  ]
