@@ -483,6 +483,92 @@ let ablation () =
   note "the tied-k characterization recovers the missing speed-up"
 
 (* ------------------------------------------------------------------ *)
+(* Parallel / cached STA engine comparison                             *)
+(* ------------------------------------------------------------------ *)
+
+let parsta () =
+  header "Parallel & memoized STA — sequential vs cached vs level-parallel";
+  let lib = Lazy.force library in
+  let lanes = Ssd_sta.Par.default_jobs () in
+  let par_jobs = max 2 lanes in
+  note "host recommends %d domain(s); parallel runs use %d lanes" lanes par_jobs;
+  if lanes <= 1 then begin
+    note "single-core host: extra domains bring scheduling overhead but no";
+    note "extra CPUs, so the parallel column measures pool overhead here; on";
+    note "a multicore host each level fans its gates across the cores."
+  end;
+  let time f =
+    (* best of 5: wall-clock floor is the least noisy single-thread metric *)
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let t = Texttab.create
+      ~header:
+        [ "circuit"; "levels"; "seq (ms)"; "cached (ms)"; "par (ms)";
+          "cache speedup"; "par speedup"; "identical" ]
+  in
+  List.iter
+    (fun name ->
+      let nl = Ck.Decompose.to_primitive (Option.get (Ck.Benchmarks.by_name name)) in
+      let run ~jobs ~cache () =
+        Sta.analyze ~jobs ~cache ~library:lib ~model:DM.proposed nl
+      in
+      let beq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b) in
+      let wins_equal a b =
+        let ok = ref true in
+        for i = 0 to Ck.Netlist.size nl - 1 do
+          let x = Sta.timing a i and y = Sta.timing b i in
+          let w (lt : Sta.line_timing) =
+            [ lt.Sta.rise.Types.w_arr; lt.Sta.rise.Types.w_tt;
+              lt.Sta.fall.Types.w_arr; lt.Sta.fall.Types.w_tt ]
+          in
+          List.iter2
+            (fun u v ->
+              if not (beq (Interval.lo u) (Interval.lo v)
+                      && beq (Interval.hi u) (Interval.hi v))
+              then ok := false)
+            (w x) (w y)
+        done;
+        !ok
+      in
+      let base = run ~jobs:1 ~cache:false () in
+      let identical =
+        wins_equal base (run ~jobs:1 ~cache:true ())
+        && wins_equal base (run ~jobs:par_jobs ~cache:false ())
+        && wins_equal base (run ~jobs:par_jobs ~cache:true ())
+      in
+      let t_seq = time (run ~jobs:1 ~cache:false) in
+      let t_cache = time (run ~jobs:1 ~cache:true) in
+      let t_par = time (run ~jobs:par_jobs ~cache:false) in
+      Texttab.add_row t
+        [
+          name;
+          string_of_int (Ck.Netlist.depth nl);
+          Printf.sprintf "%.1f" (t_seq *. 1e3);
+          Printf.sprintf "%.1f" (t_cache *. 1e3);
+          Printf.sprintf "%.1f" (t_par *. 1e3);
+          Printf.sprintf "%.2fx" (t_seq /. t_cache);
+          Printf.sprintf "%.2fx" (t_seq /. t_par);
+          (if identical then "yes" else "NO");
+        ])
+    [ "c880s"; "c3540s"; "c7552s" ];
+  Texttab.print t;
+  note "'identical' asserts bit-equal windows on every line across all four";
+  note "engine configurations (exact-key memoization + level barriers make";
+  note "the evaluation schedule irrelevant to the result).";
+  note "cache speedup < 1x is expected on the bundled analytic library: a";
+  note "corner search is ~0.1 us of polynomial evaluation, cheaper than a";
+  note "thread-safe memo hit (~0.3 us measured here) — the cache pays off";
+  note "only when per-cell kernels are expensive (table-driven or";
+  note "re-simulated characterizations), which is why Sta.analyze defaults";
+  note "to cache:false."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel performance suite                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -564,6 +650,7 @@ let experiments =
     ("itrshrink", itrshrink);
     ("ablation", ablation);
     ("atpg", atpg);
+    ("parsta", parsta);
     ("perf", perf);
   ]
 

@@ -1,0 +1,56 @@
+(* Smoke test for the bench harness's engine-comparison loop: runs the
+   same sequential / cached / parallel STA configurations parsta times,
+   on a circuit small enough for `dune runtest`, and checks the
+   bit-identical contract.  Catches wiring regressions (pool lifecycle,
+   cache threading) without the cost of the full experiment run. *)
+
+module Ck = Ssd_circuit
+module Sta = Ssd_sta.Sta
+module DM = Ssd_core.Delay_model
+module Types = Ssd_core.Types
+module Charlib = Ssd_cell.Charlib
+module Interval = Ssd_util.Interval
+
+let beq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let wins_equal nl a b =
+  let ok = ref true in
+  for i = 0 to Ck.Netlist.size nl - 1 do
+    let x = Sta.timing a i and y = Sta.timing b i in
+    let w (lt : Sta.line_timing) =
+      [ lt.Sta.rise.Types.w_arr; lt.Sta.rise.Types.w_tt;
+        lt.Sta.fall.Types.w_arr; lt.Sta.fall.Types.w_tt ]
+    in
+    List.iter2
+      (fun u v ->
+        if not (beq (Interval.lo u) (Interval.lo v)
+                && beq (Interval.hi u) (Interval.hi v))
+        then ok := false)
+      (w x) (w y)
+  done;
+  !ok
+
+let () =
+  let lib = Charlib.default ~profile:Charlib.coarse () in
+  let nl = Ck.Decompose.to_primitive (Ck.Benchmarks.c17 ()) in
+  let run ~jobs ~cache =
+    Sta.analyze ~jobs ~cache ~library:lib ~model:DM.proposed nl
+  in
+  let base = run ~jobs:1 ~cache:false in
+  let configs =
+    [ ("cached", run ~jobs:1 ~cache:true);
+      ("par", run ~jobs:4 ~cache:false);
+      ("par+cached", run ~jobs:4 ~cache:true) ]
+  in
+  List.iter
+    (fun (tag, t) ->
+      if not (wins_equal nl base t) then begin
+        Printf.eprintf "bench smoke: %s differs from sequential baseline\n" tag;
+        exit 1
+      end)
+    configs;
+  if not (Sta.max_delay base > 0.) then begin
+    Printf.eprintf "bench smoke: non-positive max delay\n";
+    exit 1
+  end;
+  print_endline "bench smoke: ok"

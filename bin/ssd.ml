@@ -58,11 +58,21 @@ let bench_file_t =
        & info [] ~docv:"FILE.bench" ~doc:"ISCAS85-format netlist, or a suite \
                                           name (c17, c880s, ...).")
 
+let jobs_t =
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+       ~doc:"Execution lanes for the timing analysis: 1 is sequential, \
+             0 picks the recommended domain count, N>1 uses N domains. \
+             Results are identical for any value.")
+
 let load_netlist path =
   match Ck.Benchmarks.by_name path with
   | Some nl -> nl
   | None ->
-    if Sys.file_exists path then Ck.Bench_io.parse_file path
+    if Sys.file_exists path then
+      try Ck.Bench_io.parse_file path
+      with Ck.Bench_io.Parse_error { line; message } ->
+        Printf.eprintf "ssd: %s:%d: %s\n" path line message;
+        exit 2
     else begin
       Printf.eprintf
         "ssd: %S is neither a suite name (%s) nor an existing file\n" path
@@ -108,11 +118,11 @@ let sta_cmd =
          & info [ "clock" ] ~docv:"NS" ~doc:"Clock period in ns for the \
                                              required-time check.")
   in
-  let run verbose fine model file clock =
+  let run verbose fine model file clock jobs =
     setup_logs verbose;
     let lib = library_of fine in
     let nl = Ck.Decompose.to_primitive (load_netlist file) in
-    let t = Sta.analyze ~library:lib ~model nl in
+    let t = Sta.analyze ~jobs ~library:lib ~model nl in
     print_endline (Sta.summary t);
     let table = Texttab.create ~header:[ "PO"; "rise A (ns)"; "fall A (ns)" ] in
     List.iter
@@ -143,7 +153,7 @@ let sta_cmd =
   in
   Cmd.v (Cmd.info "sta" ~doc:"Static timing analysis of a netlist")
     Term.(const run $ verbose_t $ fine_t $ model_t $ bench_file_t
-          $ clock_t)
+          $ clock_t $ jobs_t)
 
 (* ---- atpg ---- *)
 
@@ -163,11 +173,11 @@ let atpg_cmd =
   let seed_t =
     Arg.(value & opt int 99 & info [ "seed" ] ~docv:"N" ~doc:"Extraction seed.")
   in
-  let run verbose fine model file faults no_itr budget seed =
+  let run verbose fine model file faults no_itr budget seed jobs =
     setup_logs verbose;
     let lib = library_of fine in
     let nl = Ck.Decompose.to_primitive (load_netlist file) in
-    let sta = Sta.analyze ~library:lib ~model nl in
+    let sta = Sta.analyze ~jobs ~library:lib ~model nl in
     let sites =
       A.Fault.extract_screened ~count:faults ~seed:(Int64.of_int seed)
         ~library:lib ~model nl
@@ -199,7 +209,7 @@ let atpg_cmd =
   in
   Cmd.v (Cmd.info "atpg" ~doc:"Crosstalk delay-fault test generation")
     Term.(const run $ verbose_t $ fine_t $ model_t $ bench_file_t $ faults_t
-          $ no_itr_t $ budget_t $ seed_t)
+          $ no_itr_t $ budget_t $ seed_t $ jobs_t)
 
 (* ---- gen ---- *)
 

@@ -51,11 +51,11 @@ let parse_string ~name text =
           | None -> fail lineno "unknown gate type %S" fn
           | Some kind ->
             if args = [] then fail lineno "gate %S has no inputs" lhs;
-            gate_defs := (lhs, kind, args) :: !gate_defs)
+            gate_defs := (lineno, lhs, kind, args) :: !gate_defs)
         | None ->
           let fn, args = parse_call lineno line in
           (match (String.uppercase_ascii fn, args) with
-          | "INPUT", [ a ] -> signals := (a, Netlist.Pi) :: !signals
+          | "INPUT", [ a ] -> signals := (lineno, a) :: !signals
           | "OUTPUT", [ a ] -> outputs := a :: !outputs
           | "INPUT", _ | "OUTPUT", _ ->
             fail lineno "%s takes exactly one signal" fn
@@ -66,31 +66,40 @@ let parse_string ~name text =
   let pi_list = List.rev !signals in
   let gates = List.rev !gate_defs in
   let all_names =
-    List.map fst pi_list @ List.map (fun (n, _, _) -> n) gates
+    List.map (fun (ln, n) -> (ln, n)) pi_list
+    @ List.map (fun (ln, n, _, _) -> (ln, n)) gates
   in
   let index = Hashtbl.create 64 in
-  List.iteri (fun i n -> Hashtbl.replace index n i) all_names;
+  List.iteri
+    (fun i (lineno, n) ->
+      if Hashtbl.mem index n then
+        fail lineno "signal %S is defined more than once" n;
+      Hashtbl.add index n i)
+    all_names;
   let resolve lineno s =
     match Hashtbl.find_opt index s with
     | Some i -> i
     | None -> fail lineno "undefined signal %S" s
   in
   let signal_nodes =
-    List.map (fun (n, _) -> (n, Netlist.Pi)) pi_list
+    List.map (fun (_, n) -> (n, Netlist.Pi)) pi_list
     @ List.map
-        (fun (n, kind, args) ->
+        (fun (lineno, n, kind, args) ->
           ( n,
             Netlist.Gate
-              { kind; fanin = Array.of_list (List.map (resolve 0) args) } ))
+              { kind; fanin = Array.of_list (List.map (resolve lineno) args) }
+          ))
         gates
   in
   Netlist.build ~name ~signals:signal_nodes ~outputs:(List.rev !outputs)
 
 let parse_file path =
   let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
   let base = Filename.remove_extension (Filename.basename path) in
   parse_string ~name:base text
 

@@ -11,11 +11,14 @@
 exception Parse_error of { line : int; message : string }
 
 val parse_string : name:string -> string -> Netlist.t
-(** @raise Parse_error on malformed text, {!Netlist.Invalid} on a
-    structurally broken circuit. *)
+(** @raise Parse_error on malformed text — including a signal defined
+    more than once or a fan-in that is never defined, both reported with
+    the offending line number — and {!Netlist.Invalid} on a structurally
+    broken circuit. *)
 
 val parse_file : string -> Netlist.t
-(** Netlist name is the file's basename without extension. *)
+(** Netlist name is the file's basename without extension.  The channel
+    is closed even when reading or parsing raises. *)
 
 val to_string : Netlist.t -> string
 (** Round-trippable ".bench" text. *)

@@ -10,6 +10,7 @@ type t = {
   fanouts : int array array;
   topo : int array;
   levels : int array;
+  by_level : int array array;
 }
 
 exception Invalid of string
@@ -101,7 +102,24 @@ let build ~name ~signals ~outputs =
         levels.(i) <-
           1 + Array.fold_left (fun m j -> max m levels.(j)) (-1) fanin)
     topo;
-  { nl_name = name; names; nodes; by_name; pis; pos; fanouts; topo; levels }
+  let by_level =
+    let depth = Array.fold_left max 0 levels in
+    let counts = Array.make (depth + 1) 0 in
+    Array.iter (fun l -> counts.(l) <- counts.(l) + 1) levels;
+    let groups = Array.map (fun c -> Array.make c (-1)) counts in
+    let fill = Array.make (depth + 1) 0 in
+    (* walk in topological order so each group lists its nodes in a
+       deterministic order consistent with [topo] *)
+    Array.iter
+      (fun i ->
+        let l = levels.(i) in
+        groups.(l).(fill.(l)) <- i;
+        fill.(l) <- fill.(l) + 1)
+      topo;
+    groups
+  in
+  { nl_name = name; names; nodes; by_name; pis; pos; fanouts; topo; levels;
+    by_level }
 
 let name t = t.nl_name
 let size t = Array.length t.nodes
@@ -121,6 +139,7 @@ let fanout t i = t.fanouts.(i)
 let load_of t i = max 1 (Array.length t.fanouts.(i))
 let topo_order t = t.topo
 let level t i = t.levels.(i)
+let levels t = t.by_level
 let depth t = Array.fold_left max 0 t.levels
 
 let fold_gates_topo t ~init ~f =

@@ -51,6 +51,12 @@ val topo_order : t -> int array
 val level : t -> int -> int
 (** Logic level: 0 for PIs, 1 + max fan-in level for gates. *)
 
+val levels : t -> int array array
+(** Node ids grouped by logic level: element [l] lists every node of
+    level [l] in topological order.  Level 0 is the PIs; nodes within a
+    level have no dependencies on one another, so each group can be
+    processed in parallel once all earlier groups are done. *)
+
 val depth : t -> int
 (** Maximum level over all nodes. *)
 

@@ -65,6 +65,18 @@ let extremize which sel cell resp ~pos iv =
 let delay_sel e = e.Charlib.delay
 let tt_sel e = e.Charlib.out_tt
 
+let corner which curve cell resp ~pos iv =
+  let sel = match curve with `Delay -> delay_sel | `Tt -> tt_sel in
+  extremize which sel cell resp ~pos iv
+
+let tied_corner curve cell ~k iv =
+  let fit1 =
+    match curve with
+    | `Delay -> (tied_edge cell ~k).Charlib.delay
+    | `Tt -> (tied_edge cell ~k).Charlib.out_tt
+  in
+  Func1d.min_over (Fit.shape1 fit1) (Fit.eval1 fit1) iv
+
 let with_load_delay cell ~fanout resp (t, v) =
   (t, v +. load_delta_delay cell ~fanout resp)
 
@@ -84,11 +96,9 @@ let max_tt_over cell ~fanout resp ~pos iv =
   with_load_tt cell ~fanout resp (extremize `Max tt_sel cell resp ~pos iv)
 
 let min_tied_delay_over cell ~fanout ~k iv =
-  let fit1 = (tied_edge cell ~k).Charlib.delay in
-  let _, v = Func1d.min_over (Fit.shape1 fit1) (Fit.eval1 fit1) iv in
+  let _, v = tied_corner `Delay cell ~k iv in
   v +. load_delta_delay cell ~fanout Ctl
 
 let min_tied_tt_over cell ~fanout ~k iv =
-  let fit1 = (tied_edge cell ~k).Charlib.out_tt in
-  let _, v = Func1d.min_over (Fit.shape1 fit1) (Fit.eval1 fit1) iv in
+  let _, v = tied_corner `Tt cell ~k iv in
   v +. load_delta_tt cell ~fanout Ctl

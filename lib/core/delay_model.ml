@@ -1,8 +1,10 @@
 type windowing = {
   ctl_window :
-    Ssd_cell.Charlib.cell -> fanout:int -> Types.win_in list -> Types.win;
+    ?cache:Eval_cache.t -> Ssd_cell.Charlib.cell -> fanout:int
+    -> Types.win_in list -> Types.win;
   non_window :
-    Ssd_cell.Charlib.cell -> fanout:int -> Types.win_in list -> Types.win;
+    ?cache:Eval_cache.t -> Ssd_cell.Charlib.cell -> fanout:int
+    -> Types.win_in list -> Types.win;
 }
 
 type t = {

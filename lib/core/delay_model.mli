@@ -8,10 +8,14 @@
 
 type windowing = {
   ctl_window :
-    Ssd_cell.Charlib.cell -> fanout:int -> Types.win_in list -> Types.win;
+    ?cache:Eval_cache.t -> Ssd_cell.Charlib.cell -> fanout:int
+    -> Types.win_in list -> Types.win;
   non_window :
-    Ssd_cell.Charlib.cell -> fanout:int -> Types.win_in list -> Types.win;
+    ?cache:Eval_cache.t -> Ssd_cell.Charlib.cell -> fanout:int
+    -> Types.win_in list -> Types.win;
 }
+(** Window transfer functions; [cache] (optional everywhere) memoizes the
+    per-cell corner searches across gate instances, see {!Eval_cache}. *)
 
 type t = {
   name : string;

@@ -1,0 +1,169 @@
+module Charlib = Ssd_cell.Charlib
+module Sweep = Ssd_cell.Sweep
+module Interval = Ssd_util.Interval
+
+(* The key identifies a corner search up to everything the load-free
+   extremum depends on.  Within one cache (= one characterized library,
+   the unit Sta.analyze works with) a cell is uniquely named by
+   (kind, n); fanout is deliberately absent because the load correction
+   is a constant shift applied outside the cached kernel.
+
+   All fields are immediate ints so hashing and equality never chase
+   boxed values: [k_meta] packs kind (1 bit), n (4), fn (3), resp-or-k
+   (4), pos (4) and the two float sign bits; [k_lo]/[k_hi] carry the low
+   63 bits of the interval endpoints' IEEE encoding.  Together with the
+   sign bits in [k_meta] the key remains an exact image of the floats. *)
+type key = {
+  k_meta : int;
+  k_lo : int;
+  k_hi : int;
+}
+
+type shard = { mutex : Mutex.t; tbl : (key, float * float) Hashtbl.t }
+
+type t = {
+  shards : shard array;
+  quantum : float;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+}
+
+let create ?(shards = 16) ?(quantum = 0.) () =
+  if shards < 1 then invalid_arg "Eval_cache.create: shards < 1";
+  if quantum < 0. || not (Float.is_finite quantum) then
+    invalid_arg "Eval_cache.create: bad quantum";
+  {
+    shards =
+      Array.init shards (fun _ ->
+          { mutex = Mutex.create (); tbl = Hashtbl.create 256 });
+    quantum;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+  }
+
+let hits t = Atomic.get t.hits
+let misses t = Atomic.get t.misses
+
+(* With quantum = 0 the key carries the exact float bits and the cache is
+   a pure memo: results are bit-identical to the uncached engine.  With
+   quantum > 0 the interval itself is widened outward onto the grid
+   before evaluation, so a cached value is a conservative bound for every
+   interval sharing the key and the result stays deterministic no matter
+   which gate instance populates the entry first. *)
+let quantize t iv =
+  if t.quantum = 0. then iv
+  else
+    let q = t.quantum in
+    let lo = Float.of_int (int_of_float (Float.floor (Interval.lo iv /. q))) *. q in
+    let hi = Float.of_int (int_of_float (Float.ceil (Interval.hi iv /. q))) *. q in
+    Interval.make (Float.min lo (Interval.lo iv)) (Float.max hi (Interval.hi iv))
+
+let kind_tag = function Sweep.Nand -> 0 | Sweep.Nor -> 1
+let resp_tag = function Cellfn.Ctl -> 0 | Cellfn.Non -> 1
+
+let lookup t (cell : Charlib.cell) ~fn ~tag ~pos iv compute =
+  let iv = quantize t iv in
+  let lo_bits = Int64.bits_of_float (Interval.lo iv) in
+  let hi_bits = Int64.bits_of_float (Interval.hi iv) in
+  let sign b = Int64.to_int (Int64.shift_right_logical b 63) in
+  let key =
+    {
+      k_meta =
+        kind_tag cell.Charlib.kind
+        lor (cell.Charlib.n lsl 1)
+        lor (fn lsl 5)
+        lor (tag lsl 8)
+        lor (pos lsl 12)
+        lor (sign lo_bits lsl 16)
+        lor (sign hi_bits lsl 17);
+      k_lo = Int64.to_int lo_bits;
+      k_hi = Int64.to_int hi_bits;
+    }
+  in
+  let shard = t.shards.(Hashtbl.hash key mod Array.length t.shards) in
+  Mutex.lock shard.mutex;
+  match Hashtbl.find_opt shard.tbl key with
+  | Some v ->
+    Mutex.unlock shard.mutex;
+    Atomic.incr t.hits;
+    v
+  | None ->
+    (* compute outside the lock: the kernel is pure, so a racing domain
+       at worst duplicates the work and stores the identical value *)
+    Mutex.unlock shard.mutex;
+    Atomic.incr t.misses;
+    let v = compute iv in
+    Mutex.lock shard.mutex;
+    if not (Hashtbl.mem shard.tbl key) then Hashtbl.add shard.tbl key v;
+    Mutex.unlock shard.mutex;
+    v
+
+let fn_tag which curve =
+  match (which, curve) with
+  | `Min, `Delay -> 0
+  | `Max, `Delay -> 1
+  | `Min, `Tt -> 2
+  | `Max, `Tt -> 3
+
+let corner t which curve cell resp ~pos iv =
+  lookup t cell ~fn:(fn_tag which curve) ~tag:(resp_tag resp) ~pos iv
+    (fun iv -> Cellfn.corner which curve cell resp ~pos iv)
+
+let min_delay_over t cell ~fanout resp ~pos iv =
+  let tb, v = corner t `Min `Delay cell resp ~pos iv in
+  (tb, v +. Cellfn.load_delta_delay cell ~fanout resp)
+
+let max_delay_over t cell ~fanout resp ~pos iv =
+  let tb, v = corner t `Max `Delay cell resp ~pos iv in
+  (tb, v +. Cellfn.load_delta_delay cell ~fanout resp)
+
+let min_tt_over t cell ~fanout resp ~pos iv =
+  let tb, v = corner t `Min `Tt cell resp ~pos iv in
+  (tb, v +. Cellfn.load_delta_tt cell ~fanout resp)
+
+let max_tt_over t cell ~fanout resp ~pos iv =
+  let tb, v = corner t `Max `Tt cell resp ~pos iv in
+  (tb, v +. Cellfn.load_delta_tt cell ~fanout resp)
+
+let tied_fn = function `Delay -> 4 | `Tt -> 5
+
+let min_tied_delay_over t cell ~fanout ~k iv =
+  let _, v =
+    lookup t cell ~fn:(tied_fn `Delay) ~tag:k ~pos:0 iv (fun iv ->
+        Cellfn.tied_corner `Delay cell ~k iv)
+  in
+  v +. Cellfn.load_delta_delay cell ~fanout Cellfn.Ctl
+
+let min_tied_tt_over t cell ~fanout ~k iv =
+  let _, v =
+    lookup t cell ~fn:(tied_fn `Tt) ~tag:k ~pos:0 iv (fun iv ->
+        Cellfn.tied_corner `Tt cell ~k iv)
+  in
+  v +. Cellfn.load_delta_tt cell ~fanout Cellfn.Ctl
+
+(* Dispatchers used by the window transfer functions: fall back to the
+   direct Cellfn search when no cache is threaded through. *)
+
+let min_delay_over_opt = function
+  | None -> Cellfn.min_delay_over
+  | Some t -> min_delay_over t
+
+let max_delay_over_opt = function
+  | None -> Cellfn.max_delay_over
+  | Some t -> max_delay_over t
+
+let min_tt_over_opt = function
+  | None -> Cellfn.min_tt_over
+  | Some t -> min_tt_over t
+
+let max_tt_over_opt = function
+  | None -> Cellfn.max_tt_over
+  | Some t -> max_tt_over t
+
+let min_tied_delay_over_opt = function
+  | None -> Cellfn.min_tied_delay_over
+  | Some t -> min_tied_delay_over t
+
+let min_tied_tt_over_opt = function
+  | None -> Cellfn.min_tied_tt_over
+  | Some t -> min_tied_tt_over t

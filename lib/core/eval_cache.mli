@@ -1,0 +1,75 @@
+(** Memo table for the interval corner searches of {!Cellfn}.
+
+    The window transfer functions re-run the same
+    [min_delay_over] / [max_delay_over] / [min_tt_over] / [max_tt_over]
+    (and tied-k) searches for every gate instance of the same cell: on a
+    levelized netlist most gates at a given depth see the same handful of
+    transition-time windows, so the corner search results repeat
+    massively.  This cache keys the load-free kernel on
+    (cell kind, fan-in count, search, response, position, tt-interval)
+    and replays the stored extremum; the linear load correction — a
+    constant shift that cannot move the extremum — is applied per call,
+    which also keeps the table independent of each instance's fanout.
+
+    The table is sharded and mutex-protected: safe to share across the
+    {!Ssd_sta.Par} worker domains.  Because the cached kernel is pure and
+    (at the default [quantum = 0.]) keys carry the exact float bits,
+    results are bit-identical to the uncached engine regardless of
+    evaluation order — sequential, parallel, cached and uncached analyses
+    all agree bit for bit. *)
+
+type t
+
+val create : ?shards:int -> ?quantum:float -> unit -> t
+(** [shards] (default 16) controls lock granularity.  [quantum]
+    (default [0.] = exact keys) optionally snaps interval keys outward
+    onto a grid of that pitch in seconds: nearby intervals then share an
+    entry whose value is evaluated on the widened interval, trading a
+    deterministic, conservative over-approximation for a higher hit
+    rate.  @raise Invalid_argument on a non-positive shard count or a
+    negative/non-finite quantum. *)
+
+val hits : t -> int
+val misses : t -> int
+(** Lifetime counters (atomic; approximate only in their interleaving). *)
+
+(** Cached drop-in equivalents of the {!Cellfn} searches. *)
+
+val min_delay_over : t -> Ssd_cell.Charlib.cell -> fanout:int
+  -> Cellfn.response -> pos:int -> Ssd_util.Interval.t -> float * float
+
+val max_delay_over : t -> Ssd_cell.Charlib.cell -> fanout:int
+  -> Cellfn.response -> pos:int -> Ssd_util.Interval.t -> float * float
+
+val min_tt_over : t -> Ssd_cell.Charlib.cell -> fanout:int
+  -> Cellfn.response -> pos:int -> Ssd_util.Interval.t -> float * float
+
+val max_tt_over : t -> Ssd_cell.Charlib.cell -> fanout:int
+  -> Cellfn.response -> pos:int -> Ssd_util.Interval.t -> float * float
+
+val min_tied_delay_over : t -> Ssd_cell.Charlib.cell -> fanout:int
+  -> k:int -> Ssd_util.Interval.t -> float
+
+val min_tied_tt_over : t -> Ssd_cell.Charlib.cell -> fanout:int
+  -> k:int -> Ssd_util.Interval.t -> float
+
+(** Dispatchers for call sites that thread an optional cache: [None]
+    falls through to the direct {!Cellfn} search. *)
+
+val min_delay_over_opt : t option -> Ssd_cell.Charlib.cell -> fanout:int
+  -> Cellfn.response -> pos:int -> Ssd_util.Interval.t -> float * float
+
+val max_delay_over_opt : t option -> Ssd_cell.Charlib.cell -> fanout:int
+  -> Cellfn.response -> pos:int -> Ssd_util.Interval.t -> float * float
+
+val min_tt_over_opt : t option -> Ssd_cell.Charlib.cell -> fanout:int
+  -> Cellfn.response -> pos:int -> Ssd_util.Interval.t -> float * float
+
+val max_tt_over_opt : t option -> Ssd_cell.Charlib.cell -> fanout:int
+  -> Cellfn.response -> pos:int -> Ssd_util.Interval.t -> float * float
+
+val min_tied_delay_over_opt : t option -> Ssd_cell.Charlib.cell
+  -> fanout:int -> k:int -> Ssd_util.Interval.t -> float
+
+val min_tied_tt_over_opt : t option -> Ssd_cell.Charlib.cell
+  -> fanout:int -> k:int -> Ssd_util.Interval.t -> float

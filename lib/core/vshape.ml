@@ -217,7 +217,7 @@ let non_event cell ~fanout transitions =
 
 (* ----- window transfer functions (STA, Section 4.2) -------------------- *)
 
-let ctl_window cell ~fanout wins =
+let ctl_window ?cache cell ~fanout wins =
   match wins with
   | [] -> invalid_arg "Vshape.ctl_window: no inputs"
   | _ ->
@@ -226,7 +226,9 @@ let ctl_window cell ~fanout wins =
        four {S, L} transition-time corner combinations (paper formula) *)
     let single_min w =
       Interval.lo w.window.w_arr
-      +. snd (Cellfn.min_delay_over cell ~fanout resp ~pos:w.wpos w.window.w_tt)
+      +. snd
+           (Eval_cache.min_delay_over_opt cache cell ~fanout resp ~pos:w.wpos
+              w.window.w_tt)
     in
     let pair_min (wa : win_in) (wb : win_in) =
       let a_s = Interval.lo wa.window.w_arr in
@@ -280,7 +282,9 @@ let ctl_window cell ~fanout wins =
           else
             fold (k + 1)
               (Float.min acc
-                 (a_min +. Cellfn.min_tied_delay_over cell ~fanout ~k t_iv))
+                 (a_min
+                 +. Eval_cache.min_tied_delay_over_opt cache cell ~fanout ~k
+                      t_iv))
         in
         fold 3 a_s
       end
@@ -294,14 +298,16 @@ let ctl_window cell ~fanout wins =
           Float.max acc
             (Interval.hi w.window.w_arr
             +. snd
-                 (Cellfn.max_delay_over cell ~fanout resp ~pos:w.wpos
-                    w.window.w_tt)))
+                 (Eval_cache.max_delay_over_opt cache cell ~fanout resp
+                    ~pos:w.wpos w.window.w_tt)))
         neg_infinity wins
     in
     let a_l = Float.max a_l a_s in
     (* transition-time extremes *)
     let t_s_single w =
-      snd (Cellfn.min_tt_over cell ~fanout resp ~pos:w.wpos w.window.w_tt)
+      snd
+        (Eval_cache.min_tt_over_opt cache cell ~fanout resp ~pos:w.wpos
+           w.window.w_tt)
     in
     let t_s_pair (wa : win_in) (wb : win_in) =
       (* feasible skew interval given both arrival windows *)
@@ -352,7 +358,8 @@ let ctl_window cell ~fanout wins =
           if k > n_present then acc
           else
             fold (k + 1)
-              (Float.min acc (Cellfn.min_tied_tt_over cell ~fanout ~k t_iv))
+              (Float.min acc
+                 (Eval_cache.min_tied_tt_over_opt cache cell ~fanout ~k t_iv))
         in
         fold 3 t_s
       end
@@ -361,13 +368,15 @@ let ctl_window cell ~fanout wins =
       List.fold_left
         (fun acc w ->
           Float.max acc
-            (snd (Cellfn.max_tt_over cell ~fanout resp ~pos:w.wpos w.window.w_tt)))
+            (snd
+               (Eval_cache.max_tt_over_opt cache cell ~fanout resp ~pos:w.wpos
+                  w.window.w_tt)))
         neg_infinity wins
     in
     let t_l = Float.max t_l t_s in
     { w_arr = Interval.make a_s a_l; w_tt = Interval.make t_s t_l }
 
-let non_window cell ~fanout wins =
+let non_window ?cache cell ~fanout wins =
   match wins with
   | [] -> invalid_arg "Vshape.non_window: no inputs"
   | _ ->
@@ -378,8 +387,8 @@ let non_window cell ~fanout wins =
           Float.min acc
             (Interval.lo w.window.w_arr
             +. snd
-                 (Cellfn.min_delay_over cell ~fanout resp ~pos:w.wpos
-                    w.window.w_tt)))
+                 (Eval_cache.min_delay_over_opt cache cell ~fanout resp
+                    ~pos:w.wpos w.window.w_tt)))
         infinity wins
     in
     let a_l =
@@ -388,22 +397,26 @@ let non_window cell ~fanout wins =
           Float.max acc
             (Interval.hi w.window.w_arr
             +. snd
-                 (Cellfn.max_delay_over cell ~fanout resp ~pos:w.wpos
-                    w.window.w_tt)))
+                 (Eval_cache.max_delay_over_opt cache cell ~fanout resp
+                    ~pos:w.wpos w.window.w_tt)))
         neg_infinity wins
     in
     let t_s =
       List.fold_left
         (fun acc w ->
           Float.min acc
-            (snd (Cellfn.min_tt_over cell ~fanout resp ~pos:w.wpos w.window.w_tt)))
+            (snd
+               (Eval_cache.min_tt_over_opt cache cell ~fanout resp ~pos:w.wpos
+                  w.window.w_tt)))
         infinity wins
     in
     let t_l =
       List.fold_left
         (fun acc w ->
           Float.max acc
-            (snd (Cellfn.max_tt_over cell ~fanout resp ~pos:w.wpos w.window.w_tt)))
+            (snd
+               (Eval_cache.max_tt_over_opt cache cell ~fanout resp ~pos:w.wpos
+                  w.window.w_tt)))
         neg_infinity wins
     in
     {

@@ -37,10 +37,13 @@ val non_event : Ssd_cell.Charlib.cell -> fanout:int
 (** To-non-controlling response: the paper keeps pin-to-pin composition
     (latest input + its pin delay). *)
 
-(** {2 Window transfer functions (Section 4.2)} *)
+(** {2 Window transfer functions (Section 4.2)}
 
-val ctl_window : Ssd_cell.Charlib.cell -> fanout:int
+    [cache] memoizes the per-cell corner searches across gate instances
+    (see {!Eval_cache}); omitting it recomputes every search. *)
+
+val ctl_window : ?cache:Eval_cache.t -> Ssd_cell.Charlib.cell -> fanout:int
   -> Types.win_in list -> Types.win
 
-val non_window : Ssd_cell.Charlib.cell -> fanout:int
+val non_window : ?cache:Eval_cache.t -> Ssd_cell.Charlib.cell -> fanout:int
   -> Types.win_in list -> Types.win

@@ -1,0 +1,43 @@
+(** Work pool over OCaml 5 domains for level-parallel window propagation.
+
+    A pool owns [jobs - 1] worker domains (the caller acts as the last
+    lane) and executes indexed parallel-for jobs over them; gates of one
+    topological level are independent, so {!Ssd_sta.Sta.analyze} issues
+    one job per level.  Chunks are handed out through an atomic counter
+    (dynamic self-scheduling) and each job ends in a mutex barrier, which
+    both joins the level and publishes every worker's writes before the
+    next level starts.
+
+    A pool must be driven from a single orchestrating thread: concurrent
+    {!parallel_for} calls on one pool are not supported.  When the pool
+    has a single lane — or a job is smaller than the fan-out cost can
+    justify — the loop runs sequentially in the caller, so a pool is
+    always safe to use regardless of [Domain.recommended_domain_count]. *)
+
+type t
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val create : jobs:int -> t
+(** Spawn a pool with [jobs] lanes ([jobs - 1] domains); [jobs <= 0]
+    means {!default_jobs}.  Call {!shutdown} when done. *)
+
+val jobs : t -> int
+(** Lane count actually in use (>= 1). *)
+
+val parallel_for : t -> ?chunk:int -> n:int -> (int -> unit) -> unit
+(** [parallel_for t ~n fn] runs [fn i] for every [0 <= i < n], fanned
+    across the pool's lanes, and returns once all calls finished.  The
+    function must be safe to call concurrently for distinct indices.
+    Falls back to a plain sequential loop on a 1-lane pool or when [n] is
+    small.  [chunk] overrides the scheduling granularity (default:
+    [n / (lanes * 4)], at least 1).  If any [fn] raises, remaining chunks
+    are abandoned and the first exception is re-raised in the caller
+    after the barrier.  @raise Invalid_argument on [chunk < 1]. *)
+
+val shutdown : t -> unit
+(** Join all worker domains.  Idempotent. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], run, then [shutdown] (also on exception). *)

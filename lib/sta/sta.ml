@@ -55,7 +55,7 @@ let cell_of_gate library kind n_in =
    order defines input positions (index 0 = closest to the output).
    For NAND/NOT the controlling input transition is the fall, and the
    to-controlling response is the output rise; for NOR it is the dual. *)
-let gate_windows ~windowing ~cell ~load fanin_timings =
+let gate_windows ?cache ~windowing ~cell ~load fanin_timings =
   let wins_of sel =
     List.mapi
       (fun idx lt -> { Types.wpos = idx; window = sel lt })
@@ -66,12 +66,17 @@ let gate_windows ~windowing ~cell ~load fanin_timings =
   in
   let ctl_wins = wins_of (fun lt -> if ctl_in_is_fall then lt.fall else lt.rise) in
   let non_wins = wins_of (fun lt -> if ctl_in_is_fall then lt.rise else lt.fall) in
-  let ctl_out = windowing.Delay_model.ctl_window cell ~fanout:load ctl_wins in
-  let non_out = windowing.Delay_model.non_window cell ~fanout:load non_wins in
+  let ctl_out =
+    windowing.Delay_model.ctl_window ?cache cell ~fanout:load ctl_wins
+  in
+  let non_out =
+    windowing.Delay_model.non_window ?cache cell ~fanout:load non_wins
+  in
   if ctl_in_is_fall then { rise = ctl_out; fall = non_out }
   else { rise = non_out; fall = ctl_out }
 
-let analyze ?(pi_spec = default_pi_spec) ~library ~model nl =
+let analyze ?(pi_spec = default_pi_spec) ?(jobs = 1) ?(cache = false) ~library
+    ~model nl =
   let windowing =
     match model.Delay_model.windowing with
     | Some w -> w
@@ -88,13 +93,34 @@ let analyze ?(pi_spec = default_pi_spec) ~library ~model nl =
   let timing =
     Array.make n { rise = pi_win; fall = pi_win }
   in
-  Netlist.iter_gates_topo nl ~f:(fun i kind fanin ->
+  let ecache =
+    if cache then Some (Ssd_core.Eval_cache.create ()) else None
+  in
+  let eval i =
+    match Netlist.node nl i with
+    | Netlist.Pi -> ()
+    | Netlist.Gate { kind; fanin } ->
       let cell = cell_of_gate library kind (Array.length fanin) in
       let fanin_timings =
         Array.to_list (Array.map (fun j -> timing.(j)) fanin)
       in
       let load = Netlist.load_of nl i in
-      timing.(i) <- gate_windows ~windowing ~cell ~load fanin_timings);
+      timing.(i) <- gate_windows ?cache:ecache ~windowing ~cell ~load
+          fanin_timings
+  in
+  (* gates of one topological level are independent; the per-gate window
+     computation is a pure function of the fan-in windows (and the memo
+     cache stores bit-exact replays), so the parallel schedule produces
+     bit-identical results to the sequential walk *)
+  let jobs = if jobs <= 0 then Par.default_jobs () else jobs in
+  if jobs <= 1 then Array.iter eval (Netlist.topo_order nl)
+  else
+    Par.with_pool ~jobs (fun pool ->
+        Array.iter
+          (fun level ->
+            Par.parallel_for pool ~n:(Array.length level) (fun k ->
+                eval level.(k)))
+          (Netlist.levels nl));
   { st_netlist = nl; st_library = library; st_model = model; st_timing = timing }
 
 let netlist t = t.st_netlist

@@ -37,12 +37,30 @@ val cell_of_gate :
 
 val analyze :
   ?pi_spec:pi_spec ->
+  ?jobs:int ->
+  ?cache:bool ->
   library:Ssd_cell.Charlib.t ->
   model:Ssd_core.Delay_model.t ->
   Ssd_circuit.Netlist.t ->
   t
-(** Forward pass only.  @raise Unsupported_gate, or [Invalid_argument]
-    when the model has no window transfer functions. *)
+(** Forward pass only.
+
+    [jobs] (default 1) is the number of execution lanes: [1] walks the
+    netlist sequentially in topological order, [> 1] fans each logic
+    level's gates across that many domains (see {!Par}), and [<= 0]
+    auto-selects [Domain.recommended_domain_count ()].  Results are
+    bit-identical regardless of [jobs].
+
+    [cache] (default [false]) memoizes the per-cell corner searches
+    across gate instances (see {!Ssd_core.Eval_cache}); it never changes
+    the results, only the work done to reach them.  It is off by default
+    because on the bundled analytic library a corner search is a handful
+    of polynomial evaluations (~0.1 us) — cheaper than any thread-safe
+    table hit — so memoization only pays when the per-cell kernels are
+    expensive (table-driven or re-simulated characterizations).
+
+    @raise Unsupported_gate, or [Invalid_argument] when the model has no
+    window transfer functions. *)
 
 val netlist : t -> Ssd_circuit.Netlist.t
 val library : t -> Ssd_cell.Charlib.t

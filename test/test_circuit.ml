@@ -76,6 +76,42 @@ let test_netlist_build_and_accessors () =
   Alcotest.(check bool) "tf of z" true
     (List.sort compare (Netlist.transitive_fanin nl 3) = [ 0; 1; 2 ])
 
+let test_netlist_levels () =
+  let check_partition nl =
+    let lv = Netlist.levels nl in
+    Alcotest.(check int) "group count" (Netlist.depth nl + 1) (Array.length lv);
+    (* a partition of all node ids, each in its own level's group *)
+    let seen = Array.make (Netlist.size nl) false in
+    Array.iteri
+      (fun l group ->
+        Array.iter
+          (fun i ->
+            Alcotest.(check int) "group matches level" l (Netlist.level nl i);
+            Alcotest.(check bool) "no duplicates" false seen.(i);
+            seen.(i) <- true)
+          group)
+      lv;
+    Alcotest.(check bool) "covers all nodes" true (Array.for_all Fun.id seen);
+    (* no fan-in edge inside a group: levels are an independence partition *)
+    Array.iter
+      (fun group ->
+        Array.iter
+          (fun i ->
+            match Netlist.node nl i with
+            | Netlist.Pi -> ()
+            | Netlist.Gate { fanin; _ } ->
+              Array.iter
+                (fun j ->
+                  Alcotest.(check bool) "fan-in at strictly lower level" true
+                    (Netlist.level nl j < Netlist.level nl i))
+                fanin)
+          group)
+      lv
+  in
+  check_partition (tiny ());
+  check_partition (Ck.Benchmarks.c17 ());
+  check_partition (Option.get (Ck.Benchmarks.by_name "c880s"))
+
 let test_netlist_validation () =
   let dup () =
     Netlist.build ~name:"d"
@@ -130,6 +166,29 @@ let test_bench_parse_errors () =
   Alcotest.(check bool) "undefined signal" true (bad "z = NAND(a, b)\n");
   Alcotest.(check bool) "comment-only ok" true
     (not (bad "# nothing\nINPUT(a)\nOUTPUT(a)\n"))
+
+let parse_error_line s =
+  match Ck.Bench_io.parse_string ~name:"bad" s with
+  | exception Ck.Bench_io.Parse_error { line; _ } -> Some line
+  | _ -> None
+
+let test_bench_undefined_signal_line () =
+  (* the gate's own line must be reported, not a placeholder 0 *)
+  Alcotest.(check (option int)) "line of offending gate" (Some 4)
+    (parse_error_line "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = NAND(a, ghost)\n");
+  Alcotest.(check (option int)) "later gate, later line" (Some 5)
+    (parse_error_line
+       "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nw = NOT(a)\nz = NAND(w, ghost)\n")
+
+let test_bench_duplicate_definition () =
+  (* redefining a signal is a parse error at the second definition *)
+  Alcotest.(check (option int)) "duplicate gate def" (Some 5)
+    (parse_error_line
+       "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = NAND(a, b)\nz = NOT(a)\n");
+  Alcotest.(check (option int)) "gate shadowing a PI" (Some 4)
+    (parse_error_line "INPUT(a)\nINPUT(b)\nOUTPUT(a)\na = NOT(b)\n");
+  Alcotest.(check (option int)) "duplicate INPUT" (Some 2)
+    (parse_error_line "INPUT(a)\nINPUT(a)\nOUTPUT(a)\n")
 
 let test_bench_comments_and_case () =
   let nl =
@@ -284,12 +343,17 @@ let suites =
         Alcotest.test_case "build & accessors" `Quick
           test_netlist_build_and_accessors;
         Alcotest.test_case "validation" `Quick test_netlist_validation;
+        Alcotest.test_case "levels" `Quick test_netlist_levels;
       ] );
     ( "circuit.bench_io",
       [
         Alcotest.test_case "parse c17" `Quick test_bench_parse_c17;
         Alcotest.test_case "roundtrip" `Quick test_bench_roundtrip;
         Alcotest.test_case "parse errors" `Quick test_bench_parse_errors;
+        Alcotest.test_case "undefined signal line" `Quick
+          test_bench_undefined_signal_line;
+        Alcotest.test_case "duplicate definition" `Quick
+          test_bench_duplicate_definition;
         Alcotest.test_case "comments/case" `Quick test_bench_comments_and_case;
       ] );
     ( "circuit.logic",

@@ -150,6 +150,92 @@ let test_vshape_multi_input () =
     (Printf.sprintf "3-simultaneous within 40ps (err %.0fps)" (err *. 1e12))
     true (err < 40e-12)
 
+let prop_pair_swap_symmetric =
+  (* pair_delay and pair_out_tt describe one joint event of two inputs:
+     listing the transitions as (a, b) or (b, a) must not matter.  The
+     implementation re-orients by position internally; a tiny absolute
+     tolerance (1e-16 s on ~1e-10 s delays) absorbs the measure-zero
+     corner where the V vertex coincides exactly with saturation. *)
+  QCheck.Test.make ~name:"pair_delay/pair_out_tt symmetric in (a, b)"
+    ~count:120
+    QCheck.(triple (float_range (-1.5e-9) 1.5e-9)
+              (pair (float_range 0.15e-9 2.5e-9) (float_range 0.15e-9 2.5e-9))
+              (int_range 1 4))
+    (fun (skew, (ta, tb), fanout) ->
+      let cell = nand2 () in
+      let a = tr 0 0. ta and b = tr 1 skew tb in
+      let close x y = Float.abs (x -. y) <= 1e-16 in
+      close
+        (Vshape.pair_delay cell ~fanout ~a ~b)
+        (Vshape.pair_delay cell ~fanout ~a:b ~b:a)
+      && close
+           (Vshape.pair_out_tt cell ~fanout ~a ~b)
+           (Vshape.pair_out_tt cell ~fanout ~a:b ~b:a))
+
+(* ---------- Eval_cache ---------- *)
+
+module Eval_cache = Ssd_core.Eval_cache
+
+let test_eval_cache_matches_direct () =
+  let cell = nand2 () in
+  let cache = Eval_cache.create () in
+  let ivs =
+    [ Interval.make 0.2e-9 0.2e-9; Interval.make 0.2e-9 1.4e-9;
+      Interval.make 0.9e-9 2.7e-9 ]
+  in
+  let beq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b) in
+  List.iter
+    (fun iv ->
+      List.iter
+        (fun fanout ->
+          (* two passes over the same queries: the second is all hits *)
+          for _ = 1 to 2 do
+            List.iter
+              (fun pos ->
+                let (t1, d1) =
+                  Cellfn.min_delay_over cell ~fanout Cellfn.Ctl ~pos iv
+                and (t2, d2) =
+                  Eval_cache.min_delay_over cache cell ~fanout Cellfn.Ctl ~pos iv
+                in
+                Alcotest.(check bool) "min delay bit-equal" true
+                  (beq t1 t2 && beq d1 d2);
+                let (u1, e1) =
+                  Cellfn.max_delay_over cell ~fanout Cellfn.Non ~pos iv
+                and (u2, e2) =
+                  Eval_cache.max_delay_over cache cell ~fanout Cellfn.Non ~pos iv
+                in
+                Alcotest.(check bool) "max delay bit-equal" true
+                  (beq u1 u2 && beq e1 e2);
+                Alcotest.(check bool) "min tt bit-equal" true
+                  (beq
+                     (snd (Cellfn.min_tt_over cell ~fanout Cellfn.Ctl ~pos iv))
+                     (snd (Eval_cache.min_tt_over cache cell ~fanout Cellfn.Ctl
+                             ~pos iv)));
+                Alcotest.(check bool) "max tt bit-equal" true
+                  (beq
+                     (snd (Cellfn.max_tt_over cell ~fanout Cellfn.Non ~pos iv))
+                     (snd (Eval_cache.max_tt_over cache cell ~fanout Cellfn.Non
+                             ~pos iv))))
+              [ 0; 1 ]
+          done)
+        [ 1; 3 ])
+    ivs;
+  Alcotest.(check bool) "cache actually hit" true (Eval_cache.hits cache > 0);
+  Alcotest.(check bool) "and missed first" true (Eval_cache.misses cache > 0)
+
+let test_eval_cache_load_independent () =
+  (* the memo key excludes the fanout: querying many loads for one interval
+     costs one kernel evaluation *)
+  let cell = nand2 () in
+  let cache = Eval_cache.create () in
+  let iv = Interval.make 0.3e-9 1.1e-9 in
+  List.iter
+    (fun fanout ->
+      ignore (Eval_cache.min_delay_over cache cell ~fanout Cellfn.Ctl ~pos:0 iv))
+    [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check int) "one miss" 1 (Eval_cache.misses cache);
+  Alcotest.(check int) "rest hits" 4 (Eval_cache.hits cache)
+
 (* ---------- window transfer functions ---------- *)
 
 let win a1 a2 t1 t2 =
@@ -283,6 +369,14 @@ let suites =
         Alcotest.test_case "events" `Slow test_vshape_events;
         Alcotest.test_case "multi-input extension" `Slow
           test_vshape_multi_input;
+      ] );
+    qsuite "core.vshape.props" [ prop_pair_swap_symmetric ];
+    ( "core.eval_cache",
+      [
+        Alcotest.test_case "matches direct search" `Slow
+          test_eval_cache_matches_direct;
+        Alcotest.test_case "load-independent keys" `Slow
+          test_eval_cache_load_independent;
       ] );
     qsuite "core.windows.props"
       [ test_window_contains_point_events; test_window_non_contains_point_events ];

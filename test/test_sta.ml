@@ -82,6 +82,82 @@ let test_sta_pi_spec_effect () =
   Alcotest.(check bool) "wider PI spec widens PO window" true
     (Interval.width (Sta.po_window b) > Interval.width (Sta.po_window a))
 
+(* ---------- parallel / cached evaluation ---------- *)
+
+let exact_win label (a : Types.win) (b : Types.win) =
+  (* bit-identical, not approximately equal: the parallel engine and the
+     memo cache both promise exact replay of the sequential arithmetic *)
+  let eq x y = Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y) in
+  Alcotest.(check bool) label true
+    (eq (Interval.lo a.Types.w_arr) (Interval.lo b.Types.w_arr)
+    && eq (Interval.hi a.Types.w_arr) (Interval.hi b.Types.w_arr)
+    && eq (Interval.lo a.Types.w_tt) (Interval.lo b.Types.w_tt)
+    && eq (Interval.hi a.Types.w_tt) (Interval.hi b.Types.w_tt))
+
+let check_deterministic name nl =
+  let nl = Ck.Decompose.to_primitive nl in
+  let lib = Lazy.force lib in
+  let base = Sta.analyze ~jobs:1 ~cache:false ~library:lib ~model:DM.proposed nl in
+  let runs =
+    [
+      ("cached", Sta.analyze ~jobs:1 ~cache:true ~library:lib ~model:DM.proposed nl);
+      ("par", Sta.analyze ~jobs:4 ~cache:false ~library:lib ~model:DM.proposed nl);
+      ("par+cached", Sta.analyze ~jobs:4 ~cache:true ~library:lib ~model:DM.proposed nl);
+    ]
+  in
+  for i = 0 to Ck.Netlist.size nl - 1 do
+    let b = Sta.timing base i in
+    List.iter
+      (fun (tag, t) ->
+        let x = Sta.timing t i in
+        exact_win (Printf.sprintf "%s %s rise @%d" name tag i) b.Sta.rise x.Sta.rise;
+        exact_win (Printf.sprintf "%s %s fall @%d" name tag i) b.Sta.fall x.Sta.fall)
+      runs
+  done
+
+let test_sta_parallel_deterministic () =
+  check_deterministic "c17" (Ck.Benchmarks.c17 ());
+  check_deterministic "c880s" (Option.get (Ck.Benchmarks.by_name "c880s"))
+
+let test_sta_jobs_auto () =
+  (* jobs <= 0 selects the domain count; result must still match *)
+  let nl = c17_prim () in
+  let lib = Lazy.force lib in
+  let a = Sta.analyze ~jobs:1 ~library:lib ~model:DM.proposed nl in
+  let b = Sta.analyze ~jobs:0 ~library:lib ~model:DM.proposed nl in
+  for i = 0 to Ck.Netlist.size nl - 1 do
+    exact_win "auto rise" (Sta.timing a i).Sta.rise (Sta.timing b i).Sta.rise;
+    exact_win "auto fall" (Sta.timing a i).Sta.fall (Sta.timing b i).Sta.fall
+  done
+
+let test_par_pool_basics () =
+  let module Par = Ssd_sta.Par in
+  Par.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check int) "lanes" 4 (Par.jobs pool);
+      (* sums every index exactly once, over several jobs on one pool *)
+      for round = 1 to 3 do
+        let n = 1000 * round in
+        let hits = Array.make n 0 in
+        Par.parallel_for pool ~n (fun i -> hits.(i) <- hits.(i) + 1);
+        Alcotest.(check bool)
+          (Printf.sprintf "each index once (n=%d)" n)
+          true
+          (Array.for_all (fun c -> c = 1) hits)
+      done;
+      (* an exception in a worker chunk reaches the caller *)
+      Alcotest.(check bool) "exception propagates" true
+        (match
+           Par.parallel_for pool ~n:100 (fun i ->
+               if i = 57 then failwith "boom")
+         with
+        | exception Failure _ -> true
+        | () -> false);
+      (* the pool survives a failed job *)
+      let total = Atomic.make 0 in
+      Par.parallel_for pool ~n:100 (fun i ->
+          ignore (Atomic.fetch_and_add total i));
+      Alcotest.(check int) "pool usable after failure" 4950 (Atomic.get total))
+
 (* ---------- required times / violations ---------- *)
 
 let test_sta_required_and_violations () =
@@ -199,6 +275,12 @@ let suites =
         Alcotest.test_case "rejects windowless model" `Slow
           test_sta_rejects_windowless_model;
         Alcotest.test_case "pi spec effect" `Slow test_sta_pi_spec_effect;
+      ] );
+    ( "sta.parallel",
+      [
+        Alcotest.test_case "bit-identical" `Slow test_sta_parallel_deterministic;
+        Alcotest.test_case "jobs auto" `Slow test_sta_jobs_auto;
+        Alcotest.test_case "pool basics" `Quick test_par_pool_basics;
       ] );
     ( "sta.required",
       [
