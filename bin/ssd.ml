@@ -60,9 +60,10 @@ let bench_file_t =
 
 let jobs_t =
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
-       ~doc:"Execution lanes for the timing analysis: 1 is sequential, \
-             0 picks the recommended domain count, N>1 uses N domains. \
-             Results are identical for any value.")
+       ~doc:"Execution lanes for the timing analysis and the fault \
+             simulator: 1 is sequential, 0 picks the recommended domain \
+             count, N>1 uses N domains. Results are identical for any \
+             value.")
 
 let load_netlist path =
   match Ck.Benchmarks.by_name path with
@@ -205,6 +206,29 @@ let atpg_cmd =
       "detected %d, undetectable %d, aborted %d -> efficiency %.2f%%\n"
       stats.A.Atpg.detected stats.A.Atpg.undetectable stats.A.Atpg.aborted
       (A.Atpg.efficiency stats);
+    (* fault-simulate the generated test set over the whole fault list:
+       [--jobs] threads through to the incremental fault simulator *)
+    let tests =
+      List.filter_map
+        (fun r ->
+          match r.A.Atpg.outcome with
+          | A.Atpg.Detected v -> Some v
+          | A.Atpg.Undetectable | A.Atpg.Aborted -> None)
+        results
+    in
+    (match tests with
+    | [] -> ()
+    | _ ->
+      let fs =
+        A.Fault_sim.simulate ~jobs ~library:lib ~model
+          ~clock_period:(Sta.max_delay sta) nl sites tests
+      in
+      Printf.printf
+        "fault simulation of the %d generated test(s): %d/%d sites \
+         detected, coverage %.2f%%\n"
+        (List.length tests)
+        (List.length fs.A.Fault_sim.detected)
+        (List.length sites) fs.A.Fault_sim.coverage);
     0
   in
   Cmd.v (Cmd.info "atpg" ~doc:"Crosstalk delay-fault test generation")

@@ -3,9 +3,17 @@
     Given a set of two-pattern vectors (e.g. a generated test set, or
     random patterns for comparison), determine which faults of a list each
     vector detects, with fault dropping.  The expensive faulty-circuit
-    timing simulation runs only for faults whose excitation and alignment
-    conditions already hold under the fault-free simulation of the
-    vector. *)
+    timing evaluation runs only for faults whose excitation and alignment
+    conditions already hold under the shared fault-free simulation of the
+    vector — and, with the default {!Cone} engine, re-times only the
+    victim's transitive fanout cone instead of the whole circuit
+    ({!Ssd_sta.Timing_sim.resimulate_cone}).  Surviving (site, vector)
+    evaluations fan out across an {!Ssd_sta.Par} domain pool. *)
+
+type engine =
+  | Full  (** re-simulate the entire circuit per faulty evaluation — the
+              pre-incremental baseline, kept for the [faultsim] bench *)
+  | Cone  (** cone-restricted incremental re-simulation (default) *)
 
 type result = {
   coverage : float;             (** detected / total, percent *)
@@ -14,6 +22,8 @@ type result = {
 }
 
 val simulate :
+  ?jobs:int ->
+  ?engine:engine ->
   library:Ssd_cell.Charlib.t ->
   model:Ssd_core.Delay_model.t ->
   clock_period:float ->
@@ -21,6 +31,13 @@ val simulate :
   Fault.site list ->
   (bool * bool) array list ->
   result
+(** [jobs] (default 1: sequential) is the lane count of the domain pool
+    the fault-free simulations and the surviving faulty evaluations are
+    fanned across; [jobs <= 0] picks the recommended domain count.
+    Results are identical for every [jobs] and [engine] combination:
+    fault dropping records each site's {e earliest} detecting vector
+    index, so the parallel block schedule folds back to exactly the
+    sequential walk's [detected] / [coverage] / [undetected]. *)
 
 val random_vectors :
   seed:int64 -> count:int -> Ssd_circuit.Netlist.t -> (bool * bool) array list

@@ -22,36 +22,47 @@ let to_string = function
   | Not -> "NOT"
   | Buf -> "BUFF"
 
-let eval kind inputs =
+let eval_fanin kind get n =
   let arity_one () =
-    match inputs with
-    | [ v ] -> v
-    | _ -> invalid_arg "Gate.eval: NOT/BUF take exactly one input"
+    if n <> 1 then invalid_arg "Gate.eval: NOT/BUF take exactly one input"
   in
   let non_empty () =
-    if inputs = [] then invalid_arg "Gate.eval: gate with no inputs"
+    if n < 1 then invalid_arg "Gate.eval: gate with no inputs"
+  in
+  let rec all i = i >= n || (get i && all (i + 1)) in
+  let rec any i = i < n && (get i || any (i + 1)) in
+  let rec parity acc i =
+    if i >= n then acc else parity (if get i then not acc else acc) (i + 1)
   in
   match kind with
-  | Not -> not (arity_one ())
-  | Buf -> arity_one ()
+  | Not ->
+    arity_one ();
+    not (get 0)
+  | Buf ->
+    arity_one ();
+    get 0
   | And ->
     non_empty ();
-    List.for_all Fun.id inputs
+    all 0
   | Nand ->
     non_empty ();
-    not (List.for_all Fun.id inputs)
+    not (all 0)
   | Or ->
     non_empty ();
-    List.exists Fun.id inputs
+    any 0
   | Nor ->
     non_empty ();
-    not (List.exists Fun.id inputs)
+    not (any 0)
   | Xor ->
     non_empty ();
-    List.fold_left (fun acc v -> if v then not acc else acc) false inputs
+    parity false 0
   | Xnor ->
     non_empty ();
-    not (List.fold_left (fun acc v -> if v then not acc else acc) false inputs)
+    not (parity false 0)
+
+let eval kind inputs =
+  let a = Array.of_list inputs in
+  eval_fanin kind (Array.get a) (Array.length a)
 
 let controlling_value = function
   | And | Nand -> Some false

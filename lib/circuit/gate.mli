@@ -11,6 +11,14 @@ val eval : kind -> bool list -> bool
 (** @raise Invalid_argument on an arity violation (NOT/BUF take exactly
     one input; the others at least one). *)
 
+val eval_fanin : kind -> (int -> bool) -> int -> bool
+(** [eval_fanin kind get n] evaluates the gate on the input values
+    [get 0 .. get (n - 1)] without building an intermediate list — the
+    allocation-free core used by the simulators' inner loops ([get]
+    typically indexes straight into a value array through the gate's
+    fan-in array).  Short-circuits like {!eval} and raises the same
+    arity errors. *)
+
 val controlling_value : kind -> bool option
 (** The value that alone determines the output (AND/NAND: false,
     OR/NOR: true); [None] for XOR/XNOR/NOT/BUF. *)

@@ -5,8 +5,10 @@ let simulate nl pi_values =
   let values = Array.make (Netlist.size nl) false in
   List.iteri (fun rank i -> values.(i) <- pi_values.(rank)) pis;
   Netlist.iter_gates_topo nl ~f:(fun i kind fanin ->
-      let ins = Array.to_list (Array.map (fun j -> values.(j)) fanin) in
-      values.(i) <- Gate.eval kind ins);
+      values.(i) <-
+        Gate.eval_fanin kind
+          (fun p -> values.(fanin.(p)))
+          (Array.length fanin));
   values
 
 let outputs_of nl pi_values =
@@ -25,22 +27,31 @@ let equivalent ?(vectors = 256) rng a b =
   if names a <> names b || out_names a <> out_names b then false
   else begin
     let pi_names_a = List.map (Netlist.signal_name a) (Netlist.inputs a) in
-    (* map a's PI rank to b's PI rank via names *)
+    (* map a's PI rank to b's PI rank via names; a name absent from b
+       means the netlists cannot be matched, never a raised Not_found *)
     let b_rank =
       let tbl = Hashtbl.create 16 in
       List.iteri
         (fun rank i -> Hashtbl.replace tbl (Netlist.signal_name b i) rank)
         (Netlist.inputs b);
-      List.map (fun nm -> Hashtbl.find tbl nm) pi_names_a
+      List.fold_right
+        (fun nm acc ->
+          match (Hashtbl.find_opt tbl nm, acc) with
+          | Some r, Some rest -> Some (r :: rest)
+          | None, _ | _, None -> None)
+        pi_names_a (Some [])
     in
-    let rec loop k =
-      if k >= vectors then true
-      else begin
-        let va = random_vector rng a in
-        let vb = Array.make (Array.length va) false in
-        List.iteri (fun ra rb -> vb.(rb) <- va.(ra)) b_rank;
-        if outputs_of a va <> outputs_of b vb then false else loop (k + 1)
-      end
-    in
-    loop 0
+    match b_rank with
+    | None -> false
+    | Some b_rank ->
+      let rec loop k =
+        if k >= vectors then true
+        else begin
+          let va = random_vector rng a in
+          let vb = Array.make (Array.length va) false in
+          List.iteri (fun ra rb -> vb.(rb) <- va.(ra)) b_rank;
+          if outputs_of a va <> outputs_of b vb then false else loop (k + 1)
+        end
+      in
+      loop 0
   end

@@ -1,5 +1,10 @@
 type node = Pi | Gate of { kind : Gate.kind; fanin : int array }
 
+type cone = {
+  cone_nodes : int array;
+  cone_member : bool array;
+}
+
 type t = {
   nl_name : string;
   names : string array;
@@ -11,6 +16,8 @@ type t = {
   topo : int array;
   levels : int array;
   by_level : int array array;
+  cones : (int, cone) Hashtbl.t;
+  cone_lock : Mutex.t;
 }
 
 exception Invalid of string
@@ -119,7 +126,7 @@ let build ~name ~signals ~outputs =
     groups
   in
   { nl_name = name; names; nodes; by_name; pis; pos; fanouts; topo; levels;
-    by_level }
+    by_level; cones = Hashtbl.create 16; cone_lock = Mutex.create () }
 
 let name t = t.nl_name
 let size t = Array.length t.nodes
@@ -182,6 +189,52 @@ let transitive_fanin t i =
 
 let transitive_fanout t i =
   transitive_closure (fun t j -> Array.to_list t.fanouts.(j)) t i
+
+let compute_cone t i =
+  let n = size t in
+  let member = Array.make n false in
+  let rec visit j =
+    if not member.(j) then begin
+      member.(j) <- true;
+      Array.iter visit t.fanouts.(j)
+    end
+  in
+  visit i;
+  let count = Array.fold_left (fun c m -> if m then c + 1 else c) 0 member in
+  let nodes = Array.make count (-1) in
+  let fill = ref 0 in
+  Array.iter
+    (fun j ->
+      if member.(j) then begin
+        nodes.(!fill) <- j;
+        incr fill
+      end)
+    t.topo;
+  { cone_nodes = nodes; cone_member = member }
+
+let fanout_cone t i =
+  if i < 0 || i >= size t then
+    invalid_arg "Netlist.fanout_cone: node id out of range";
+  Mutex.lock t.cone_lock;
+  match Hashtbl.find_opt t.cones i with
+  | Some c ->
+    Mutex.unlock t.cone_lock;
+    c
+  | None ->
+    Mutex.unlock t.cone_lock;
+    (* compute outside the lock: a racing duplicate computation is
+       harmless, and the first insertion wins so callers share one cone *)
+    let c = compute_cone t i in
+    Mutex.lock t.cone_lock;
+    let c =
+      match Hashtbl.find_opt t.cones i with
+      | Some prior -> prior
+      | None ->
+        Hashtbl.replace t.cones i c;
+        c
+    in
+    Mutex.unlock t.cone_lock;
+    c
 
 let stats t =
   Printf.sprintf "%s: %d PIs, %d POs, %d gates, depth %d" t.nl_name

@@ -70,5 +70,23 @@ val transitive_fanin : t -> int -> int list
 
 val transitive_fanout : t -> int -> int list
 
+type cone = {
+  cone_nodes : int array;
+      (** the root line followed by every node it can reach, listed in
+          the netlist's topological order *)
+  cone_member : bool array;
+      (** size {!size}: [cone_member.(j)] iff [j] is the root or in its
+          transitive fanout *)
+}
+(** Transitive-fanout cone of one line — the set of lines whose timing
+    can change when the root line's delay changes.  Treat both arrays as
+    read-only: cones are cached and shared between callers. *)
+
+val fanout_cone : t -> int -> cone
+(** Cached cone lookup: the first call per root computes and memoizes
+    the cone, later calls (from any domain — the cache is
+    mutex-protected) return the same structure.
+    @raise Invalid_argument on an out-of-range node id. *)
+
 val stats : t -> string
 (** One-line human-readable summary. *)

@@ -9,6 +9,70 @@ type line = { v1 : bool; v2 : bool; event : Types.event option }
 let rising l = (not l.v1) && l.v2
 let falling l = l.v1 && not l.v2
 
+(* Event computation for one gate, shared by the full simulation and the
+   cone resimulation.  [get] reads the line of a fan-in id; both callers
+   perform the same floating-point operations in the same order, which is
+   what makes cone resimulation bit-identical to a full run. *)
+let gate_event ~library ~model ~pi_tt ~extra_delay nl ~get i kind fanin v1 v2 =
+  let cell =
+    (* reuse the STA cell lookup (including its unsupported-gate error
+       reporting); looked up even for a static output so non-primitive
+       gates are always rejected *)
+    Sta.cell_of_gate library kind (Array.length fanin)
+  in
+  if v1 = v2 then None
+  else begin
+    let load = Netlist.load_of nl i in
+    let ctl_in_is_fall =
+      match cell.Charlib.kind with
+      | Sweep.Nand -> true
+      | Sweep.Nor -> false
+    in
+    let out_rises = (not v1) && v2 in
+    (* which input transition direction caused this response *)
+    let causal_is_ctl = out_rises = ctl_in_is_fall in
+    let wanted l =
+      if causal_is_ctl then
+        if ctl_in_is_fall then falling l else rising l
+      else if ctl_in_is_fall then rising l
+      else falling l
+    in
+    let transitions =
+      let acc = ref [] in
+      for pos = Array.length fanin - 1 downto 0 do
+        let l = get fanin.(pos) in
+        match l.event with
+        | Some e when wanted l ->
+          acc :=
+            { Types.pos; arrival = e.Types.e_arr; t_tr = e.Types.e_tt }
+            :: !acc
+        | Some _ | None -> ()
+      done;
+      !acc
+    in
+    match transitions with
+    | [] ->
+      (* a static output change without a causal input event can only
+         arise from a hazard we do not model; treat as instantaneous
+         inheritance of the latest input event *)
+      let latest =
+        Array.fold_left
+          (fun acc j ->
+            match (get j).event with
+            | Some e -> Float.max acc e.Types.e_arr
+            | None -> acc)
+          0. fanin
+      in
+      Some { Types.e_arr = latest +. extra_delay i; e_tt = pi_tt }
+    | _ ->
+      let e =
+        if causal_is_ctl then
+          model.Delay_model.ctl_event cell ~fanout:load transitions
+        else model.Delay_model.non_event cell ~fanout:load transitions
+      in
+      Some { e with Types.e_arr = e.Types.e_arr +. extra_delay i }
+  end
+
 let simulate ?(pi_arrival = 0.) ?(pi_tt = 0.25e-9) ?(extra_delay = fun _ -> 0.)
     ~library ~model nl vectors =
   let pis = Netlist.inputs nl in
@@ -30,76 +94,46 @@ let simulate ?(pi_arrival = 0.) ?(pi_tt = 0.25e-9) ?(extra_delay = fun _ -> 0.)
       in
       lines.(i) <- { v1; v2; event })
     pis;
+  let get j = lines.(j) in
   Netlist.iter_gates_topo nl ~f:(fun i kind fanin ->
-      let cell =
-        (* reuse the STA cell lookup (including its unsupported-gate
-           error reporting) *)
-        Sta.cell_of_gate library kind (Array.length fanin)
-      in
-      let ins = Array.map (fun j -> lines.(j)) fanin in
-      let frame sel =
-        Ssd_circuit.Gate.eval kind
-          (Array.to_list (Array.map sel ins))
-      in
-      let v1 = frame (fun l -> l.v1) in
-      let v2 = frame (fun l -> l.v2) in
+      let n_in = Array.length fanin in
+      let v1 = Ssd_circuit.Gate.eval_fanin kind (fun p -> lines.(fanin.(p)).v1) n_in in
+      let v2 = Ssd_circuit.Gate.eval_fanin kind (fun p -> lines.(fanin.(p)).v2) n_in in
       let event =
-        if v1 = v2 then None
-        else begin
-          let load = Netlist.load_of nl i in
-          let ctl_in_is_fall =
-            match cell.Charlib.kind with
-            | Sweep.Nand -> true
-            | Sweep.Nor -> false
-          in
-          let out_rises = (not v1) && v2 in
-          (* which input transition direction caused this response *)
-          let causal_is_ctl = out_rises = ctl_in_is_fall in
-          let wanted l =
-            if causal_is_ctl then
-              if ctl_in_is_fall then falling l else rising l
-            else if ctl_in_is_fall then rising l
-            else falling l
-          in
-          let transitions =
-            Array.to_list ins
-            |> List.mapi (fun pos l -> (pos, l))
-            |> List.filter_map (fun (pos, l) ->
-                   match l.event with
-                   | Some e when wanted l ->
-                     Some
-                       {
-                         Types.pos;
-                         arrival = e.Types.e_arr;
-                         t_tr = e.Types.e_tt;
-                       }
-                   | Some _ | None -> None)
-          in
-          match transitions with
-          | [] ->
-            (* a static output change without a causal input event can
-               only arise from a hazard we do not model; treat as
-               instantaneous inheritance of the latest input event *)
-            let latest =
-              Array.fold_left
-                (fun acc l ->
-                  match l.event with
-                  | Some e -> Float.max acc e.Types.e_arr
-                  | None -> acc)
-                0. ins
-            in
-            Some { Types.e_arr = latest +. extra_delay i; e_tt = pi_tt }
-          | _ ->
-            let e =
-              if causal_is_ctl then
-                model.Delay_model.ctl_event cell ~fanout:load transitions
-              else model.Delay_model.non_event cell ~fanout:load transitions
-            in
-            Some { e with Types.e_arr = e.Types.e_arr +. extra_delay i }
-        end
+        gate_event ~library ~model ~pi_tt ~extra_delay nl ~get i kind fanin v1 v2
       in
       lines.(i) <- { v1; v2; event });
   lines
+
+let resimulate_cone ?(pi_arrival = 0.) ?(pi_tt = 0.25e-9) ~library ~model nl
+    ~base ~cone ~extra_delay =
+  if Array.length base <> Netlist.size nl then
+    invalid_arg "Timing_sim.resimulate_cone: line array size mismatch";
+  (* copy-on-write scratch: every line outside the cone — in particular
+     any primary output the fault cannot reach — keeps the fault-free
+     record; only cone lines are re-evaluated, in topological order *)
+  let out = Array.copy base in
+  Array.iter
+    (fun i ->
+      match Netlist.node nl i with
+      | Netlist.Pi ->
+        let l = base.(i) in
+        let event =
+          if l.v1 <> l.v2 then
+            Some { Types.e_arr = pi_arrival +. extra_delay i; e_tt = pi_tt }
+          else None
+        in
+        out.(i) <- { l with event }
+      | Netlist.Gate { kind; fanin } ->
+        let l = base.(i) in
+        let event =
+          gate_event ~library ~model ~pi_tt ~extra_delay nl
+            ~get:(fun j -> out.(j))
+            i kind fanin l.v1 l.v2
+        in
+        out.(i) <- { l with event })
+    cone.Netlist.cone_nodes;
+  out
 
 let po_latest nl lines =
   List.fold_left

@@ -30,6 +30,28 @@ val simulate :
 (** The vector pair is indexed by PI rank ({!Ssd_circuit.Netlist.inputs}
     order).  @raise Sta.Unsupported_gate on non-primitive gates. *)
 
+val resimulate_cone :
+  ?pi_arrival:float ->
+  ?pi_tt:float ->
+  library:Ssd_cell.Charlib.t ->
+  model:Ssd_core.Delay_model.t ->
+  Ssd_circuit.Netlist.t ->
+  base:line array ->
+  cone:Ssd_circuit.Netlist.cone ->
+  extra_delay:(int -> float) ->
+  line array
+(** Incremental re-simulation: [base] is a fault-free {!simulate} result
+    and [cone] the {!Ssd_circuit.Netlist.fanout_cone} of the line whose
+    delay [extra_delay] perturbs.  Only lines inside the cone are
+    re-evaluated (logic frames cannot change — an extra delay shifts
+    events, not values), written copy-on-write into a fresh scratch
+    array; every line outside the cone aliases the fault-free record, so
+    [base] is never mutated and unreachable primary outputs cost
+    nothing.  With the same [pi_arrival]/[pi_tt] the result is
+    bit-identical to [simulate ~extra_delay] on the same vector pair
+    (property-tested in [test/test_sta.ml]).  [extra_delay] must be zero
+    outside the cone for that equivalence to hold. *)
+
 val po_latest : Ssd_circuit.Netlist.t -> line array -> float option
 (** Latest PO event arrival, [None] when no PO switches. *)
 

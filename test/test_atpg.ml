@@ -161,6 +161,79 @@ let test_verify_rejects_bad_vector () =
     (Atpg.verify_detection cfg ~library:(Lazy.force lib) ~model:DM.proposed nl
        site steady)
 
+(* ---------- fault simulation ---------- *)
+
+let test_faultsim_detects_atpg_vector () =
+  (* a vector the ATPG generated and verified for a site must also be
+     reported by the fault simulator, with both engines *)
+  let nl = c17_prim () in
+  let site = c17_site nl in
+  let cfg = Atpg.default_config ~clock_period:(clock_of nl) in
+  let r = Atpg.generate cfg ~library:(Lazy.force lib) ~model:DM.proposed nl site in
+  match r.Atpg.outcome with
+  | Atpg.Detected vector ->
+    List.iter
+      (fun engine ->
+        let res =
+          A.Fault_sim.simulate ~engine ~library:(Lazy.force lib)
+            ~model:DM.proposed ~clock_period:(clock_of nl) nl [ site ]
+            [ vector ]
+        in
+        Alcotest.(check (list (pair int int))) "site 0 detected by vector 0"
+          [ (0, 0) ] res.A.Fault_sim.detected;
+        Alcotest.(check (list int)) "nothing undetected" []
+          res.A.Fault_sim.undetected)
+      [ A.Fault_sim.Full; A.Fault_sim.Cone ]
+  | _ -> Alcotest.fail "expected the ATPG to detect the c17 site"
+
+let test_faultsim_deterministic_c880s () =
+  (* the ISSUE's determinism contract: identical detected / coverage /
+     undetected across engines and lane counts on c880s *)
+  let nl = Ck.Decompose.to_primitive (Option.get (Ck.Benchmarks.by_name "c880s")) in
+  let clock = clock_of nl in
+  let sites =
+    Fault.extract ~count:64 ~delta:60e-12 ~align_window:2500e-12 ~seed:2L nl
+  in
+  let vectors = A.Fault_sim.random_vectors ~seed:6L ~count:24 nl in
+  let run ~jobs ~engine =
+    A.Fault_sim.simulate ~jobs ~engine ~library:(Lazy.force lib)
+      ~model:DM.proposed ~clock_period:clock nl sites vectors
+  in
+  let base = run ~jobs:1 ~engine:A.Fault_sim.Full in
+  Alcotest.(check bool) "some sites detected (non-vacuous)" true
+    (base.A.Fault_sim.detected <> []);
+  List.iter
+    (fun (tag, jobs, engine) ->
+      let r = run ~jobs ~engine in
+      Alcotest.(check (list (pair int int))) (tag ^ " detected") base.A.Fault_sim.detected
+        r.A.Fault_sim.detected;
+      Alcotest.(check (list int)) (tag ^ " undetected") base.A.Fault_sim.undetected
+        r.A.Fault_sim.undetected;
+      Alcotest.(check (float 0.)) (tag ^ " coverage") base.A.Fault_sim.coverage
+        r.A.Fault_sim.coverage)
+    [
+      ("cone j1", 1, A.Fault_sim.Cone);
+      ("cone j4", 4, A.Fault_sim.Cone);
+      ("full j4", 4, A.Fault_sim.Full);
+      ("cone auto", 0, A.Fault_sim.Cone);
+    ]
+
+let test_faultsim_empty_inputs () =
+  let nl = c17_prim () in
+  let clock = clock_of nl in
+  let vectors = A.Fault_sim.random_vectors ~seed:1L ~count:4 nl in
+  let no_sites =
+    A.Fault_sim.simulate ~library:(Lazy.force lib) ~model:DM.proposed
+      ~clock_period:clock nl [] vectors
+  in
+  Alcotest.(check (float 0.)) "no sites: 0 coverage" 0. no_sites.A.Fault_sim.coverage;
+  let no_vectors =
+    A.Fault_sim.simulate ~library:(Lazy.force lib) ~model:DM.proposed
+      ~clock_period:clock nl [ c17_site nl ] []
+  in
+  Alcotest.(check (list int)) "no vectors: site undetected" [ 0 ]
+    no_vectors.A.Fault_sim.undetected
+
 let suites =
   [
     ( "atpg.fault",
@@ -179,5 +252,13 @@ let suites =
         Alcotest.test_case "run & stats" `Slow test_atpg_run_and_stats;
         Alcotest.test_case "budget respected" `Slow test_atpg_budget_respected;
         Alcotest.test_case "verify rejects" `Slow test_verify_rejects_bad_vector;
+      ] );
+    ( "atpg.faultsim",
+      [
+        Alcotest.test_case "detects atpg vector" `Slow
+          test_faultsim_detects_atpg_vector;
+        Alcotest.test_case "deterministic on c880s" `Slow
+          test_faultsim_deterministic_c880s;
+        Alcotest.test_case "empty inputs" `Quick test_faultsim_empty_inputs;
       ] );
   ]

@@ -50,6 +50,39 @@ let test_gate_metadata () =
     (Gate.is_primitive Gate.Nand && Gate.is_primitive Gate.Not
    && not (Gate.is_primitive Gate.And))
 
+let test_gate_eval_fanin () =
+  (* the allocation-free entry point: same truth tables through an index
+     accessor, and consistent with the list-based eval on random inputs *)
+  let of_list l kind = Gate.eval_fanin kind (List.nth l) (List.length l) in
+  Alcotest.(check bool) "nand 11" false (of_list [ true; true ] Gate.Nand);
+  Alcotest.(check bool) "xor odd" true
+    (of_list [ true; true; true ] Gate.Xor);
+  Alcotest.(check bool) "not" false (of_list [ true ] Gate.Not);
+  Alcotest.(check bool) "not arity" true
+    (match Gate.eval_fanin Gate.Not (fun _ -> true) 2 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "empty or" true
+    (match Gate.eval_fanin Gate.Or (fun _ -> true) 0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let rng = Rng.create 77L in
+  List.iter
+    (fun kind ->
+      for _ = 1 to 50 do
+        let n =
+          match kind with Gate.Not | Gate.Buf -> 1 | _ -> 1 + Rng.int rng 4
+        in
+        let inputs = List.init n (fun _ -> Rng.bool rng) in
+        let a = Array.of_list inputs in
+        Alcotest.(check bool)
+          (Gate.to_string kind ^ " agrees with eval")
+          (Gate.eval kind inputs)
+          (Gate.eval_fanin kind (Array.get a) n)
+      done)
+    [ Gate.And; Gate.Nand; Gate.Or; Gate.Nor; Gate.Xor; Gate.Xnor; Gate.Not;
+      Gate.Buf ]
+
 (* ---------- Netlist ---------- *)
 
 let tiny () =
@@ -138,6 +171,56 @@ let test_netlist_validation () =
   Alcotest.(check bool) "unknown output" true
     (match bad_out () with exception Netlist.Invalid _ -> true | _ -> false)
 
+let test_netlist_fanout_cone () =
+  let check nl =
+    let n = Netlist.size nl in
+    for i = 0 to n - 1 do
+      let cone = Netlist.fanout_cone nl i in
+      (* membership = the root plus its transitive fanout, exactly *)
+      let expect = Array.make n false in
+      expect.(i) <- true;
+      List.iter
+        (fun j -> expect.(j) <- true)
+        (Netlist.transitive_fanout nl i);
+      Alcotest.(check bool)
+        (Printf.sprintf "members of cone %d" i)
+        true
+        (Array.for_all2 ( = ) expect cone.Netlist.cone_member);
+      Alcotest.(check int)
+        (Printf.sprintf "node count of cone %d" i)
+        (Array.fold_left (fun a b -> if b then a + 1 else a) 0 expect)
+        (Array.length cone.Netlist.cone_nodes);
+      (* nodes listed in topological order: every gate's in-cone fan-ins
+         appear before it *)
+      let pos = Array.make n (-1) in
+      Array.iteri (fun p j -> pos.(j) <- p) cone.Netlist.cone_nodes;
+      Array.iter
+        (fun j ->
+          match Netlist.node nl j with
+          | Netlist.Pi -> ()
+          | Netlist.Gate { fanin; _ } ->
+            Array.iter
+              (fun k ->
+                if cone.Netlist.cone_member.(k) then
+                  Alcotest.(check bool)
+                    (Printf.sprintf "fan-in %d before %d" k j)
+                    true (pos.(k) < pos.(j)))
+              fanin)
+        cone.Netlist.cone_nodes;
+      (* cached: the second lookup returns the same physical record *)
+      Alcotest.(check bool)
+        (Printf.sprintf "cone %d cached" i)
+        true
+        (Netlist.fanout_cone nl i == cone)
+    done
+  in
+  check (tiny ());
+  check (Ck.Benchmarks.c17 ());
+  Alcotest.(check bool) "out of range" true
+    (match Netlist.fanout_cone (tiny ()) 99 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 (* ---------- Bench I/O ---------- *)
 
 let test_bench_parse_c17 () =
@@ -219,6 +302,27 @@ let test_logic_equivalence_detects_difference () =
   in
   Alcotest.(check bool) "different functions" false
     (Ck.Logic.equivalent (Rng.create 1L) a b)
+
+let test_logic_equivalence_mismatched_pis () =
+  (* a PI of one circuit missing from the other: inequivalent, not
+     Not_found *)
+  let a =
+    Ck.Bench_io.parse_string ~name:"a"
+      "INPUT(x)\nINPUT(y)\nOUTPUT(z)\nz = NAND(x, y)\n"
+  in
+  let b =
+    Ck.Bench_io.parse_string ~name:"b"
+      "INPUT(x)\nINPUT(w)\nOUTPUT(z)\nz = NAND(x, w)\n"
+  in
+  Alcotest.(check bool) "mismatched PI names" false
+    (Ck.Logic.equivalent (Rng.create 1L) a b);
+  (* same names in a different declaration order still compare by name *)
+  let c =
+    Ck.Bench_io.parse_string ~name:"c"
+      "INPUT(y)\nINPUT(x)\nOUTPUT(z)\nz = NAND(x, y)\n"
+  in
+  Alcotest.(check bool) "reordered PI names equivalent" true
+    (Ck.Logic.equivalent (Rng.create 1L) a c)
 
 (* ---------- Decompose ---------- *)
 
@@ -337,6 +441,7 @@ let suites =
         Alcotest.test_case "arity" `Quick test_gate_arity_checks;
         Alcotest.test_case "names" `Quick test_gate_names;
         Alcotest.test_case "metadata" `Quick test_gate_metadata;
+        Alcotest.test_case "eval_fanin" `Quick test_gate_eval_fanin;
       ] );
     ( "circuit.netlist",
       [
@@ -344,6 +449,7 @@ let suites =
           test_netlist_build_and_accessors;
         Alcotest.test_case "validation" `Quick test_netlist_validation;
         Alcotest.test_case "levels" `Quick test_netlist_levels;
+        Alcotest.test_case "fanout cone" `Quick test_netlist_fanout_cone;
       ] );
     ( "circuit.bench_io",
       [
@@ -361,6 +467,8 @@ let suites =
         Alcotest.test_case "c17 vectors" `Quick test_logic_c17_vectors;
         Alcotest.test_case "detects inequivalence" `Quick
           test_logic_equivalence_detects_difference;
+        Alcotest.test_case "mismatched PIs" `Quick
+          test_logic_equivalence_mismatched_pis;
       ] );
     ( "circuit.decompose",
       [

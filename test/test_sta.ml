@@ -261,6 +261,80 @@ let test_tsim_po_latest () =
   let lines2 = TS.simulate ~library:(Lazy.force lib) ~model:DM.proposed nl steady in
   Alcotest.(check bool) "no events" true (TS.po_latest nl lines2 = None)
 
+let prop_resim_cone_bit_identical =
+  (* the incremental engine's whole contract: re-timing only the victim's
+     fanout cone on top of the fault-free baseline reproduces the full
+     simulation bit for bit, on random primitive netlists, victims,
+     deltas and vector pairs *)
+  QCheck.Test.make ~name:"resimulate_cone bit-identical to full simulate"
+    ~count:25
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let nl =
+        Ck.Decompose.to_primitive
+          (Ck.Generator.generate
+             {
+               Ck.Generator.default_params with
+               Ck.Generator.g_name = "resim";
+               n_inputs = 6;
+               n_outputs = 3;
+               n_gates = 20 + Rng.int rng 30;
+               seed = Int64.of_int (seed + 1);
+             })
+      in
+      let lib = Lazy.force lib in
+      let victim = Rng.int rng (Ck.Netlist.size nl) in
+      let delta = Rng.float_range rng 10e-12 200e-12 in
+      let extra_delay i = if i = victim then delta else 0. in
+      let npi = List.length (Ck.Netlist.inputs nl) in
+      let vec = Array.init npi (fun _ -> (Rng.bool rng, Rng.bool rng)) in
+      let base = TS.simulate ~library:lib ~model:DM.proposed nl vec in
+      let full =
+        TS.simulate ~extra_delay ~library:lib ~model:DM.proposed nl vec
+      in
+      let cone = Ck.Netlist.fanout_cone nl victim in
+      let inc = TS.resimulate_cone ~library:lib ~model:DM.proposed nl
+          ~base ~cone ~extra_delay
+      in
+      let beq x y = Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y) in
+      Array.for_all2
+        (fun (a : TS.line) (b : TS.line) ->
+          a.TS.v1 = b.TS.v1 && a.TS.v2 = b.TS.v2
+          &&
+          match (a.TS.event, b.TS.event) with
+          | None, None -> true
+          | Some ea, Some eb ->
+            beq ea.Types.e_arr eb.Types.e_arr && beq ea.Types.e_tt eb.Types.e_tt
+          | _, _ -> false)
+        full inc
+      && (* and the fault-free baseline was never mutated *)
+      Array.for_all2
+        (fun (a : TS.line) (b : TS.line) -> a == b || a.TS.event = b.TS.event)
+        base
+        (TS.simulate ~library:lib ~model:DM.proposed nl vec))
+
+let test_resim_cone_out_of_cone_aliases () =
+  (* lines outside the cone must alias the fault-free records (no copy),
+     and the scratch array must be a fresh array *)
+  let nl = c17_prim () in
+  let lib = Lazy.force lib in
+  let vec = [| (true, false); (true, true); (true, true); (true, true); (false, false) |] in
+  let base = TS.simulate ~library:lib ~model:DM.proposed nl vec in
+  let victim = Option.get (Ck.Netlist.find nl "10") in
+  let cone = Ck.Netlist.fanout_cone nl victim in
+  let inc =
+    TS.resimulate_cone ~library:lib ~model:DM.proposed nl ~base ~cone
+      ~extra_delay:(fun i -> if i = victim then 100e-12 else 0.)
+  in
+  Alcotest.(check bool) "fresh array" true (inc != base);
+  for i = 0 to Ck.Netlist.size nl - 1 do
+    if not cone.Ck.Netlist.cone_member.(i) then
+      Alcotest.(check bool)
+        (Printf.sprintf "line %d aliases fault-free record" i)
+        true (inc.(i) == base.(i))
+  done
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let suites =
@@ -295,5 +369,11 @@ let suites =
           test_tsim_extra_delay_propagates;
         Alcotest.test_case "po latest" `Slow test_tsim_po_latest;
       ] );
-    qsuite "sta.tsim.props" [ prop_tsim_within_sta_windows ];
+    ( "sta.tsim.cone",
+      [
+        Alcotest.test_case "out-of-cone lines alias baseline" `Slow
+          test_resim_cone_out_of_cone_aliases;
+      ] );
+    qsuite "sta.tsim.props"
+      [ prop_tsim_within_sta_windows; prop_resim_cone_bit_identical ];
   ]
