@@ -27,6 +27,15 @@ module Interval = Ssd_util.Interval
 module Rng = Ssd_util.Rng
 module Texttab = Ssd_util.Texttab
 module Stats = Ssd_util.Stats
+module Json = Ssd_util.Json
+module Obs = Ssd_obs.Obs
+
+(* one shared sink for the whole harness: the identity-check passes of
+   [parsta] / [faultsim] run instrumented against it (they are not the
+   timed runs, so the <=2%% bench-overhead budget is untouched) and the
+   aggregated counters are embedded in the --json output next to the
+   wall times *)
+let bench_obs = Obs.create ()
 
 let tech = S.Tech.default
 let ps v = v *. 1e12
@@ -515,8 +524,8 @@ let parsta () =
   List.iter
     (fun name ->
       let nl = Ck.Decompose.to_primitive (Option.get (Ck.Benchmarks.by_name name)) in
-      let run ~jobs ~cache () =
-        Sta.analyze ~jobs ~cache ~library:lib ~model:DM.proposed nl
+      let run ?(obs = Obs.disabled) ~jobs ~cache () =
+        Sta.analyze ~jobs ~cache ~obs ~library:lib ~model:DM.proposed nl
       in
       let beq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b) in
       let wins_equal a b =
@@ -537,11 +546,13 @@ let parsta () =
         !ok
       in
       let base = run ~jobs:1 ~cache:false () in
+      let cached = run ~obs:bench_obs ~jobs:1 ~cache:true () in
       let identical =
-        wins_equal base (run ~jobs:1 ~cache:true ())
+        wins_equal base cached
         && wins_equal base (run ~jobs:par_jobs ~cache:false ())
         && wins_equal base (run ~jobs:par_jobs ~cache:true ())
       in
+      Option.iter (fun s -> note "%s %s" name s) (Sta.cache_stats cached);
       let t_seq = time (run ~jobs:1 ~cache:false) in
       let t_cache = time (run ~jobs:1 ~cache:true) in
       let t_par = time (run ~jobs:par_jobs ~cache:false) in
@@ -608,8 +619,8 @@ let faultsim () =
        /. float_of_int (List.length szs))
        (List.fold_left max 0 szs))
     (Ck.Netlist.size nl);
-  let run ~jobs ~engine () =
-    A.Fault_sim.simulate ~jobs ~engine ~library:lib ~model:DM.proposed
+  let run ?(obs = Obs.disabled) ~jobs ~engine () =
+    A.Fault_sim.simulate ~jobs ~obs ~engine ~library:lib ~model:DM.proposed
       ~clock_period:clock nl sites vectors
   in
   let time f =
@@ -624,10 +635,11 @@ let faultsim () =
   let base = run ~jobs:1 ~engine:A.Fault_sim.Full () in
   let configs =
     [
-      ("cone j1", run ~jobs:1 ~engine:A.Fault_sim.Cone);
-      ("cone j4", run ~jobs:4 ~engine:A.Fault_sim.Cone);
-      ("cone auto", run ~jobs:0 ~engine:A.Fault_sim.Cone);
-      ("full j4", run ~jobs:4 ~engine:A.Fault_sim.Full);
+      ("cone j1", fun () -> run ~jobs:1 ~engine:A.Fault_sim.Cone ());
+      ("cone j4", fun () -> run ~jobs:4 ~engine:A.Fault_sim.Cone ());
+      ( "cone auto",
+        fun () -> run ~obs:bench_obs ~jobs:0 ~engine:A.Fault_sim.Cone () );
+      ("full j4", fun () -> run ~jobs:4 ~engine:A.Fault_sim.Full ());
     ]
   in
   List.iter
@@ -644,6 +656,11 @@ let faultsim () =
       end)
     configs;
   note "detection sets bit-identical across {full, cone} x {jobs 1, 4, auto}";
+  (let cv n = Option.value ~default:0 (List.assoc_opt n (Obs.counters bench_obs)) in
+   note "screening economics (instrumented cone-auto pass): %d pairs \
+         resimulated, %d screened out, %d dropped, %d fault-free sims"
+     (cv "faultsim.resim") (cv "faultsim.screened_out")
+     (cv "faultsim.dropped") (cv "faultsim.ff_sims"));
   let t_full = time (run ~jobs:1 ~engine:A.Fault_sim.Full) in
   let t_cone = time (run ~jobs:1 ~engine:A.Fault_sim.Cone) in
   let t_par = time (run ~jobs:0 ~engine:A.Fault_sim.Cone) in
@@ -768,20 +785,41 @@ let experiments =
 (* machine-readable per-experiment timings: --json FILE writes
    { "experiments": [ {"name": ..., "wall_s": ...}, ... ], ... } so the
    perf trajectory of successive PRs can be compared mechanically
-   (conventionally BENCH_results.json) *)
+   (conventionally BENCH_results.json).  The aggregated telemetry
+   counters and timers of the instrumented identity-check passes ride
+   along, and the file is written atomically (sibling temp + rename) so
+   a concurrent reader never sees a truncated report. *)
 let write_json path timings total =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc "{\n  \"experiments\": [\n";
-      List.iteri
-        (fun i (name, wall) ->
-          Printf.fprintf oc "    {\"name\": \"%s\", \"wall_s\": %.6f}%s\n"
-            name wall
-            (if i = List.length timings - 1 then "" else ","))
-        timings;
-      Printf.fprintf oc "  ],\n  \"total_wall_s\": %.6f\n}\n" total);
+  let json =
+    Json.Obj
+      [
+        ( "experiments",
+          Json.List
+            (List.map
+               (fun (name, wall) ->
+                 Json.Obj
+                   [ ("name", Json.Str name); ("wall_s", Json.Num wall) ])
+               timings) );
+        ("total_wall_s", Json.Num total);
+        ( "counters",
+          Json.Obj
+            (List.map
+               (fun (n, v) -> (n, Json.Num (float_of_int v)))
+               (Obs.counters bench_obs)) );
+        ( "timers",
+          Json.Obj
+            (List.map
+               (fun (n, calls, secs) ->
+                 ( n,
+                   Json.Obj
+                     [
+                       ("calls", Json.Num (float_of_int calls));
+                       ("total_s", Json.Num secs);
+                     ] ))
+               (Obs.timers bench_obs)) );
+      ]
+  in
+  Obs.write_file_atomic path ~contents:(Json.to_string json ^ "\n");
   Printf.printf "wrote %s\n" path
 
 let () =

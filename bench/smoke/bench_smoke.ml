@@ -13,6 +13,8 @@ module DM = Ssd_core.Delay_model
 module Types = Ssd_core.Types
 module Charlib = Ssd_cell.Charlib
 module Interval = Ssd_util.Interval
+module Json = Ssd_util.Json
+module Obs = Ssd_obs.Obs
 
 let beq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
 
@@ -86,4 +88,66 @@ let () =
     (* not fatal — random vectors may miss every site — but the identity
        check above would then be vacuous, so surface it *)
     Printf.eprintf "bench smoke: note: no site detected on c17\n";
+  (* telemetry loop: run one instrumented --stats/--trace style pass,
+     write the Chrome trace, parse it back, and check the span tree
+     covers every STA level exactly once (one "sta.level.<l>" complete
+     event per level) — the contract `ssd sta --trace` exposes *)
+  let obs = Obs.create ~trace:true () in
+  let traced = Sta.analyze ~jobs:4 ~obs ~library:lib ~model:DM.proposed nl in
+  if not (wins_equal nl base traced) then begin
+    Printf.eprintf "bench smoke: instrumented run differs from baseline\n";
+    exit 1
+  end;
+  if Obs.report obs = "" then begin
+    Printf.eprintf "bench smoke: empty telemetry report\n";
+    exit 1
+  end;
+  let path = Filename.temp_file "ssd_smoke_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Obs.write_trace obs path;
+      let contents =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Json.parse contents with
+      | Error msg ->
+        Printf.eprintf "bench smoke: trace is not valid JSON: %s\n" msg;
+        exit 1
+      | Ok json ->
+        let events =
+          match Json.member "traceEvents" json with
+          | Some evs -> Json.to_list evs
+          | None ->
+            Printf.eprintf "bench smoke: trace lacks traceEvents\n";
+            exit 1
+        in
+        let name_of e =
+          match Json.member "name" e with
+          | Some n -> Json.string_value n
+          | None -> None
+        in
+        let complete_named n =
+          List.length
+            (List.filter
+               (fun e ->
+                 (match Json.member "ph" e with
+                 | Some p -> Json.string_value p = Some "X"
+                 | None -> false)
+                 && name_of e = Some n)
+               events)
+        in
+        let levels = Array.length (Ck.Netlist.levels nl) in
+        for l = 0 to levels - 1 do
+          let n = complete_named (Printf.sprintf "sta.level.%d" l) in
+          if n <> 1 then begin
+            Printf.eprintf
+              "bench smoke: level %d has %d trace span(s), want exactly 1\n"
+              l n;
+            exit 1
+          end
+        done);
   print_endline "bench smoke: ok"

@@ -17,6 +17,7 @@ module Sta = Ssd_sta.Sta
 module A = Ssd_atpg
 module Interval = Ssd_util.Interval
 module Texttab = Ssd_util.Texttab
+module Obs = Ssd_obs.Obs
 
 open Cmdliner
 
@@ -64,6 +65,33 @@ let jobs_t =
              simulator: 1 is sequential, 0 picks the recommended domain \
              count, N>1 uses N domains. Results are identical for any \
              value.")
+
+let stats_t =
+  Arg.(value & flag & info [ "stats" ]
+       ~doc:"Print a telemetry summary after the run: counters, per-phase \
+             timers and histograms (lane utilization, per-level times, \
+             screening economics, ...).")
+
+let trace_t =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event JSON file of the run's spans \
+                 (load in Perfetto or chrome://tracing); one track per \
+                 execution lane.")
+
+(* one sink per invocation: enabled only when the user asked for output,
+   so the default path keeps the no-op sink's near-zero overhead *)
+let make_obs ~stats ~trace =
+  if stats || trace <> None then Obs.create ~trace:(trace <> None) ()
+  else Obs.disabled
+
+let emit_obs obs ~stats ~trace =
+  (match trace with
+  | Some path ->
+    Obs.write_trace obs path;
+    Printf.printf "wrote trace to %s\n" path
+  | None -> ());
+  if stats then print_string (Obs.report obs)
 
 let load_netlist path =
   match Ck.Benchmarks.by_name path with
@@ -119,11 +147,19 @@ let sta_cmd =
          & info [ "clock" ] ~docv:"NS" ~doc:"Clock period in ns for the \
                                              required-time check.")
   in
-  let run verbose fine model file clock jobs =
+  let cache_t =
+    Arg.(value & flag & info [ "cache" ]
+         ~doc:"Memoize the per-cell corner searches across gate instances \
+               (never changes results). Implied by $(b,--stats) so the \
+               eval-cache hit ratio row is populated.")
+  in
+  let run verbose fine model file clock jobs cache stats trace =
     setup_logs verbose;
     let lib = library_of fine in
     let nl = Ck.Decompose.to_primitive (load_netlist file) in
-    let t = Sta.analyze ~jobs ~library:lib ~model nl in
+    let cache = cache || stats in
+    let obs = make_obs ~stats ~trace in
+    let t = Sta.analyze ~jobs ~cache ~obs ~library:lib ~model nl in
     print_endline (Sta.summary t);
     let table = Texttab.create ~header:[ "PO"; "rise A (ns)"; "fall A (ns)" ] in
     List.iter
@@ -150,11 +186,14 @@ let sta_cmd =
       let v = Sta.violations t q in
       Printf.printf "%d timing violation(s) at clock %.3f ns\n" (List.length v) ns;
       List.iter (fun (_, msg) -> Printf.printf "  %s\n" msg) v);
+    emit_obs obs ~stats ~trace;
+    if stats then
+      Option.iter print_endline (Sta.cache_stats t);
     0
   in
   Cmd.v (Cmd.info "sta" ~doc:"Static timing analysis of a netlist")
     Term.(const run $ verbose_t $ fine_t $ model_t $ bench_file_t
-          $ clock_t $ jobs_t)
+          $ clock_t $ jobs_t $ cache_t $ stats_t $ trace_t)
 
 (* ---- atpg ---- *)
 
@@ -174,11 +213,12 @@ let atpg_cmd =
   let seed_t =
     Arg.(value & opt int 99 & info [ "seed" ] ~docv:"N" ~doc:"Extraction seed.")
   in
-  let run verbose fine model file faults no_itr budget seed jobs =
+  let run verbose fine model file faults no_itr budget seed jobs stats trace =
     setup_logs verbose;
     let lib = library_of fine in
     let nl = Ck.Decompose.to_primitive (load_netlist file) in
-    let sta = Sta.analyze ~jobs ~library:lib ~model nl in
+    let obs = make_obs ~stats ~trace in
+    let sta = Sta.analyze ~jobs ~obs ~library:lib ~model nl in
     let sites =
       A.Fault.extract_screened ~count:faults ~seed:(Int64.of_int seed)
         ~library:lib ~model nl
@@ -191,7 +231,7 @@ let atpg_cmd =
       { (A.Atpg.default_config ~clock_period:(Sta.max_delay sta)) with
         A.Atpg.use_itr = not no_itr; max_expansions = budget }
     in
-    let results, stats = A.Atpg.run cfg ~library:lib ~model nl sites in
+    let results, run_stats = A.Atpg.run ~obs cfg ~library:lib ~model nl sites in
     List.iter
       (fun r ->
         Printf.printf "  %-50s %s (%d expansions)\n"
@@ -204,8 +244,9 @@ let atpg_cmd =
       results;
     Printf.printf
       "detected %d, undetectable %d, aborted %d -> efficiency %.2f%%\n"
-      stats.A.Atpg.detected stats.A.Atpg.undetectable stats.A.Atpg.aborted
-      (A.Atpg.efficiency stats);
+      run_stats.A.Atpg.detected run_stats.A.Atpg.undetectable
+      run_stats.A.Atpg.aborted
+      (A.Atpg.efficiency run_stats);
     (* fault-simulate the generated test set over the whole fault list:
        [--jobs] threads through to the incremental fault simulator *)
     let tests =
@@ -220,7 +261,7 @@ let atpg_cmd =
     | [] -> ()
     | _ ->
       let fs =
-        A.Fault_sim.simulate ~jobs ~library:lib ~model
+        A.Fault_sim.simulate ~jobs ~obs ~library:lib ~model
           ~clock_period:(Sta.max_delay sta) nl sites tests
       in
       Printf.printf
@@ -229,11 +270,12 @@ let atpg_cmd =
         (List.length tests)
         (List.length fs.A.Fault_sim.detected)
         (List.length sites) fs.A.Fault_sim.coverage);
+    emit_obs obs ~stats ~trace;
     0
   in
   Cmd.v (Cmd.info "atpg" ~doc:"Crosstalk delay-fault test generation")
     Term.(const run $ verbose_t $ fine_t $ model_t $ bench_file_t $ faults_t
-          $ no_itr_t $ budget_t $ seed_t $ jobs_t)
+          $ no_itr_t $ budget_t $ seed_t $ jobs_t $ stats_t $ trace_t)
 
 (* ---- gen ---- *)
 

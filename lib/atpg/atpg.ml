@@ -6,6 +6,7 @@ module Timing_sim = Ssd_sta.Timing_sim
 module Value2f = Ssd_itr.Value2f
 module Implication = Ssd_itr.Implication
 module Itr = Ssd_itr.Itr
+module Obs = Ssd_obs.Obs
 
 type outcome =
   | Detected of (bool * bool) array
@@ -413,8 +414,29 @@ let generate cfg ~library ~model nl (site : Fault.site) =
     wall = Unix.gettimeofday () -. t0;
   }
 
-let run cfg ~library ~model nl sites =
-  let results = List.map (generate cfg ~library ~model nl) sites in
+let run ?(obs = Obs.disabled) cfg ~library ~model nl sites =
+  let tm_fault = Obs.timer obs "atpg.fault" in
+  let h_exp =
+    Obs.histogram ~bins:16 ~lo:0.
+      ~hi:(float_of_int (max 1 cfg.max_expansions))
+      obs "atpg.expansions_per_fault"
+  in
+  let results =
+    List.map
+      (fun site ->
+        let r = Obs.span obs tm_fault (fun () -> generate cfg ~library ~model nl site) in
+        Obs.add (Obs.counter obs "atpg.expansions") r.expansions;
+        Obs.add (Obs.counter obs "atpg.descents") r.descents;
+        Obs.observe h_exp (float_of_int r.expansions);
+        Obs.incr
+          (Obs.counter obs
+             (match r.outcome with
+             | Detected _ -> "atpg.detected"
+             | Undetectable -> "atpg.undetectable"
+             | Aborted -> "atpg.aborted"));
+        r)
+      sites
+  in
   let stats =
     List.fold_left
       (fun s r ->

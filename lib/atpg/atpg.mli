@@ -62,12 +62,20 @@ val generate :
   fault_result
 
 val run :
+  ?obs:Ssd_obs.Obs.t ->
   config ->
   library:Ssd_cell.Charlib.t ->
   model:Ssd_core.Delay_model.t ->
   Ssd_circuit.Netlist.t ->
   Fault.site list ->
   fault_result list * stats
+(** Run {!generate} over every site.  [obs] (default disabled) records
+    per-fault search effort: each generation runs under an [atpg.fault]
+    span (one trace event per fault), expansions and restarted descents
+    accumulate into [atpg.expansions] / [atpg.descents], per-fault
+    expansion counts feed the [atpg.expansions_per_fault] histogram
+    (fixed range [0, max_expansions] so runs merge), and outcomes split
+    into [atpg.detected] / [atpg.undetectable] / [atpg.aborted]. *)
 
 val efficiency : stats -> float
 (** (detected + undetectable) / total × 100 — the paper's metric. *)

@@ -4,6 +4,7 @@ module Par = Ssd_sta.Par
 module Types = Ssd_core.Types
 module Value2f = Ssd_itr.Value2f
 module Rng = Ssd_util.Rng
+module Obs = Ssd_obs.Obs
 
 type engine = Full | Cone
 
@@ -56,8 +57,12 @@ let observable nl (site : Fault.site) faultfree faulty clock =
    it — a site evaluated redundantly for several vectors of one block
    (where a strict sequential walk would have dropped it mid-block)
    folds back to the same earliest detection. *)
-let simulate ?(jobs = 1) ?(engine = Cone) ~library ~model ~clock_period nl
-    sites vectors =
+let simulate ?(jobs = 1) ?(engine = Cone) ?(obs = Obs.disabled) ~library
+    ~model ~clock_period nl sites vectors =
+  let c_ff = Obs.counter obs "faultsim.ff_sims" in
+  let c_screened = Obs.counter obs "faultsim.screened_out" in
+  let c_dropped = Obs.counter obs "faultsim.dropped" in
+  let c_resim = Obs.counter obs "faultsim.resim" in
   let sites = Array.of_list sites in
   let vectors = Array.of_list vectors in
   let nsites = Array.length sites in
@@ -73,7 +78,7 @@ let simulate ?(jobs = 1) ?(engine = Cone) ~library ~model ~clock_period nl
     Array.iter
       (fun (s : Fault.site) -> ignore (Netlist.fanout_cone nl s.Fault.victim))
       sites;
-  Par.with_pool ~jobs (fun pool ->
+  Par.with_pool ~obs ~jobs (fun pool ->
       let lanes = Par.jobs pool in
       (* one vector per block on a single lane reproduces the strict
          sequential dropping schedule (no redundant evaluations); wider
@@ -87,19 +92,24 @@ let simulate ?(jobs = 1) ?(engine = Cone) ~library ~model ~clock_period nl
         let bn = min block (nvec - !vi) in
         let base = !vi in
         let ff = Array.make bn [||] in
-        Par.parallel_for pool ~chunk:1 ~n:bn (fun k ->
+        Par.parallel_for pool ~chunk:1 ~label:"ff-sim" ~n:bn (fun k ->
             ff.(k) <- Timing_sim.simulate ~library ~model nl vectors.(base + k));
+        Obs.add c_ff bn;
         (* screen against the shared fault-free runs: cheap, sequential *)
         let work = ref [] in
         for k = bn - 1 downto 0 do
           for fi = nsites - 1 downto 0 do
-            if best.(fi) = max_int && excited_and_aligned ff.(k) sites.(fi)
-            then work := (fi, k) :: !work
+            if best.(fi) <> max_int then Obs.incr c_dropped
+            else if excited_and_aligned ff.(k) sites.(fi) then
+              work := (fi, k) :: !work
+            else Obs.incr c_screened
           done
         done;
         let work = Array.of_list !work in
+        Obs.add c_resim (Array.length work);
         let hit = Array.make (Array.length work) false in
-        Par.parallel_for pool ~chunk:1 ~n:(Array.length work) (fun w ->
+        Par.parallel_for pool ~chunk:1 ~label:"faulty-sim" ~n:(Array.length work)
+          (fun w ->
             let fi, k = work.(w) in
             let site = sites.(fi) in
             let faulty =
@@ -132,6 +142,8 @@ let simulate ?(jobs = 1) ?(engine = Cone) ~library ~model ~clock_period nl
       (fun (f1, v1) (f2, v2) -> compare (v1, f1) (v2, f2))
       !detected
   in
+  Obs.add (Obs.counter obs "faultsim.detected") (List.length detected);
+  Obs.add (Obs.counter obs "faultsim.undetected") (List.length !undetected);
   {
     coverage =
       (if nsites = 0 then 0.

@@ -24,6 +24,7 @@ type result = {
 val simulate :
   ?jobs:int ->
   ?engine:engine ->
+  ?obs:Ssd_obs.Obs.t ->
   library:Ssd_cell.Charlib.t ->
   model:Ssd_core.Delay_model.t ->
   clock_period:float ->
@@ -37,7 +38,15 @@ val simulate :
     Results are identical for every [jobs] and [engine] combination:
     fault dropping records each site's {e earliest} detecting vector
     index, so the parallel block schedule folds back to exactly the
-    sequential walk's [detected] / [coverage] / [undetected]. *)
+    sequential walk's [detected] / [coverage] / [undetected].
+
+    [obs] (default disabled) counts the screening economics per (site,
+    vector) pair — [faultsim.screened_out] (excitation/alignment failed
+    under the fault-free run), [faultsim.dropped] (site already
+    detected), [faultsim.resim] (survivors that paid for a faulty
+    evaluation) — plus [faultsim.ff_sims] fault-free runs and the final
+    [faultsim.detected] / [faultsim.undetected] split; the pool adds
+    its lane-utilization counters.  Telemetry never changes results. *)
 
 val random_vectors :
   seed:int64 -> count:int -> Ssd_circuit.Netlist.t -> (bool * bool) array list

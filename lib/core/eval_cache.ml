@@ -44,6 +44,24 @@ let create ?(shards = 16) ?(quantum = 0.) () =
 let hits t = Atomic.get t.hits
 let misses t = Atomic.get t.misses
 
+let entries t =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.mutex;
+      let n = Hashtbl.length s.tbl in
+      Mutex.unlock s.mutex;
+      acc + n)
+    0 t.shards
+
+let stats t =
+  let h = hits t and m = misses t in
+  let total = h + m in
+  let ratio =
+    if total = 0 then 0. else 100. *. float_of_int h /. float_of_int total
+  in
+  Printf.sprintf "eval-cache: %d hits / %d misses (%.1f%% hit ratio, %d entries)"
+    h m ratio (entries t)
+
 (* With quantum = 0 the key carries the exact float bits and the cache is
    a pure memo: results are bit-identical to the uncached engine.  With
    quantum > 0 the interval itself is widened outward onto the grid

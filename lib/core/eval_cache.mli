@@ -33,6 +33,14 @@ val hits : t -> int
 val misses : t -> int
 (** Lifetime counters (atomic; approximate only in their interleaving). *)
 
+val entries : t -> int
+(** Distinct memoized keys across all shards (takes each shard lock
+    briefly). *)
+
+val stats : t -> string
+(** One-line summary — hits, misses, hit ratio, entry count — used by
+    the [--stats] reports and the [parsta] bench. *)
+
 (** Cached drop-in equivalents of the {!Cellfn} searches. *)
 
 val min_delay_over : t -> Ssd_cell.Charlib.cell -> fanout:int

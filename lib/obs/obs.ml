@@ -1,0 +1,413 @@
+module Texttab = Ssd_util.Texttab
+module Stats = Ssd_util.Stats
+module Json = Ssd_util.Json
+
+(* Shard count is a power of two so the domain-id index is a mask.
+   Domain ids are assigned densely from 0, so with the handful of lanes
+   a pool spawns each domain effectively owns a shard and updates are
+   uncontended; a collision (two domains sharing a shard) only costs
+   atomic contention, never correctness. *)
+let shard_count = 64
+
+let shard_index () = (Domain.self () :> int) land (shard_count - 1)
+
+type counter =
+  | C_off
+  | C_on of { c_name : string; c_shards : int Atomic.t array }
+
+type timer =
+  | T_off
+  | T_on of {
+      t_name : string;
+      t_ns : int Atomic.t array;
+      t_calls : int Atomic.t array;
+    }
+
+type histogram =
+  | H_off
+  | H_on of {
+      h_name : string;
+      h_bins : int;
+      h_lo : float option;
+      h_hi : float option;
+      h_shards : float list Atomic.t array;
+    }
+
+type event = {
+  ev_name : string;
+  ev_tid : int;
+  ev_ts : float;
+  ev_dur : float;
+}
+
+type metric =
+  | Counter of counter
+  | Timer of timer
+  | Histogram of histogram
+
+type state = {
+  s_epoch : float;
+  s_trace : bool;
+  s_mutex : Mutex.t;  (* guards s_metrics and s_tracks, never the updates *)
+  mutable s_metrics : (string * metric) list;  (* creation order *)
+  mutable s_tracks : (int * string) list;
+  s_events : event list Atomic.t;
+}
+
+type t = Off | On of state
+
+let disabled = Off
+
+let create ?(trace = false) () =
+  On
+    {
+      s_epoch = Unix.gettimeofday ();
+      s_trace = trace;
+      s_mutex = Mutex.create ();
+      s_metrics = [];
+      s_tracks = [];
+      s_events = Atomic.make [];
+    }
+
+let enabled = function Off -> false | On _ -> true
+let tracing = function Off -> false | On s -> s.s_trace
+
+let now () = Unix.gettimeofday ()
+
+let atomic_shards () = Array.init shard_count (fun _ -> Atomic.make 0)
+
+(* find-or-create under the registry mutex; creation is setup-time only *)
+let register s name make =
+  Mutex.lock s.s_mutex;
+  let m =
+    match List.assoc_opt name s.s_metrics with
+    | Some m -> m
+    | None ->
+      let m = make () in
+      s.s_metrics <- s.s_metrics @ [ (name, m) ];
+      m
+  in
+  Mutex.unlock s.s_mutex;
+  m
+
+(* ---- counters ---- *)
+
+let counter t name =
+  match t with
+  | Off -> C_off
+  | On s -> (
+    match
+      register s name (fun () ->
+          Counter (C_on { c_name = name; c_shards = atomic_shards () }))
+    with
+    | Counter c -> c
+    | _ -> invalid_arg ("Obs.counter: " ^ name ^ " is not a counter"))
+
+let incr = function
+  | C_off -> ()
+  | C_on c -> Atomic.incr c.c_shards.(shard_index ())
+
+let add c n =
+  match c with
+  | C_off -> ()
+  | C_on c -> ignore (Atomic.fetch_and_add c.c_shards.(shard_index ()) n)
+
+let counter_value = function
+  | C_off -> 0
+  | C_on c -> Array.fold_left (fun acc a -> acc + Atomic.get a) 0 c.c_shards
+
+(* ---- timers ---- *)
+
+let timer t name =
+  match t with
+  | Off -> T_off
+  | On s -> (
+    match
+      register s name (fun () ->
+          Timer
+            (T_on
+               {
+                 t_name = name;
+                 t_ns = atomic_shards ();
+                 t_calls = atomic_shards ();
+               }))
+    with
+    | Timer tm -> tm
+    | _ -> invalid_arg ("Obs.timer: " ^ name ^ " is not a timer"))
+
+let add_ns tm ns =
+  match tm with
+  | T_off -> ()
+  | T_on t ->
+    let i = shard_index () in
+    ignore (Atomic.fetch_and_add t.t_ns.(i) ns);
+    Atomic.incr t.t_calls.(i)
+
+let sum_shards a = Array.fold_left (fun acc x -> acc + Atomic.get x) 0 a
+let timer_ns = function T_off -> 0 | T_on t -> sum_shards t.t_ns
+let timer_calls = function T_off -> 0 | T_on t -> sum_shards t.t_calls
+
+let ns_of_s dt = int_of_float (dt *. 1e9)
+
+let time tm f =
+  match tm with
+  | T_off -> f ()
+  | T_on _ ->
+    let t0 = now () in
+    Fun.protect ~finally:(fun () -> add_ns tm (ns_of_s (now () -. t0))) f
+
+(* ---- histograms ---- *)
+
+let histogram ?(bins = 20) ?lo ?hi t name =
+  if bins <= 0 then invalid_arg "Obs.histogram: bins <= 0";
+  match t with
+  | Off -> H_off
+  | On s -> (
+    match
+      register s name (fun () ->
+          Histogram
+            (H_on
+               {
+                 h_name = name;
+                 h_bins = bins;
+                 h_lo = lo;
+                 h_hi = hi;
+                 h_shards = Array.init shard_count (fun _ -> Atomic.make []);
+               }))
+    with
+    | Histogram h -> h
+    | _ -> invalid_arg ("Obs.histogram: " ^ name ^ " is not a histogram"))
+
+let rec push_sample a x =
+  let cur = Atomic.get a in
+  if not (Atomic.compare_and_set a cur (x :: cur)) then push_sample a x
+
+let observe h x =
+  match h with
+  | H_off -> ()
+  | H_on h -> push_sample h.h_shards.(shard_index ()) x
+
+let samples = function
+  | H_off -> []
+  | H_on h ->
+    Array.fold_left (fun acc a -> List.rev_append (Atomic.get a) acc) []
+      h.h_shards
+
+let histogram_count h = List.length (samples h)
+
+let histogram_rows h =
+  match h with
+  | H_off -> []
+  | H_on r ->
+    Stats.histogram ?lo:r.h_lo ?hi:r.h_hi ~bins:r.h_bins (samples h)
+
+(* ---- spans and trace events ---- *)
+
+let rec push_event a ev =
+  let cur = Atomic.get a in
+  if not (Atomic.compare_and_set a cur (ev :: cur)) then push_event a ev
+
+let timer_name = function T_off -> "" | T_on t -> t.t_name
+
+let span t ?event tm f =
+  match t with
+  | Off -> f ()
+  | On s ->
+    let t0 = now () in
+    let finish () =
+      let t1 = now () in
+      add_ns tm (ns_of_s (t1 -. t0));
+      if s.s_trace then
+        push_event s.s_events
+          {
+            ev_name =
+              (match event with Some e -> e | None -> timer_name tm);
+            ev_tid = (Domain.self () :> int);
+            ev_ts = t0 -. s.s_epoch;
+            ev_dur = t1 -. t0;
+          }
+    in
+    Fun.protect ~finally:finish f
+
+let trace_events = function
+  | Off -> []
+  | On s ->
+    List.sort
+      (fun a b -> compare (a.ev_tid, a.ev_ts) (b.ev_tid, b.ev_ts))
+      (Atomic.get s.s_events)
+
+let set_track_name t ~tid name =
+  match t with
+  | Off -> ()
+  | On s ->
+    Mutex.lock s.s_mutex;
+    s.s_tracks <- (tid, name) :: List.remove_assoc tid s.s_tracks;
+    Mutex.unlock s.s_mutex
+
+(* ---- aggregated views ---- *)
+
+let metrics = function
+  | Off -> []
+  | On s ->
+    Mutex.lock s.s_mutex;
+    let m = s.s_metrics in
+    Mutex.unlock s.s_mutex;
+    m
+
+let counters t =
+  List.filter_map
+    (function
+      | name, Counter c -> Some (name, counter_value c)
+      | _ -> None)
+    (metrics t)
+
+let timers t =
+  List.filter_map
+    (function
+      | name, Timer tm ->
+        Some (name, timer_calls tm, float_of_int (timer_ns tm) *. 1e-9)
+      | _ -> None)
+    (metrics t)
+
+let report t =
+  match t with
+  | Off -> ""
+  | On _ ->
+    let ms = metrics t in
+    let buf = Buffer.create 512 in
+    let cs =
+      List.filter_map
+        (function n, Counter c -> Some (n, c) | _ -> None)
+        ms
+    in
+    if cs <> [] then begin
+      let tb = Texttab.create ~header:[ "counter"; "value" ] in
+      List.iter
+        (fun (n, c) ->
+          Texttab.add_row tb [ n; string_of_int (counter_value c) ])
+        cs;
+      Buffer.add_string buf (Texttab.render tb);
+      Buffer.add_char buf '\n'
+    end;
+    let ts =
+      List.filter_map (function n, Timer tm -> Some (n, tm) | _ -> None) ms
+    in
+    if ts <> [] then begin
+      let tb =
+        Texttab.create
+          ~header:[ "timer"; "calls"; "total (ms)"; "mean (us)" ]
+      in
+      List.iter
+        (fun (n, tm) ->
+          let calls = timer_calls tm and ns = timer_ns tm in
+          Texttab.add_row tb
+            [
+              n;
+              string_of_int calls;
+              Printf.sprintf "%.3f" (float_of_int ns *. 1e-6);
+              (if calls = 0 then "-"
+               else
+                 Printf.sprintf "%.2f"
+                   (float_of_int ns *. 1e-3 /. float_of_int calls));
+            ])
+        ts;
+      Buffer.add_string buf (Texttab.render tb);
+      Buffer.add_char buf '\n'
+    end;
+    let hs =
+      List.filter_map
+        (function n, Histogram h -> Some (n, h) | _ -> None)
+        ms
+    in
+    if hs <> [] then begin
+      let tb =
+        Texttab.create
+          ~header:[ "histogram"; "count"; "mean"; "min"; "max"; "bins" ]
+      in
+      List.iter
+        (fun (n, h) ->
+          let xs = samples h in
+          let lo, hi =
+            match Stats.min_max xs with Some r -> r | None -> (0., 0.)
+          in
+          Texttab.add_row tb
+            [
+              n;
+              string_of_int (List.length xs);
+              Printf.sprintf "%.4g" (Stats.mean xs);
+              Printf.sprintf "%.4g" lo;
+              Printf.sprintf "%.4g" hi;
+              String.concat "/"
+                (List.map
+                   (fun (_, _, c) -> string_of_int c)
+                   (histogram_rows h));
+            ])
+        hs;
+      Buffer.add_string buf (Texttab.render tb);
+      Buffer.add_char buf '\n'
+    end;
+    Buffer.contents buf
+
+(* ---- Chrome trace-event export ---- *)
+
+let trace_json t =
+  let tracks =
+    match t with
+    | Off -> []
+    | On s ->
+      Mutex.lock s.s_mutex;
+      let tr = s.s_tracks in
+      Mutex.unlock s.s_mutex;
+      tr
+  in
+  let meta =
+    List.rev_map
+      (fun (tid, name) ->
+        Json.Obj
+          [
+            ("name", Json.Str "thread_name");
+            ("ph", Json.Str "M");
+            ("pid", Json.Num 1.);
+            ("tid", Json.Num (float_of_int tid));
+            ("args", Json.Obj [ ("name", Json.Str name) ]);
+          ])
+      tracks
+  in
+  let evs =
+    List.map
+      (fun ev ->
+        Json.Obj
+          [
+            ("name", Json.Str ev.ev_name);
+            ("cat", Json.Str "ssd");
+            ("ph", Json.Str "X");
+            ("ts", Json.Num (ev.ev_ts *. 1e6));
+            ("dur", Json.Num (ev.ev_dur *. 1e6));
+            ("pid", Json.Num 1.);
+            ("tid", Json.Num (float_of_int ev.ev_tid));
+          ])
+      (trace_events t)
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.List (meta @ evs));
+         ("displayTimeUnit", Json.Str "ms");
+       ])
+
+let write_file_atomic path ~contents =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out tmp in
+  (match
+     output_string oc contents;
+     close_out oc
+   with
+  | () -> ()
+  | exception e ->
+    close_out_noerr oc;
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e);
+  Sys.rename tmp path
+
+let write_trace t path =
+  write_file_atomic path ~contents:(trace_json t ^ "\n")

@@ -1,0 +1,137 @@
+(** Low-overhead telemetry: counters, timers, histograms and span
+    tracing for the STA / fault-simulation / ATPG engines.
+
+    {2 Design}
+
+    A sink is either {!disabled} — every instrument made from it is a
+    shared immediate no-op whose operations cost one branch, allocate
+    nothing and change no state — or enabled, in which case each
+    instrument shards its state per domain: an update touches only the
+    shard indexed by the running domain's id (an uncontended atomic),
+    so instrumented code inside the {!Ssd_sta.Par} pool never takes a
+    lock on the hot path and never perturbs the engines' bit-identical
+    results.  Aggregation happens on read ({!counter_value},
+    {!report}, …), which sums the shards; atomic updates make the
+    aggregate exact for any lane count.
+
+    Span bookkeeping (per STA level, per pool job, per ATPG fault — not
+    per gate) records into a pre-created timer and, when tracing is on,
+    pushes one event onto a lock-free list; instrument {e creation}
+    takes a registry mutex and belongs in setup code, not inner loops.
+
+    {2 Tracing}
+
+    {!trace_json} renders the recorded spans as Chrome trace-event JSON
+    (the [traceEvents] format), loadable in Perfetto or
+    [chrome://tracing].  Each event lands on the track of the domain
+    that recorded it — one track per pool lane — and tracks are named
+    via {!set_track_name} (the {!Ssd_sta.Par} pool names its lanes on
+    creation).  Timestamps come from one wall clock read per span edge;
+    within a track they are monotone because a single domain records
+    its events sequentially. *)
+
+type t
+(** A telemetry sink. *)
+
+val disabled : t
+(** The shared no-op sink: instruments made from it do nothing. *)
+
+val create : ?trace:bool -> unit -> t
+(** A fresh enabled sink.  [trace] (default [false]) additionally
+    records span events for {!trace_json} / {!write_trace}; metric
+    aggregation is always on for an enabled sink. *)
+
+val enabled : t -> bool
+val tracing : t -> bool
+
+(** {2 Counters} *)
+
+type counter
+
+val counter : t -> string -> counter
+(** Find-or-create by name (creation takes the registry lock; hold the
+    handle rather than re-looking it up in a loop).
+    @raise Invalid_argument if the name is registered as another kind. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+(** Sum over all shards: exact, since every update is atomic. *)
+
+(** {2 Timers} *)
+
+type timer
+
+val timer : t -> string -> timer
+
+val add_ns : timer -> int -> unit
+(** Credit a duration (nanoseconds) and one call. *)
+
+val time : timer -> (unit -> 'a) -> 'a
+(** Run the thunk, crediting its duration (also on exception). *)
+
+val timer_ns : timer -> int
+val timer_calls : timer -> int
+
+(** {2 Histograms} *)
+
+type histogram
+
+val histogram : ?bins:int -> ?lo:float -> ?hi:float -> t -> string -> histogram
+(** [bins] defaults to 20.  [lo]/[hi] pin the bin range (recommended:
+    fixed edges are what let observations from different lanes merge —
+    see {!Ssd_util.Stats.histogram}); either defaults to the observed
+    data extreme at render time. *)
+
+val observe : histogram -> float -> unit
+(** Record one sample (lock-free push onto the domain's shard). *)
+
+val histogram_count : histogram -> int
+val histogram_rows : histogram -> (float * float * int) list
+(** Merged samples binned through {!Ssd_util.Stats.histogram}. *)
+
+(** {2 Spans} *)
+
+val span : t -> ?event:string -> timer -> (unit -> 'a) -> 'a
+(** Run the thunk as a span: its duration is credited to the timer,
+    and when the sink is tracing an event named [event] (default: the
+    timer's name) is recorded on the current domain's track.  On the
+    disabled sink this is exactly [f ()]. *)
+
+type event = {
+  ev_name : string;
+  ev_tid : int;  (** recording domain's id = trace track *)
+  ev_ts : float;  (** start, seconds since the sink was created *)
+  ev_dur : float;  (** duration in seconds *)
+}
+
+val trace_events : t -> event list
+(** All recorded events, sorted by track then start time; [] when the
+    sink is disabled or not tracing. *)
+
+val set_track_name : t -> tid:int -> string -> unit
+(** Name a trace track (thread_name metadata in the export). *)
+
+(** {2 Aggregated views} *)
+
+val counters : t -> (string * int) list
+(** Registered counters in creation order with their aggregate value. *)
+
+val timers : t -> (string * int * float) list
+(** [(name, calls, total seconds)] in creation order. *)
+
+val report : t -> string
+(** Human-readable {!Ssd_util.Texttab} summary of every registered
+    counter, timer and histogram; [""] for a disabled sink. *)
+
+val trace_json : t -> string
+(** Chrome trace-event JSON: an object with a [traceEvents] array of
+    complete ("ph":"X") events plus thread-name metadata, timestamps in
+    microseconds. *)
+
+val write_trace : t -> string -> unit
+(** {!trace_json} written atomically (temp file + rename). *)
+
+val write_file_atomic : string -> contents:string -> unit
+(** Write [contents] to a sibling temp file and [Sys.rename] it over
+    the target, so readers never observe a truncated file. *)

@@ -8,12 +8,23 @@
    Completion is a generation-stamped barrier on a mutex/condvar pair;
    the mutex hand-off also publishes every write a worker made (e.g. the
    timing array slots) to whoever observes the job's completion, which is
-   what makes the level-by-level propagation well-synchronized. *)
+   what makes the level-by-level propagation well-synchronized.
+
+   Telemetry (optional [?obs]): each lane counts the tasks and chunks it
+   executed in a slot of its own (published to the sink's counters when
+   the pool shuts down, giving the per-lane utilization picture), lanes
+   record their per-job participation as spans on their own trace track,
+   and the caller times its barrier wait.  All of it is per-lane state or
+   an atomic — no lock is ever taken while work is in flight — and with
+   the disabled sink every probe is a single branch. *)
+
+module Obs = Ssd_obs.Obs
 
 type job = {
   fn : int -> unit;
   n : int;
   chunk : int;
+  label : string option;        (* trace-event name for lane spans *)
   next : int Atomic.t;          (* next unclaimed index *)
   mutable pending : int;        (* workers still running; under [mutex] *)
   mutable failure : exn option; (* first exception raised; under [mutex] *)
@@ -28,13 +39,22 @@ type t = {
   mutable epoch : int;
   mutable stopping : bool;
   mutable domains : unit Domain.t list;
+  obs : Obs.t;
+  busy : Obs.timer;             (* per-lane participation in jobs *)
+  barrier : Obs.timer;          (* caller wait for the job barrier *)
+  barrier_hist : Obs.histogram; (* distribution of those waits, in us *)
+  c_jobs : Obs.counter;
+  lane_tasks : int array;       (* slot i written only by lane i *)
+  lane_chunks : int array;
+  mutable published : bool;
 }
 
 let default_jobs () = Domain.recommended_domain_count ()
 
 let resolve_jobs jobs = if jobs <= 0 then default_jobs () else jobs
 
-let run_chunks t job =
+let run_chunks t ~lane job =
+  let tasks = ref 0 and chunks = ref 0 in
   let rec loop () =
     let start = Atomic.fetch_and_add job.next job.chunk in
     if start < job.n then begin
@@ -42,7 +62,9 @@ let run_chunks t job =
       (try
          for i = start to stop - 1 do
            job.fn i
-         done
+         done;
+         tasks := !tasks + (stop - start);
+         incr chunks
        with e ->
          Mutex.lock t.mutex;
          if job.failure = None then job.failure <- Some e;
@@ -52,9 +74,17 @@ let run_chunks t job =
       loop ()
     end
   in
-  loop ()
+  loop ();
+  t.lane_tasks.(lane) <- t.lane_tasks.(lane) + !tasks;
+  t.lane_chunks.(lane) <- t.lane_chunks.(lane) + !chunks
 
-let rec worker t my_epoch =
+(* a lane's participation in one job, as a span on its own track *)
+let participate t ~lane job =
+  if Obs.enabled t.obs then
+    Obs.span t.obs ?event:job.label t.busy (fun () -> run_chunks t ~lane job)
+  else run_chunks t ~lane job
+
+let rec worker t ~lane my_epoch =
   Mutex.lock t.mutex;
   while t.epoch = my_epoch && not t.stopping do
     Condition.wait t.work_ready t.mutex
@@ -64,15 +94,15 @@ let rec worker t my_epoch =
     let epoch = t.epoch in
     let job = Option.get t.current in
     Mutex.unlock t.mutex;
-    run_chunks t job;
+    participate t ~lane job;
     Mutex.lock t.mutex;
     job.pending <- job.pending - 1;
     if job.pending = 0 then Condition.broadcast t.work_done;
     Mutex.unlock t.mutex;
-    worker t epoch
+    worker t ~lane epoch
   end
 
-let create ~jobs =
+let create ?(obs = Obs.disabled) ~jobs () =
   let lanes = max 1 (resolve_jobs jobs) in
   let t =
     {
@@ -84,12 +114,50 @@ let create ~jobs =
       epoch = 0;
       stopping = false;
       domains = [];
+      obs;
+      busy = Obs.timer obs "par.lane_busy";
+      barrier = Obs.timer obs "par.barrier_wait";
+      barrier_hist =
+        Obs.histogram ~bins:16 ~lo:0. ~hi:1000. obs "par.barrier_wait_us";
+      c_jobs = Obs.counter obs "par.jobs";
+      lane_tasks = Array.make lanes 0;
+      lane_chunks = Array.make lanes 0;
+      published = false;
     }
   in
-  t.domains <- List.init (lanes - 1) (fun _ -> Domain.spawn (fun () -> worker t 0));
+  t.domains <-
+    List.init (lanes - 1) (fun i ->
+        Domain.spawn (fun () -> worker t ~lane:(i + 1) 0));
+  if Obs.enabled obs then begin
+    Obs.set_track_name obs
+      ~tid:(Domain.self () :> int)
+      "lane 0 (caller)";
+    List.iteri
+      (fun i d ->
+        Obs.set_track_name obs
+          ~tid:(Domain.get_id d :> int)
+          (Printf.sprintf "lane %d" (i + 1)))
+      t.domains
+  end;
   t
 
 let jobs t = t.lanes
+
+(* lane counters are exact at this point: workers publish their slots
+   through the job barrier's mutex hand-off, and shutdown additionally
+   joins them *)
+let publish_stats t =
+  if Obs.enabled t.obs && not t.published then begin
+    t.published <- true;
+    for i = 0 to t.lanes - 1 do
+      Obs.add
+        (Obs.counter t.obs (Printf.sprintf "par.lane%d.tasks" i))
+        t.lane_tasks.(i);
+      Obs.add
+        (Obs.counter t.obs (Printf.sprintf "par.lane%d.chunks" i))
+        t.lane_chunks.(i)
+    done
+  end
 
 let shutdown t =
   Mutex.lock t.mutex;
@@ -97,22 +165,34 @@ let shutdown t =
   Condition.broadcast t.work_ready;
   Mutex.unlock t.mutex;
   List.iter Domain.join t.domains;
-  t.domains <- []
+  t.domains <- [];
+  publish_stats t
 
-let with_pool ~jobs f =
-  let t = create ~jobs in
+let with_pool ?obs ~jobs f =
+  let t = create ?obs ~jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 (* Below this many items the fan-out cost outweighs the work; measured on
    the bundled netlists where a typical level holds tens of gates. *)
 let min_parallel = 4
 
-let parallel_for t ?chunk ~n fn =
+let parallel_for t ?chunk ?label ~n fn =
   if n > 0 then begin
-    if t.lanes = 1 || n < min_parallel then
-      for i = 0 to n - 1 do
-        fn i
-      done
+    if t.lanes = 1 || n < min_parallel then begin
+      if Obs.enabled t.obs then begin
+        Obs.incr t.c_jobs;
+        let job =
+          { fn; n; chunk = n; label; next = Atomic.make 0; pending = 0;
+            failure = None }
+        in
+        participate t ~lane:0 job;
+        match job.failure with Some e -> raise e | None -> ()
+      end
+      else
+        for i = 0 to n - 1 do
+          fn i
+        done
+    end
     else begin
       let chunk =
         match chunk with
@@ -120,8 +200,9 @@ let parallel_for t ?chunk ~n fn =
         | Some _ -> invalid_arg "Par.parallel_for: chunk < 1"
         | None -> max 1 (n / (t.lanes * 4))
       in
+      Obs.incr t.c_jobs;
       let job =
-        { fn; n; chunk; next = Atomic.make 0; pending = t.lanes - 1;
+        { fn; n; chunk; label; next = Atomic.make 0; pending = t.lanes - 1;
           failure = None }
       in
       Mutex.lock t.mutex;
@@ -130,14 +211,28 @@ let parallel_for t ?chunk ~n fn =
       Condition.broadcast t.work_ready;
       Mutex.unlock t.mutex;
       (* the caller is a lane too *)
-      run_chunks t job;
-      Mutex.lock t.mutex;
-      while job.pending > 0 do
-        Condition.wait t.work_done t.mutex
-      done;
-      t.current <- None;
-      let failure = job.failure in
-      Mutex.unlock t.mutex;
+      participate t ~lane:0 job;
+      let wait () =
+        Mutex.lock t.mutex;
+        while job.pending > 0 do
+          Condition.wait t.work_done t.mutex
+        done;
+        t.current <- None;
+        let failure = job.failure in
+        Mutex.unlock t.mutex;
+        failure
+      in
+      let failure =
+        if Obs.enabled t.obs then begin
+          let t0 = Unix.gettimeofday () in
+          let r = wait () in
+          let dt = Unix.gettimeofday () -. t0 in
+          Obs.add_ns t.barrier (int_of_float (dt *. 1e9));
+          Obs.observe t.barrier_hist (dt *. 1e6);
+          r
+        end
+        else wait ()
+      in
       match failure with Some e -> raise e | None -> ()
     end
   end

@@ -19,25 +19,37 @@ type t
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
-val create : jobs:int -> t
+val create : ?obs:Ssd_obs.Obs.t -> jobs:int -> unit -> t
 (** Spawn a pool with [jobs] lanes ([jobs - 1] domains); [jobs <= 0]
-    means {!default_jobs}.  Call {!shutdown} when done. *)
+    means {!default_jobs}.  Call {!shutdown} when done.
+
+    [obs] (default disabled) instruments the pool: each lane counts the
+    tasks and chunks it executes (surfaced as [par.lane<i>.tasks] /
+    [.chunks] counters at {!shutdown} — the lane-utilization picture),
+    lanes record their per-job participation as spans on their own
+    trace track (named [lane <i>] via {!Ssd_obs.Obs.set_track_name}),
+    and the caller's barrier waits feed the [par.barrier_wait] timer
+    and histogram.  All probes are per-lane slots or atomics: the work
+    loop never takes a lock, and results remain bit-identical. *)
 
 val jobs : t -> int
 (** Lane count actually in use (>= 1). *)
 
-val parallel_for : t -> ?chunk:int -> n:int -> (int -> unit) -> unit
+val parallel_for : t -> ?chunk:int -> ?label:string -> n:int -> (int -> unit) -> unit
 (** [parallel_for t ~n fn] runs [fn i] for every [0 <= i < n], fanned
     across the pool's lanes, and returns once all calls finished.  The
     function must be safe to call concurrently for distinct indices.
     Falls back to a plain sequential loop on a 1-lane pool or when [n] is
     small.  [chunk] overrides the scheduling granularity (default:
-    [n / (lanes * 4)], at least 1).  If any [fn] raises, remaining chunks
-    are abandoned and the first exception is re-raised in the caller
-    after the barrier.  @raise Invalid_argument on [chunk < 1]. *)
+    [n / (lanes * 4)], at least 1).  [label] names the lanes' trace
+    spans for this job (e.g. the STA level) when the pool is
+    instrumented.  If any [fn] raises, remaining chunks are abandoned
+    and the first exception is re-raised in the caller after the
+    barrier.  @raise Invalid_argument on [chunk < 1]. *)
 
 val shutdown : t -> unit
-(** Join all worker domains.  Idempotent. *)
+(** Join all worker domains and publish the per-lane counters to the
+    sink.  Idempotent. *)
 
-val with_pool : jobs:int -> (t -> 'a) -> 'a
+val with_pool : ?obs:Ssd_obs.Obs.t -> jobs:int -> (t -> 'a) -> 'a
 (** [create], run, then [shutdown] (also on exception). *)

@@ -6,6 +6,7 @@ module Delay_model = Ssd_core.Delay_model
 module Cellfn = Ssd_core.Cellfn
 module Netlist = Ssd_circuit.Netlist
 module Gate = Ssd_circuit.Gate
+module Obs = Ssd_obs.Obs
 
 type line_timing = { rise : Types.win; fall : Types.win }
 
@@ -27,6 +28,7 @@ type t = {
   st_library : Charlib.t;
   st_model : Delay_model.t;
   st_timing : line_timing array;
+  st_cache : Ssd_core.Eval_cache.t option;
 }
 
 exception Unsupported_gate of string
@@ -75,8 +77,8 @@ let gate_windows ?cache ~windowing ~cell ~load fanin_timings =
   if ctl_in_is_fall then { rise = ctl_out; fall = non_out }
   else { rise = non_out; fall = ctl_out }
 
-let analyze ?(pi_spec = default_pi_spec) ?(jobs = 1) ?(cache = false) ~library
-    ~model nl =
+let analyze ?(pi_spec = default_pi_spec) ?(jobs = 1) ?(cache = false)
+    ?(obs = Obs.disabled) ~library ~model nl =
   let windowing =
     match model.Delay_model.windowing with
     | Some w -> w
@@ -96,10 +98,12 @@ let analyze ?(pi_spec = default_pi_spec) ?(jobs = 1) ?(cache = false) ~library
   let ecache =
     if cache then Some (Ssd_core.Eval_cache.create ()) else None
   in
+  let c_gates = Obs.counter obs "sta.gates" in
   let eval i =
     match Netlist.node nl i with
     | Netlist.Pi -> ()
     | Netlist.Gate { kind; fanin } ->
+      Obs.incr c_gates;
       let cell = cell_of_gate library kind (Array.length fanin) in
       let fanin_timings =
         Array.to_list (Array.map (fun j -> timing.(j)) fanin)
@@ -111,21 +115,61 @@ let analyze ?(pi_spec = default_pi_spec) ?(jobs = 1) ?(cache = false) ~library
   (* gates of one topological level are independent; the per-gate window
      computation is a pure function of the fan-in windows (and the memo
      cache stores bit-exact replays), so the parallel schedule produces
-     bit-identical results to the sequential walk *)
+     bit-identical results to the sequential walk.  An instrumented run
+     always walks level-by-level — also for [jobs = 1] — so the spans
+     line up with the parallel schedule; the levelized order is a
+     topological order, so the windows stay bit-identical either way. *)
   let jobs = if jobs <= 0 then Par.default_jobs () else jobs in
-  if jobs <= 1 then Array.iter eval (Netlist.topo_order nl)
+  if jobs <= 1 && not (Obs.enabled obs) then
+    Array.iter eval (Netlist.topo_order nl)
   else
-    Par.with_pool ~jobs (fun pool ->
-        Array.iter
-          (fun level ->
-            Par.parallel_for pool ~n:(Array.length level) (fun k ->
-                eval level.(k)))
-          (Netlist.levels nl));
-  { st_netlist = nl; st_library = library; st_model = model; st_timing = timing }
+    Par.with_pool ~obs ~jobs (fun pool ->
+        let levels = Netlist.levels nl in
+        if not (Obs.enabled obs) then
+          Array.iter
+            (fun level ->
+              Par.parallel_for pool ~n:(Array.length level) (fun k ->
+                  eval level.(k)))
+            levels
+        else begin
+          (* one caller-side span per level (named "sta.level.<l>",
+             appearing exactly once per level in the trace) wrapping the
+             fan-out; the lanes' own participation spans are labelled
+             "L<l>" on their per-lane tracks *)
+          Obs.add (Obs.counter obs "sta.levels") (Array.length levels);
+          let h_gates =
+            Obs.histogram ~bins:16 ~lo:0.
+              ~hi:(float_of_int
+                     (Array.fold_left
+                        (fun m l -> max m (Array.length l))
+                        1 levels))
+              obs "sta.level_gates"
+          in
+          Array.iteri
+            (fun l level ->
+              let tm = Obs.timer obs (Printf.sprintf "sta.level.%d" l) in
+              Obs.observe h_gates (float_of_int (Array.length level));
+              Obs.span obs tm (fun () ->
+                  Par.parallel_for pool
+                    ~label:(Printf.sprintf "L%d" l)
+                    ~n:(Array.length level)
+                    (fun k -> eval level.(k))))
+            levels
+        end);
+  Option.iter
+    (fun ec ->
+      Obs.add (Obs.counter obs "sta.cache.hits") (Ssd_core.Eval_cache.hits ec);
+      Obs.add
+        (Obs.counter obs "sta.cache.misses")
+        (Ssd_core.Eval_cache.misses ec))
+    ecache;
+  { st_netlist = nl; st_library = library; st_model = model;
+    st_timing = timing; st_cache = ecache }
 
 let netlist t = t.st_netlist
 let library t = t.st_library
 let timing t i = t.st_timing.(i)
+let cache_stats t = Option.map Ssd_core.Eval_cache.stats t.st_cache
 
 let po_window t =
   let pos = Netlist.outputs t.st_netlist in

@@ -39,6 +39,7 @@ val analyze :
   ?pi_spec:pi_spec ->
   ?jobs:int ->
   ?cache:bool ->
+  ?obs:Ssd_obs.Obs.t ->
   library:Ssd_cell.Charlib.t ->
   model:Ssd_core.Delay_model.t ->
   Ssd_circuit.Netlist.t ->
@@ -50,6 +51,16 @@ val analyze :
     level's gates across that many domains (see {!Par}), and [<= 0]
     auto-selects [Domain.recommended_domain_count ()].  Results are
     bit-identical regardless of [jobs].
+
+    [obs] (default disabled) wires the analysis into a telemetry sink:
+    gate evaluations count into [sta.gates], each level runs under a
+    span [sta.level.<l>] (per-level wall time in the report, one trace
+    event per level), level widths feed the [sta.level_gates]
+    histogram, the {!Par} pool reports lane utilization and barrier
+    waits, and — when [cache] is on — the memo hits/misses land in
+    [sta.cache.hits]/[sta.cache.misses].  Instrumented runs walk
+    level-by-level even at [jobs = 1]; results stay bit-identical to
+    the uninstrumented engine in every combination.
 
     [cache] (default [false]) memoizes the per-cell corner searches
     across gate instances (see {!Ssd_core.Eval_cache}); it never changes
@@ -66,6 +77,10 @@ val netlist : t -> Ssd_circuit.Netlist.t
 val library : t -> Ssd_cell.Charlib.t
 val timing : t -> int -> line_timing
 (** Windows of any node id. *)
+
+val cache_stats : t -> string option
+(** {!Ssd_core.Eval_cache.stats} of the memo table used by the
+    analysis; [None] when it ran with [cache:false]. *)
 
 val po_window : t -> Ssd_util.Interval.t
 (** Union of both transitions' arrival windows over all primary outputs:

@@ -31,9 +31,24 @@ let pct_errors ~reference values =
 let mean_abs_pct_error ~reference values = mean (pct_errors ~reference values)
 let max_abs_pct_error ~reference values = max_abs (pct_errors ~reference values)
 
-let histogram ~bins xs =
+let histogram ?lo ?hi ~bins xs =
   if bins <= 0 then invalid_arg "Stats.histogram: bins <= 0";
-  match min_max xs with
+  (match (lo, hi) with
+  | Some l, Some h when h <= l -> invalid_arg "Stats.histogram: hi <= lo"
+  | _ -> ());
+  (* a fully fixed range makes the bin edges data-independent, so
+     histograms built by different producers (e.g. per-lane telemetry
+     shards) add bin-by-bin; out-of-range samples clamp to the edge
+     bins.  Missing endpoints fall back to the data extremes. *)
+  let range =
+    match (min_max xs, lo, hi) with
+    | None, Some l, Some h -> Some (l, h)
+    | None, _, _ -> None
+    | Some (dlo, dhi), l, h ->
+      let l = Option.value l ~default:dlo and h = Option.value h ~default:dhi in
+      Some (Float.min l h, Float.max l h)
+  in
+  match range with
   | None -> []
   | Some (lo, hi) ->
     let span = if hi > lo then hi -. lo else 1. in

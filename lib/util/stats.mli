@@ -13,5 +13,12 @@ val mean_abs_pct_error : reference:float list -> float list -> float
 
 val max_abs_pct_error : reference:float list -> float list -> float
 
-val histogram : bins:int -> float list -> (float * float * int) list
-(** [(lo, hi, count)] rows covering the data span; empty input → []. *)
+val histogram :
+  ?lo:float -> ?hi:float -> bins:int -> float list -> (float * float * int) list
+(** [(lo, hi, count)] rows.  By default the range is the data span and
+    empty input yields [].  [?lo]/[?hi] pin either end of the range
+    instead, making the bin edges data-independent so histograms over
+    different sample sets (telemetry shards from different lanes) merge
+    by adding counts bin-by-bin; out-of-range samples land in the edge
+    bins.  With both ends pinned, empty input yields [bins] zero-count
+    rows.  @raise Invalid_argument on [bins <= 0] or [hi <= lo]. *)

@@ -1,0 +1,299 @@
+(* Telemetry (ssd_obs): exact parallel aggregation, trace integrity,
+   disabled-sink freeness, and the bit-identity of instrumented engine
+   runs. *)
+
+module Obs = Ssd_obs.Obs
+module Par = Ssd_sta.Par
+module Sta = Ssd_sta.Sta
+module Json = Ssd_util.Json
+module Interval = Ssd_util.Interval
+module Types = Ssd_core.Types
+module DM = Ssd_core.Delay_model
+module Charlib = Ssd_cell.Charlib
+module Ck = Ssd_circuit
+module A = Ssd_atpg
+
+(* ---------- counters / timers / histograms ---------- *)
+
+let test_counter_basics () =
+  let obs = Obs.create () in
+  let c = Obs.counter obs "c" in
+  Obs.incr c;
+  Obs.add c 41;
+  Alcotest.(check int) "value" 42 (Obs.counter_value c);
+  Alcotest.(check bool) "same handle" true (Obs.counter obs "c" == c);
+  Alcotest.(check (list (pair string int))) "listing" [ ("c", 42) ]
+    (Obs.counters obs);
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument "Obs.timer: c is not a timer") (fun () ->
+      ignore (Obs.timer obs "c"))
+
+(* the aggregation contract of the ISSUE: one counter incremented from
+   every lane of a parallel_for sums exactly, for every lane count *)
+let test_counter_parallel_exact () =
+  List.iter
+    (fun jobs ->
+      let obs = Obs.create () in
+      let c = Obs.counter obs "iters" in
+      let n = 10_000 in
+      Par.with_pool ~obs ~jobs (fun pool ->
+          Par.parallel_for pool ~n (fun _ -> Obs.incr c));
+      Alcotest.(check int)
+        (Printf.sprintf "exact at jobs=%d" jobs)
+        n (Obs.counter_value c))
+    [ 1; 4; 0 ]
+
+let test_timer_and_histogram () =
+  let obs = Obs.create () in
+  let tm = Obs.timer obs "t" in
+  Obs.add_ns tm 500;
+  let v = Obs.time tm (fun () -> 7) in
+  Alcotest.(check int) "time returns" 7 v;
+  Alcotest.(check int) "calls" 2 (Obs.timer_calls tm);
+  Alcotest.(check bool) "ns accumulated" true (Obs.timer_ns tm >= 500);
+  let h = Obs.histogram ~bins:2 ~lo:0. ~hi:2. obs "h" in
+  Obs.observe h 0.5;
+  Obs.observe h 1.5;
+  Obs.observe h 1.6;
+  Alcotest.(check int) "count" 3 (Obs.histogram_count h);
+  (match Obs.histogram_rows h with
+  | [ (_, _, c0); (_, _, c1) ] ->
+    Alcotest.(check int) "low bin" 1 c0;
+    Alcotest.(check int) "high bin" 2 c1
+  | rows -> Alcotest.failf "want 2 rows, got %d" (List.length rows));
+  let contains r s =
+    let nr = String.length r and ns = String.length s in
+    let rec go i = i + ns <= nr && (String.sub r i ns = s || go (i + 1)) in
+    go 0
+  in
+  let r = Obs.report obs in
+  Alcotest.(check bool) "report mentions the timer" true (contains r "| t ");
+  Alcotest.(check bool) "report mentions the histogram" true
+    (contains r "| h ")
+
+(* histogram samples recorded concurrently from many domains all land *)
+let test_histogram_parallel () =
+  let obs = Obs.create () in
+  let h = Obs.histogram ~bins:4 ~lo:0. ~hi:4. obs "lanes" in
+  let n = 4_000 in
+  Par.with_pool ~obs ~jobs:4 (fun pool ->
+      Par.parallel_for pool ~n (fun i ->
+          Obs.observe h (float_of_int (i mod 4))));
+  Alcotest.(check int) "all samples" n (Obs.histogram_count h);
+  List.iter
+    (fun (_, _, c) -> Alcotest.(check int) "uniform bins" (n / 4) c)
+    (Obs.histogram_rows h)
+
+(* ---------- disabled sink ---------- *)
+
+let test_disabled_sink_free () =
+  let obs = Obs.disabled in
+  Alcotest.(check bool) "disabled" false (Obs.enabled obs);
+  let c = Obs.counter obs "x" in
+  let tm = Obs.timer obs "y" in
+  let h = Obs.histogram obs "z" in
+  (* no-op instruments are physically shared: creation allocates nothing *)
+  Alcotest.(check bool) "counter shared" true (c == Obs.counter obs "other");
+  Alcotest.(check bool) "timer shared" true (tm == Obs.timer obs "other");
+  Alcotest.(check bool) "histogram shared" true (h == Obs.histogram obs "w");
+  (* updates do not allocate: minor words stay flat across 10k calls *)
+  let m0 = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    Obs.incr c;
+    Obs.add c 3;
+    Obs.add_ns tm 5;
+    Obs.observe h 1.
+  done;
+  let dm = Gc.minor_words () -. m0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "no allocation on disabled path (%.0f words)" dm)
+    true
+    (dm < 256.);
+  Alcotest.(check int) "counter stays 0" 0 (Obs.counter_value c);
+  Alcotest.(check string) "report empty" "" (Obs.report obs);
+  Alcotest.(check bool) "no events" true (Obs.trace_events obs = []);
+  (* span on the disabled sink is exactly the thunk *)
+  Alcotest.(check int) "span passthrough" 9 (Obs.span obs tm (fun () -> 9))
+
+(* ---------- tracing ---------- *)
+
+let test_trace_json_valid_and_monotone () =
+  let obs = Obs.create ~trace:true () in
+  let tm = Obs.timer obs "work" in
+  for _ = 1 to 5 do
+    Obs.span obs tm (fun () -> ignore (Sys.opaque_identity (ref 0)))
+  done;
+  Obs.span obs ~event:"named" tm (fun () -> ());
+  Obs.set_track_name obs ~tid:(Domain.self () :> int) "main";
+  let events = Obs.trace_events obs in
+  Alcotest.(check int) "6 events" 6 (List.length events);
+  (* per-track timestamps are monotone non-decreasing *)
+  let by_tid = Hashtbl.create 4 in
+  List.iter
+    (fun (e : Obs.event) ->
+      let prev =
+        Option.value ~default:neg_infinity (Hashtbl.find_opt by_tid e.ev_tid)
+      in
+      Alcotest.(check bool) "monotone in track" true (e.ev_ts >= prev);
+      Alcotest.(check bool) "nonneg duration" true (e.ev_dur >= 0.);
+      Hashtbl.replace by_tid e.ev_tid e.ev_ts)
+    events;
+  (* export parses back and carries the metadata *)
+  match Json.parse (Obs.trace_json obs) with
+  | Error e -> Alcotest.failf "invalid trace JSON: %s" e
+  | Ok json ->
+    let evs =
+      match Json.member "traceEvents" json with
+      | Some l -> Json.to_list l
+      | None -> Alcotest.fail "no traceEvents"
+    in
+    let phases =
+      List.filter_map
+        (fun e -> Option.bind (Json.member "ph" e) Json.string_value)
+        evs
+    in
+    Alcotest.(check int) "complete events" 6
+      (List.length (List.filter (( = ) "X") phases));
+    Alcotest.(check bool) "has thread_name metadata" true
+      (List.exists
+         (fun e ->
+           Option.bind (Json.member "name" e) Json.string_value
+           = Some "thread_name")
+         evs);
+    Alcotest.(check bool) "has the named span" true
+      (List.exists
+         (fun e ->
+           Option.bind (Json.member "name" e) Json.string_value
+           = Some "named")
+         evs)
+
+let test_write_file_atomic () =
+  let path = Filename.temp_file "ssd_obs_test" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Obs.write_file_atomic path ~contents:"hello";
+      let ic = open_in_bin path in
+      let s =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      Alcotest.(check string) "contents" "hello" s;
+      (* no temp litter left next to the target *)
+      let dir = Filename.dirname path in
+      let base = Filename.basename path in
+      Alcotest.(check bool) "no temp files" true
+        (Array.for_all
+           (fun f ->
+             not
+               (String.length f > String.length base
+               && String.sub f 0 (String.length base) = base))
+           (Sys.readdir dir)))
+
+(* ---------- instrumented engines stay bit-identical ---------- *)
+
+let lib = lazy (Charlib.default ~profile:Charlib.coarse ())
+
+let beq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let wins_equal nl a b =
+  let ok = ref true in
+  for i = 0 to Ck.Netlist.size nl - 1 do
+    let x = Sta.timing a i and y = Sta.timing b i in
+    let w (lt : Sta.line_timing) =
+      [ lt.Sta.rise.Types.w_arr; lt.Sta.rise.Types.w_tt;
+        lt.Sta.fall.Types.w_arr; lt.Sta.fall.Types.w_tt ]
+    in
+    List.iter2
+      (fun u v ->
+        if not (beq (Interval.lo u) (Interval.lo v)
+                && beq (Interval.hi u) (Interval.hi v))
+        then ok := false)
+      (w x) (w y)
+  done;
+  !ok
+
+let test_sta_instrumented_identical () =
+  let library = Lazy.force lib in
+  let nl = Ck.Decompose.to_primitive (Ck.Benchmarks.c17 ()) in
+  let base = Sta.analyze ~library ~model:DM.proposed nl in
+  List.iter
+    (fun (tag, jobs, trace) ->
+      let obs = Obs.create ~trace () in
+      let t = Sta.analyze ~jobs ~obs ~library ~model:DM.proposed nl in
+      Alcotest.(check bool) (tag ^ " identical") true (wins_equal nl base t);
+      Alcotest.(check int)
+        (tag ^ " counted every gate")
+        (Array.fold_left
+           (fun acc level ->
+             Array.fold_left
+               (fun acc i ->
+                 match Ck.Netlist.node nl i with
+                 | Ck.Netlist.Gate _ -> acc + 1
+                 | Ck.Netlist.Pi -> acc)
+               acc level)
+           0 (Ck.Netlist.levels nl))
+        (Obs.counter_value (Obs.counter obs "sta.gates")))
+    [ ("instr j1", 1, false); ("instr j4", 4, false);
+      ("instr j4 traced", 4, true) ]
+
+let test_fault_sim_instrumented_identical () =
+  let library = Lazy.force lib in
+  let nl = Ck.Decompose.to_primitive (Ck.Benchmarks.c17 ()) in
+  let sta = Sta.analyze ~library ~model:DM.proposed nl in
+  let clock = Sta.max_delay sta in
+  let sites =
+    A.Fault.extract ~count:12 ~delta:60e-12 ~align_window:2500e-12 ~seed:5L nl
+  in
+  let vectors = A.Fault_sim.random_vectors ~seed:2L ~count:24 nl in
+  let run ?(obs = Obs.disabled) ~jobs () =
+    A.Fault_sim.simulate ~jobs ~obs ~library ~model:DM.proposed
+      ~clock_period:clock nl sites vectors
+  in
+  let base = run ~jobs:1 () in
+  let obs = Obs.create () in
+  let instr = run ~obs ~jobs:4 () in
+  Alcotest.(check bool) "detected identical" true
+    (instr.A.Fault_sim.detected = base.A.Fault_sim.detected);
+  Alcotest.(check bool) "undetected identical" true
+    (instr.A.Fault_sim.undetected = base.A.Fault_sim.undetected);
+  Alcotest.(check bool) "coverage identical" true
+    (beq instr.A.Fault_sim.coverage base.A.Fault_sim.coverage);
+  (* the screening economics are consistent: detected + undetected =
+     sites, and every fault-free simulation covered every vector once *)
+  let cv n = Obs.counter_value (Obs.counter obs n) in
+  Alcotest.(check int) "ff sims = vectors" (List.length vectors)
+    (cv "faultsim.ff_sims");
+  Alcotest.(check int) "outcome split"
+    (List.length sites)
+    (cv "faultsim.detected" + cv "faultsim.undetected")
+
+let suites =
+  [
+    ( "obs.metrics",
+      [
+        Alcotest.test_case "counter basics" `Quick test_counter_basics;
+        Alcotest.test_case "parallel counters exact" `Quick
+          test_counter_parallel_exact;
+        Alcotest.test_case "timer and histogram" `Quick
+          test_timer_and_histogram;
+        Alcotest.test_case "parallel histogram" `Quick
+          test_histogram_parallel;
+      ] );
+    ( "obs.disabled",
+      [ Alcotest.test_case "near-zero cost" `Quick test_disabled_sink_free ] );
+    ( "obs.trace",
+      [
+        Alcotest.test_case "valid JSON, monotone tracks" `Quick
+          test_trace_json_valid_and_monotone;
+        Alcotest.test_case "atomic write" `Quick test_write_file_atomic;
+      ] );
+    ( "obs.engines",
+      [
+        Alcotest.test_case "instrumented STA bit-identical" `Quick
+          test_sta_instrumented_identical;
+        Alcotest.test_case "instrumented fault-sim bit-identical" `Quick
+          test_fault_sim_instrumented_identical;
+      ] );
+  ]

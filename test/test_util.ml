@@ -6,6 +6,7 @@ module Pwl = Ssd_util.Pwl
 module Rng = Ssd_util.Rng
 module Stats = Ssd_util.Stats
 module Texttab = Ssd_util.Texttab
+module Json = Ssd_util.Json
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -308,6 +309,83 @@ let test_stats_histogram () =
   let total = List.fold_left (fun a (_, _, c) -> a + c) 0 h in
   Alcotest.(check int) "all counted" 4 total
 
+let test_stats_histogram_range () =
+  (* pinned edges are data-independent, so histograms built from
+     different sample subsets (e.g. per-lane shards) add bin-by-bin *)
+  let edges h = List.map (fun (lo, hi, _) -> (lo, hi)) h in
+  let counts h = List.map (fun (_, _, c) -> c) h in
+  let a = [ 0.5; 1.5 ] and b = [ 2.5; 3.5; 0.6 ] in
+  let bins = 4 and lo = 0. and hi = 4. in
+  let ha = Stats.histogram ~bins ~lo ~hi a in
+  let hb = Stats.histogram ~bins ~lo ~hi b in
+  let hall = Stats.histogram ~bins ~lo ~hi (a @ b) in
+  Alcotest.(check bool) "same edges" true
+    (edges ha = edges hb && edges ha = edges hall);
+  Alcotest.(check (list int)) "shards merge"
+    (counts hall)
+    (List.map2 ( + ) (counts ha) (counts hb));
+  (* out-of-range samples clamp into the edge bins *)
+  let hc = Stats.histogram ~bins:2 ~lo:0. ~hi:2. [ -5.; 0.5; 99. ] in
+  Alcotest.(check (list int)) "clamped" [ 2; 1 ] (counts hc);
+  (* both ends pinned: even an empty input renders the fixed bins *)
+  let he = Stats.histogram ~bins:3 ~lo:0. ~hi:3. [] in
+  Alcotest.(check (list int)) "empty fixed range" [ 0; 0; 0 ] (counts he);
+  Alcotest.check_raises "bad range"
+    (Invalid_argument "Stats.histogram: hi <= lo") (fun () ->
+      ignore (Stats.histogram ~bins:2 ~lo:1. ~hi:1. [ 0. ]))
+
+(* ---------- Json ---------- *)
+
+let test_json_print () =
+  let j =
+    Json.Obj
+      [
+        ("a", Json.Num 1.);
+        ("b", Json.Str "x\"y\n");
+        ("c", Json.List [ Json.Bool true; Json.Null; Json.Num 2.5 ]);
+      ]
+  in
+  Alcotest.(check string) "render"
+    {|{"a":1,"b":"x\"y\n","c":[true,null,2.5]}|}
+    (Json.to_string j);
+  Alcotest.(check string) "integral floats stay integral" {|[42,-3]|}
+    (Json.to_string (Json.List [ Json.Num 42.; Json.Num (-3.) ]));
+  Alcotest.(check string) "non-finite becomes null" "null"
+    (Json.to_string (Json.Num nan))
+
+let test_json_roundtrip () =
+  let j =
+    Json.Obj
+      [
+        ("name", Json.Str "trace");
+        ("xs", Json.List [ Json.Num 0.; Json.Num 1.5; Json.Num (-2e-3) ]);
+        ("ok", Json.Bool false);
+        ("nested", Json.Obj [ ("u", Json.Str "caf\xc3\xa9") ]);
+      ]
+  in
+  match Json.parse (Json.to_string j) with
+  | Ok j' -> Alcotest.(check bool) "roundtrip" true (j = j')
+  | Error e -> Alcotest.failf "parse error: %s" e
+
+let test_json_parse_errors () =
+  let bad s =
+    match Json.parse s with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "truncated" true (bad "{\"a\": [1, 2");
+  Alcotest.(check bool) "trailing" true (bad "{} x");
+  Alcotest.(check bool) "bare word" true (bad "nope");
+  (match Json.parse {|{"t": "a\u00e9\ud83d\ude00"}|} with
+  | Ok (Json.Obj [ ("t", Json.Str s) ]) ->
+    Alcotest.(check string) "unicode escapes decode to UTF-8"
+      "a\xc3\xa9\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "expected unicode string");
+  match Json.parse "[1, 2.5e2, -0.25]" with
+  | Ok (Json.List [ Json.Num a; Json.Num b; Json.Num c ]) ->
+    check_float "int" 1. a;
+    check_float "exp" 250. b;
+    check_float "neg frac" (-0.25) c
+  | _ -> Alcotest.fail "expected number list"
+
 (* ---------- Texttab ---------- *)
 
 let test_texttab () =
@@ -372,6 +450,14 @@ let suites =
       [
         Alcotest.test_case "descriptive" `Quick test_stats;
         Alcotest.test_case "histogram" `Quick test_stats_histogram;
+        Alcotest.test_case "histogram fixed range" `Quick
+          test_stats_histogram_range;
+      ] );
+    ( "util.json",
+      [
+        Alcotest.test_case "print" `Quick test_json_print;
+        Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+        Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
       ] );
     ("util.texttab", [ Alcotest.test_case "render" `Quick test_texttab ]);
   ]
