@@ -88,6 +88,87 @@ let () =
     (* not fatal — random vectors may miss every site — but the identity
        check above would then be vacuous, so surface it *)
     Printf.eprintf "bench smoke: note: no site detected on c17\n";
+  (* window screen: the STA-window pre-screen discards sites on windows
+     alone; by its soundness argument it must never change the result *)
+  let fscreen ~window_screen =
+    A.Fault_sim.simulate_with ~window_screen
+      (Ssd_sta.Run_opts.make ())
+      ~library:lib ~model:DM.proposed ~clock_period:(Sta.max_delay base) nl
+      sites vectors
+  in
+  let f_on = fscreen ~window_screen:true
+  and f_off = fscreen ~window_screen:false in
+  if
+    f_on.A.Fault_sim.detected <> fbase.A.Fault_sim.detected
+    || f_off.A.Fault_sim.detected <> fbase.A.Fault_sim.detected
+    || f_on.A.Fault_sim.undetected <> fbase.A.Fault_sim.undetected
+  then begin
+    Printf.eprintf
+      "bench smoke: window screen on/off changes the detection result\n";
+    exit 1
+  end;
+  (* eco engine loop: every edit kind on c17, each checked bit-identical
+     to a fresh analysis of the edited circuit, then a checkpointed
+     revert back to the bit-exact base *)
+  let module E = Ssd_sta.Engine in
+  E.with_engine ~library:lib ~model:DM.proposed nl (fun eng ->
+      let engine_equals_reference tag =
+        let reference = E.reanalyze eng in
+        let ok = ref true in
+        for i = 0 to Ck.Netlist.size nl - 1 do
+          let w (lt : Sta.line_timing) =
+            [ lt.Sta.rise.Types.w_arr; lt.Sta.rise.Types.w_tt;
+              lt.Sta.fall.Types.w_arr; lt.Sta.fall.Types.w_tt ]
+          in
+          List.iter2
+            (fun u v ->
+              if not (beq (Interval.lo u) (Interval.lo v)
+                      && beq (Interval.hi u) (Interval.hi v))
+              then ok := false)
+            (w (E.timing eng i)) (w (Sta.timing reference i))
+        done;
+        if not !ok then begin
+          Printf.eprintf
+            "bench smoke: engine differs from re-analysis after %s\n" tag;
+          exit 1
+        end
+      in
+      let some_pi = List.hd (Ck.Netlist.inputs nl) in
+      let some_gate =
+        List.find
+          (fun i ->
+            match Ck.Netlist.node nl i with
+            | Ck.Netlist.Gate { fanin; _ } -> Array.length fanin = 2
+            | Ck.Netlist.Pi -> false)
+          (List.init (Ck.Netlist.size nl) Fun.id)
+      in
+      let cp = E.checkpoint eng in
+      List.iter
+        (fun (tag, edit) ->
+          E.apply eng edit;
+          engine_equals_reference tag)
+        [
+          ("set_extra_delay",
+           E.Set_extra_delay { line = some_gate; delta = 40e-12 });
+          ("swap_gate", E.Swap_gate { node = some_gate; kind = Ck.Gate.Nor });
+          ("set_pi_spec",
+           E.Set_pi_spec
+             {
+               pi = some_pi;
+               spec =
+                 {
+                   Ssd_sta.Run_opts.pi_arrival = Interval.make 0. 0.1e-9;
+                   pi_tt = Interval.make 0.2e-9 0.4e-9;
+                 };
+             });
+          ("set_model", E.Set_model DM.pin_to_pin);
+        ];
+      E.revert eng cp;
+      engine_equals_reference "revert";
+      if not (wins_equal nl base (E.reanalyze eng)) then begin
+        Printf.eprintf "bench smoke: reverted engine is not the base\n";
+        exit 1
+      end);
   (* telemetry loop: run one instrumented --stats/--trace style pass,
      write the Chrome trace, parse it back, and check the span tree
      covers every STA level exactly once (one "sta.level.<l>" complete

@@ -3,8 +3,13 @@
      ssd characterize [--fine]              # dump the cell library
      ssd sta FILE.bench [--model NAME] [--clock NS]
      ssd atpg FILE.bench [--faults N] [--no-itr] [--budget N]
+     ssd eco FILE.bench SCRIPT [--model NAME] [--check]
      ssd gen --gates N [--inputs N] [--outputs N] [--seed N] -o FILE.bench
-     ssd delay --skew PS [--tx NS] [--ty NS]  # query all models on a NAND2 *)
+     ssd delay --skew PS [--tx NS] [--ty NS]  # query all models on a NAND2
+
+   The worker subcommands (sta, atpg, gen, eco) share one common option
+   block — --jobs / --stats / --trace with identical semantics — parsed
+   by [common_t] below. *)
 
 module S = Ssd_spice
 module Charlib = Ssd_cell.Charlib
@@ -14,6 +19,8 @@ module DM = Ssd_core.Delay_model
 module Types = Ssd_core.Types
 module Ck = Ssd_circuit
 module Sta = Ssd_sta.Sta
+module Engine = Ssd_sta.Engine
+module Run_opts = Ssd_sta.Run_opts
 module A = Ssd_atpg
 module Interval = Ssd_util.Interval
 module Texttab = Ssd_util.Texttab
@@ -93,6 +100,31 @@ let emit_obs obs ~stats ~trace =
   | None -> ());
   if stats then print_string (Obs.report obs)
 
+(* The common option block every worker subcommand shares.  Parsed once
+   here so --jobs / --stats / --trace keep identical names, docs and
+   semantics across sta, atpg, gen and eco. *)
+type common = {
+  co_verbose : bool;
+  co_jobs : int;
+  co_stats : bool;
+  co_trace : string option;
+}
+
+let common_t =
+  let mk co_verbose co_jobs co_stats co_trace =
+    { co_verbose; co_jobs; co_stats; co_trace }
+  in
+  Term.(const mk $ verbose_t $ jobs_t $ stats_t $ trace_t)
+
+let setup_common c =
+  setup_logs c.co_verbose;
+  make_obs ~stats:c.co_stats ~trace:c.co_trace
+
+let finish_common c obs = emit_obs obs ~stats:c.co_stats ~trace:c.co_trace
+
+let run_opts_of ?(cache = false) c obs =
+  Run_opts.make ~jobs:c.co_jobs ~cache ~obs ()
+
 let load_netlist path =
   match Ck.Benchmarks.by_name path with
   | Some nl -> nl
@@ -153,13 +185,12 @@ let sta_cmd =
                (never changes results). Implied by $(b,--stats) so the \
                eval-cache hit ratio row is populated.")
   in
-  let run verbose fine model file clock jobs cache stats trace =
-    setup_logs verbose;
+  let run common fine model file clock cache =
+    let obs = setup_common common in
     let lib = library_of fine in
     let nl = Ck.Decompose.to_primitive (load_netlist file) in
-    let cache = cache || stats in
-    let obs = make_obs ~stats ~trace in
-    let t = Sta.analyze ~jobs ~cache ~obs ~library:lib ~model nl in
+    let cache = cache || common.co_stats in
+    let t = Sta.analyze_with (run_opts_of ~cache common obs) ~library:lib ~model nl in
     print_endline (Sta.summary t);
     let table = Texttab.create ~header:[ "PO"; "rise A (ns)"; "fall A (ns)" ] in
     List.iter
@@ -186,14 +217,16 @@ let sta_cmd =
       let v = Sta.violations t q in
       Printf.printf "%d timing violation(s) at clock %.3f ns\n" (List.length v) ns;
       List.iter (fun (_, msg) -> Printf.printf "  %s\n" msg) v);
-    emit_obs obs ~stats ~trace;
-    if stats then
-      Option.iter print_endline (Sta.cache_stats t);
+    finish_common common obs;
+    if common.co_stats then
+      Option.iter
+        (fun s -> print_endline (Ssd_core.Eval_cache.to_string s))
+        (Sta.cache_stats t);
     0
   in
   Cmd.v (Cmd.info "sta" ~doc:"Static timing analysis of a netlist")
-    Term.(const run $ verbose_t $ fine_t $ model_t $ bench_file_t
-          $ clock_t $ jobs_t $ cache_t $ stats_t $ trace_t)
+    Term.(const run $ common_t $ fine_t $ model_t $ bench_file_t
+          $ clock_t $ cache_t)
 
 (* ---- atpg ---- *)
 
@@ -213,12 +246,12 @@ let atpg_cmd =
   let seed_t =
     Arg.(value & opt int 99 & info [ "seed" ] ~docv:"N" ~doc:"Extraction seed.")
   in
-  let run verbose fine model file faults no_itr budget seed jobs stats trace =
-    setup_logs verbose;
+  let run common fine model file faults no_itr budget seed =
+    let obs = setup_common common in
     let lib = library_of fine in
     let nl = Ck.Decompose.to_primitive (load_netlist file) in
-    let obs = make_obs ~stats ~trace in
-    let sta = Sta.analyze ~jobs ~obs ~library:lib ~model nl in
+    let opts = run_opts_of common obs in
+    let sta = Sta.analyze_with opts ~library:lib ~model nl in
     let sites =
       A.Fault.extract_screened ~count:faults ~seed:(Int64.of_int seed)
         ~library:lib ~model nl
@@ -231,7 +264,7 @@ let atpg_cmd =
       { (A.Atpg.default_config ~clock_period:(Sta.max_delay sta)) with
         A.Atpg.use_itr = not no_itr; max_expansions = budget }
     in
-    let results, run_stats = A.Atpg.run ~obs cfg ~library:lib ~model nl sites in
+    let results, run_stats = A.Atpg.run_with opts cfg ~library:lib ~model nl sites in
     List.iter
       (fun r ->
         Printf.printf "  %-50s %s (%d expansions)\n"
@@ -261,7 +294,7 @@ let atpg_cmd =
     | [] -> ()
     | _ ->
       let fs =
-        A.Fault_sim.simulate ~jobs ~obs ~library:lib ~model
+        A.Fault_sim.simulate_with opts ~library:lib ~model
           ~clock_period:(Sta.max_delay sta) nl sites tests
       in
       Printf.printf
@@ -270,12 +303,192 @@ let atpg_cmd =
         (List.length tests)
         (List.length fs.A.Fault_sim.detected)
         (List.length sites) fs.A.Fault_sim.coverage);
-    emit_obs obs ~stats ~trace;
+    finish_common common obs;
     0
   in
   Cmd.v (Cmd.info "atpg" ~doc:"Crosstalk delay-fault test generation")
-    Term.(const run $ verbose_t $ fine_t $ model_t $ bench_file_t $ faults_t
-          $ no_itr_t $ budget_t $ seed_t $ jobs_t $ stats_t $ trace_t)
+    Term.(const run $ common_t $ fine_t $ model_t $ bench_file_t $ faults_t
+          $ no_itr_t $ budget_t $ seed_t)
+
+(* ---- eco ---- *)
+
+(* Edit-script interpreter for the incremental {!Ssd_sta.Engine}: one
+   directive per line, '#' starts a comment.  Times are written in the
+   units engineers use (ps for coupling deltas, ns for PI windows):
+
+     extra <signal> <ps>                            extra delay on a line
+     swap <signal> <nand|nor|not>                   re-type a gate
+     pi <signal> <arr_lo> <arr_hi> <tt_lo> <tt_hi>  PI spec, all in ns
+     model <name>                                   retarget the delay model
+     checkpoint                                     push a history mark
+     revert                                         undo to the last mark
+     commit                                         drop undo history *)
+let eco_cmd =
+  let script_t =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"SCRIPT"
+             ~doc:"Edit script: one directive per line — $(b,extra SIG PS), \
+                   $(b,swap SIG KIND), $(b,pi SIG ALO AHI TLO THI) (ns), \
+                   $(b,model NAME), $(b,checkpoint), $(b,revert), \
+                   $(b,commit); '#' starts a comment.")
+  in
+  let check_t =
+    Arg.(value & flag & info [ "check" ]
+         ~doc:"After every edit, re-analyze the edited circuit from scratch \
+               and verify the engine's PO window is bit-identical (exit 1 \
+               on the first mismatch).")
+  in
+  let run common fine model file script check =
+    let obs = setup_common common in
+    let lib = library_of fine in
+    let nl = Ck.Decompose.to_primitive (load_netlist file) in
+    let opts = run_opts_of common obs in
+    let fail ln fmt =
+      Printf.ksprintf
+        (fun msg ->
+          Printf.eprintf "ssd: %s:%d: %s\n" script ln msg;
+          exit 2)
+        fmt
+    in
+    let lines =
+      if not (Sys.file_exists script) then begin
+        Printf.eprintf "ssd: script %S does not exist\n" script;
+        exit 2
+      end
+      else begin
+        let ic = open_in script in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () ->
+            let rec go acc n =
+              match input_line ic with
+              | l -> go ((n, l) :: acc) (n + 1)
+              | exception End_of_file -> List.rev acc
+            in
+            go [] 1)
+      end
+    in
+    let resolve ln name =
+      match Ck.Netlist.find nl name with
+      | Some i -> i
+      | None -> fail ln "unknown signal %S" name
+    in
+    let num ln s =
+      match float_of_string_opt s with
+      | Some f -> f
+      | None -> fail ln "not a number: %S" s
+    in
+    let eng = Engine.create ~opts ~library:lib ~model nl in
+    let marks = ref [] in
+    let beq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b) in
+    let nedits = ref 0 in
+    let show ln what =
+      let w = Engine.po_window eng in
+      Printf.printf "%4d  %-30s ->  PO [%.3f, %.3f] ns\n" ln what
+        (Interval.lo w *. 1e9) (Interval.hi w *. 1e9)
+    in
+    let apply ln what edit =
+      (try Engine.apply eng edit with
+      | Invalid_argument msg | Sta.Unsupported_gate msg -> fail ln "%s" msg);
+      incr nedits;
+      show ln what;
+      if check then begin
+        let reference = Engine.reanalyze eng in
+        let we = Engine.po_window eng and wr = Sta.po_window reference in
+        if
+          not
+            (beq (Interval.lo we) (Interval.lo wr)
+            && beq (Interval.hi we) (Interval.hi wr))
+        then begin
+          Printf.eprintf
+            "ssd: %s:%d: engine PO window [%.6f, %.6f] ns differs from full \
+             re-analysis [%.6f, %.6f] ns\n"
+            script ln
+            (Interval.lo we *. 1e9) (Interval.hi we *. 1e9)
+            (Interval.lo wr *. 1e9) (Interval.hi wr *. 1e9);
+          exit 1
+        end
+      end
+    in
+    List.iter
+      (fun (ln, raw) ->
+        let line =
+          match String.index_opt raw '#' with
+          | Some i -> String.sub raw 0 i
+          | None -> raw
+        in
+        let toks =
+          String.split_on_char ' ' line
+          |> List.concat_map (String.split_on_char '\t')
+          |> List.filter (fun s -> s <> "")
+        in
+        match toks with
+        | [] -> ()
+        | [ "extra"; sg; ps ] ->
+          let delta_ps = num ln ps in
+          apply ln
+            (Printf.sprintf "extra %s %+g ps" sg delta_ps)
+            (Engine.Set_extra_delay
+               { line = resolve ln sg; delta = delta_ps *. 1e-12 })
+        | [ "swap"; sg; kind ] ->
+          let kind =
+            match String.lowercase_ascii kind with
+            | "nand" -> Ck.Gate.Nand
+            | "nor" -> Ck.Gate.Nor
+            | "not" -> Ck.Gate.Not
+            | k -> fail ln "unknown gate kind %S (nand, nor or not)" k
+          in
+          apply ln
+            (Printf.sprintf "swap %s %s" sg (Ck.Gate.to_string kind))
+            (Engine.Swap_gate { node = resolve ln sg; kind })
+        | [ "pi"; sg; alo; ahi; tlo; thi ] ->
+          let iv lo hi =
+            try Interval.make (num ln lo *. 1e-9) (num ln hi *. 1e-9)
+            with Invalid_argument msg -> fail ln "%s" msg
+          in
+          apply ln
+            (Printf.sprintf "pi %s [%s, %s] tt [%s, %s] ns" sg alo ahi tlo thi)
+            (Engine.Set_pi_spec
+               {
+                 pi = resolve ln sg;
+                 spec =
+                   { Run_opts.pi_arrival = iv alo ahi; pi_tt = iv tlo thi };
+               })
+        | [ "model"; name ] -> (
+          match DM.find name with
+          | Some m -> apply ln ("model " ^ name) (Engine.Set_model m)
+          | None ->
+            fail ln "unknown model %S (try: %s)" name
+              (String.concat ", " (List.map (fun m -> m.DM.name) DM.all)))
+        | [ "checkpoint" ] ->
+          marks := Engine.checkpoint eng :: !marks;
+          Printf.printf "%4d  checkpoint (depth %d)\n" ln (Engine.depth eng)
+        | [ "revert" ] -> (
+          match !marks with
+          | [] -> fail ln "revert without a preceding checkpoint"
+          | cp :: rest ->
+            Engine.revert eng cp;
+            marks := rest;
+            show ln "revert")
+        | [ "commit" ] ->
+          Engine.commit eng;
+          marks := [];
+          Printf.printf "%4d  commit\n" ln
+        | cmd :: _ -> fail ln "unknown or malformed directive %S" cmd)
+      lines;
+    print_endline (Engine.summary eng);
+    if check then
+      Printf.printf "check: %d edit(s) bit-identical to full re-analysis\n"
+        !nedits;
+    Engine.close eng;
+    finish_common common obs;
+    0
+  in
+  Cmd.v
+    (Cmd.info "eco"
+       ~doc:"Replay an edit script through the incremental re-timing engine")
+    Term.(const run $ common_t $ fine_t $ model_t $ bench_file_t $ script_t
+          $ check_t)
 
 (* ---- gen ---- *)
 
@@ -297,8 +510,10 @@ let gen_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Write the netlist here (default: stdout).")
   in
-  let run verbose gates inputs outputs seed out =
-    setup_logs verbose;
+  (* generation is single-threaded; the common block is still accepted
+     so --jobs/--stats/--trace mean the same thing on every subcommand *)
+  let run common gates inputs outputs seed out =
+    let obs = setup_common common in
     let nl =
       Ck.Generator.generate
         {
@@ -315,10 +530,11 @@ let gen_cmd =
       Ck.Bench_io.write_file nl path;
       Printf.printf "wrote %s (%s)\n" path (Ck.Netlist.stats nl)
     | None -> print_string (Ck.Bench_io.to_string nl));
+    finish_common common obs;
     0
   in
   Cmd.v (Cmd.info "gen" ~doc:"Generate a synthetic benchmark netlist")
-    Term.(const run $ verbose_t $ gates_t $ inputs_t $ outputs_t $ seed_t
+    Term.(const run $ common_t $ gates_t $ inputs_t $ outputs_t $ seed_t
           $ out_t)
 
 (* ---- delay ---- *)
@@ -369,4 +585,4 @@ let () =
   let doc = "simultaneous-switching gate delay model toolkit (DAC 2001 repro)" in
   let info = Cmd.info "ssd" ~version:"1.0.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
-                     [ characterize_cmd; sta_cmd; atpg_cmd; gen_cmd; delay_cmd ]))
+                     [ characterize_cmd; sta_cmd; atpg_cmd; eco_cmd; gen_cmd; delay_cmd ]))

@@ -414,29 +414,51 @@ let generate cfg ~library ~model nl (site : Fault.site) =
     wall = Unix.gettimeofday () -. t0;
   }
 
-let run ?(obs = Obs.disabled) cfg ~library ~model nl sites =
+(* Per-site generation is independent — each site search carries its own
+   Rng (seeded from the config) and implication state, and only reads the
+   shared netlist/library — so sites can fan out across the domain pool.
+   Results land in a per-site slot and telemetry is recorded afterwards
+   in site order, making the output independent of the lane schedule. *)
+let run_with (opts : Ssd_sta.Run_opts.t) cfg ~library ~model nl sites =
+  let obs = opts.Ssd_sta.Run_opts.obs in
   let tm_fault = Obs.timer obs "atpg.fault" in
   let h_exp =
     Obs.histogram ~bins:16 ~lo:0.
       ~hi:(float_of_int (max 1 cfg.max_expansions))
       obs "atpg.expansions_per_fault"
   in
-  let results =
-    List.map
-      (fun site ->
-        let r = Obs.span obs tm_fault (fun () -> generate cfg ~library ~model nl site) in
-        Obs.add (Obs.counter obs "atpg.expansions") r.expansions;
-        Obs.add (Obs.counter obs "atpg.descents") r.descents;
-        Obs.observe h_exp (float_of_int r.expansions);
-        Obs.incr
-          (Obs.counter obs
-             (match r.outcome with
-             | Detected _ -> "atpg.detected"
-             | Undetectable -> "atpg.undetectable"
-             | Aborted -> "atpg.aborted"));
-        r)
-      sites
+  let sites_a = Array.of_list sites in
+  let slots = Array.make (Array.length sites_a) None in
+  let eval i =
+    slots.(i) <-
+      Some
+        (Obs.span obs tm_fault (fun () ->
+             generate cfg ~library ~model nl sites_a.(i)))
   in
+  (if opts.Ssd_sta.Run_opts.jobs = 1 then
+     Array.iteri (fun i _ -> eval i) sites_a
+   else
+     Ssd_sta.Par.with_pool ~obs ~jobs:opts.Ssd_sta.Run_opts.jobs (fun pool ->
+         Ssd_sta.Par.parallel_for pool ~chunk:1 ~label:"atpg"
+           ~n:(Array.length sites_a) eval));
+  let results =
+    Array.to_list
+      (Array.map
+         (function Some r -> r | None -> assert false)
+         slots)
+  in
+  List.iter
+    (fun r ->
+      Obs.add (Obs.counter obs "atpg.expansions") r.expansions;
+      Obs.add (Obs.counter obs "atpg.descents") r.descents;
+      Obs.observe h_exp (float_of_int r.expansions);
+      Obs.incr
+        (Obs.counter obs
+           (match r.outcome with
+           | Detected _ -> "atpg.detected"
+           | Undetectable -> "atpg.undetectable"
+           | Aborted -> "atpg.aborted")))
+    results;
   let stats =
     List.fold_left
       (fun s r ->
@@ -464,6 +486,9 @@ let run ?(obs = Obs.disabled) cfg ~library ~model nl sites =
       results
   in
   (results, stats)
+
+let run ?(obs = Obs.disabled) cfg ~library ~model nl sites =
+  run_with (Ssd_sta.Run_opts.make ~obs ()) cfg ~library ~model nl sites
 
 let efficiency s =
   if s.total = 0 then 0.

@@ -61,6 +61,31 @@ val generate :
   Fault.site ->
   fault_result
 
+val run_with :
+  Ssd_sta.Run_opts.t ->
+  config ->
+  library:Ssd_cell.Charlib.t ->
+  model:Ssd_core.Delay_model.t ->
+  Ssd_circuit.Netlist.t ->
+  Fault.site list ->
+  fault_result list * stats
+(** Run {!generate} over every site.  [opts.jobs] fans the independent
+    per-site searches across a domain pool ([1] keeps the strict
+    sequential walk; [<= 0] auto-selects); each site's search is
+    deterministic in isolation (its Rng is seeded from the config), so
+    results and stats are identical for every lane count — only
+    [fault_result.wall] values reflect the actual schedule.
+
+    [opts.obs] (default disabled) records per-fault search effort: each
+    generation runs under an [atpg.fault] span (one trace event per
+    fault), expansions and restarted descents accumulate into
+    [atpg.expansions] / [atpg.descents], per-fault expansion counts feed
+    the [atpg.expansions_per_fault] histogram (fixed range
+    [0, max_expansions] so runs merge), and outcomes split into
+    [atpg.detected] / [atpg.undetectable] / [atpg.aborted].
+    [opts.cache] and [opts.pi_spec] are unused here: the search fixes
+    the point PI spec test generation requires. *)
+
 val run :
   ?obs:Ssd_obs.Obs.t ->
   config ->
@@ -69,13 +94,9 @@ val run :
   Ssd_circuit.Netlist.t ->
   Fault.site list ->
   fault_result list * stats
-(** Run {!generate} over every site.  [obs] (default disabled) records
-    per-fault search effort: each generation runs under an [atpg.fault]
-    span (one trace event per fault), expansions and restarted descents
-    accumulate into [atpg.expansions] / [atpg.descents], per-fault
-    expansion counts feed the [atpg.expansions_per_fault] histogram
-    (fixed range [0, max_expansions] so runs merge), and outcomes split
-    into [atpg.detected] / [atpg.undetectable] / [atpg.aborted]. *)
+(** Thin sequential wrapper over {!run_with} kept for source
+    compatibility ([obs] is bundled through {!Ssd_sta.Run_opts.make}).
+    Deprecated in favour of {!run_with}. *)
 
 val efficiency : stats -> float
 (** (detected + undetectable) / total × 100 — the paper's metric. *)

@@ -1,6 +1,10 @@
 module Netlist = Ssd_circuit.Netlist
 module Timing_sim = Ssd_sta.Timing_sim
 module Par = Ssd_sta.Par
+module Sta = Ssd_sta.Sta
+module Engine = Ssd_sta.Engine
+module Run_opts = Ssd_sta.Run_opts
+module Interval = Ssd_util.Interval
 module Types = Ssd_core.Types
 module Value2f = Ssd_itr.Value2f
 module Rng = Ssd_util.Rng
@@ -42,12 +46,81 @@ let observable nl (site : Fault.site) faultfree faulty clock =
       | _, _ -> false)
     (Netlist.outputs nl)
 
+(* Vector-independent necessary conditions per site, decided on STA
+   windows served by one incremental {!Ssd_sta.Engine} session: the
+   aggressor/victim direction-specific arrival windows must come within
+   the alignment window of each other, and — with the victim slowed by
+   the site's delta via a [Set_extra_delay] edit (reverted right after) —
+   some primary output must be able to both meet the clock fault-free
+   and shift by at least 0.45 delta.  Sound because every event
+   {!Ssd_sta.Timing_sim} can produce (under its point PI assumptions,
+   which lie inside {!Ssd_sta.Run_opts.default_pi_spec} — the spec the
+   screen pins regardless of the caller's [pi_spec]) falls inside the
+   direction-specific STA window of its line, in the faulty circuit as
+   well as the fault-free one.  A screened-out site can therefore be
+   detected by no vector at all, so skipping it never changes results. *)
+let window_feasible ~opts ~library ~model ~clock_period nl sites =
+  let screen_opts =
+    Run_opts.make ~cache:opts.Run_opts.cache ~obs:opts.Run_opts.obs ()
+  in
+  Engine.with_engine ~opts:screen_opts ~library ~model nl (fun eng ->
+      let pos = Netlist.outputs nl in
+      let arr_of tr i =
+        let lt = Engine.timing eng i in
+        (match tr with
+        | Value2f.Rise -> lt.Sta.rise
+        | Value2f.Fall -> lt.Sta.fall)
+          .Types.w_arr
+      in
+      let po_lo i =
+        let lt = Engine.timing eng i in
+        Float.min
+          (Interval.lo lt.Sta.rise.Types.w_arr)
+          (Interval.lo lt.Sta.fall.Types.w_arr)
+      in
+      let po_hi i =
+        let lt = Engine.timing eng i in
+        Float.max
+          (Interval.hi lt.Sta.rise.Types.w_arr)
+          (Interval.hi lt.Sta.fall.Types.w_arr)
+      in
+      (* fault-free earliest PO arrivals, fixed for every site *)
+      let ff_lo = List.map po_lo pos in
+      Array.map
+        (fun (site : Fault.site) ->
+          let wa = arr_of site.Fault.agg_tr site.Fault.aggressor in
+          let wv = arr_of site.Fault.vic_tr site.Fault.victim in
+          let gap =
+            Float.max
+              (Interval.lo wa -. Interval.hi wv)
+              (Interval.lo wv -. Interval.hi wa)
+          in
+          gap <= site.Fault.align_window
+          && begin
+               let cp = Engine.checkpoint eng in
+               Engine.apply eng
+                 (Engine.Set_extra_delay
+                    { line = site.Fault.victim; delta = site.Fault.delta });
+               let ok =
+                 List.exists2
+                   (fun po lo ->
+                     lo <= clock_period
+                     && po_hi po -. lo >= 0.45 *. site.Fault.delta)
+                   pos ff_lo
+               in
+               Engine.revert eng cp;
+               ok
+             end)
+        sites)
+
 (* The simulator screens every (site, vector) pair against the shared
    fault-free simulation of the vector; only pairs whose excitation and
    alignment conditions hold pay for a faulty evaluation, and that
    evaluation re-times only the victim's fanout cone ([Cone], the
    default) instead of the whole circuit ([Full], kept as the
-   measurable baseline).
+   measurable baseline).  Before any vector runs, [window_screen]
+   (default on) discards sites that are infeasible on STA windows alone
+   — a per-site engine edit instead of per-(site, vector) simulation.
 
    Vectors are processed in blocks: within a block the fault-free
    simulations (one full run per vector) and the surviving (site,
@@ -57,8 +130,9 @@ let observable nl (site : Fault.site) faultfree faulty clock =
    it — a site evaluated redundantly for several vectors of one block
    (where a strict sequential walk would have dropped it mid-block)
    folds back to the same earliest detection. *)
-let simulate ?(jobs = 1) ?(engine = Cone) ?(obs = Obs.disabled) ~library
-    ~model ~clock_period nl sites vectors =
+let simulate_with ?(engine = Cone) ?(window_screen = true)
+    (opts : Run_opts.t) ~library ~model ~clock_period nl sites vectors =
+  let { Run_opts.jobs; obs; _ } = opts in
   let c_ff = Obs.counter obs "faultsim.ff_sims" in
   let c_screened = Obs.counter obs "faultsim.screened_out" in
   let c_dropped = Obs.counter obs "faultsim.dropped" in
@@ -69,6 +143,14 @@ let simulate ?(jobs = 1) ?(engine = Cone) ?(obs = Obs.disabled) ~library
   let nvec = Array.length vectors in
   (* earliest detecting vector index per site; max_int = still alive *)
   let best = Array.make nsites max_int in
+  let feasible =
+    if window_screen && nsites > 0 then
+      window_feasible ~opts ~library ~model ~clock_period nl sites
+    else Array.make nsites true
+  in
+  Obs.add
+    (Obs.counter obs "faultsim.window_screened")
+    (Array.fold_left (fun a b -> if b then a else a + 1) 0 feasible);
   let extra_of (site : Fault.site) i =
     if i = site.Fault.victim then site.Fault.delta else 0.
   in
@@ -88,7 +170,13 @@ let simulate ?(jobs = 1) ?(engine = Cone) ?(obs = Obs.disabled) ~library
          barriers *)
       let block = if lanes = 1 then 1 else 8 * lanes in
       let vi = ref 0 in
-      while !vi < nvec && Array.exists (fun b -> b = max_int) best do
+      let any_live () =
+        let rec go fi =
+          fi < nsites && ((feasible.(fi) && best.(fi) = max_int) || go (fi + 1))
+        in
+        go 0
+      in
+      while !vi < nvec && any_live () do
         let bn = min block (nvec - !vi) in
         let base = !vi in
         let ff = Array.make bn [||] in
@@ -99,7 +187,8 @@ let simulate ?(jobs = 1) ?(engine = Cone) ?(obs = Obs.disabled) ~library
         let work = ref [] in
         for k = bn - 1 downto 0 do
           for fi = nsites - 1 downto 0 do
-            if best.(fi) <> max_int then Obs.incr c_dropped
+            if not feasible.(fi) then ()
+            else if best.(fi) <> max_int then Obs.incr c_dropped
             else if excited_and_aligned ff.(k) sites.(fi) then
               work := (fi, k) :: !work
             else Obs.incr c_screened
@@ -152,6 +241,12 @@ let simulate ?(jobs = 1) ?(engine = Cone) ?(obs = Obs.disabled) ~library
     detected;
     undetected = !undetected;
   }
+
+let simulate ?(jobs = 1) ?(engine = Cone) ?(obs = Obs.disabled) ~library
+    ~model ~clock_period nl sites vectors =
+  simulate_with ~engine
+    (Run_opts.make ~jobs ~obs ())
+    ~library ~model ~clock_period nl sites vectors
 
 let random_vectors ~seed ~count nl =
   let rng = Rng.create seed in

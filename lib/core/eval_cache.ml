@@ -53,14 +53,18 @@ let entries t =
       acc + n)
     0 t.shards
 
-let stats t =
-  let h = hits t and m = misses t in
-  let total = h + m in
-  let ratio =
-    if total = 0 then 0. else 100. *. float_of_int h /. float_of_int total
-  in
+type stats = { s_hits : int; s_misses : int; s_entries : int }
+
+let stats t = { s_hits = hits t; s_misses = misses t; s_entries = entries t }
+
+let hit_ratio s =
+  let total = s.s_hits + s.s_misses in
+  if total = 0 then 0.
+  else 100. *. float_of_int s.s_hits /. float_of_int total
+
+let to_string s =
   Printf.sprintf "eval-cache: %d hits / %d misses (%.1f%% hit ratio, %d entries)"
-    h m ratio (entries t)
+    s.s_hits s.s_misses (hit_ratio s) s.s_entries
 
 (* With quantum = 0 the key carries the exact float bits and the cache is
    a pure memo: results are bit-identical to the uncached engine.  With

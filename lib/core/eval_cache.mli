@@ -37,7 +37,21 @@ val entries : t -> int
 (** Distinct memoized keys across all shards (takes each shard lock
     briefly). *)
 
-val stats : t -> string
+type stats = {
+  s_hits : int;
+  s_misses : int;
+  s_entries : int;  (** distinct memoized keys at snapshot time *)
+}
+(** A consistent-enough snapshot of the lifetime counters (each field is
+    read atomically; the trio is not taken under one lock). *)
+
+val stats : t -> stats
+(** Snapshot the counters and the entry count. *)
+
+val hit_ratio : stats -> float
+(** Hits over total lookups, percent; [0.] before any lookup. *)
+
+val to_string : stats -> string
 (** One-line summary — hits, misses, hit ratio, entry count — used by
     the [--stats] reports and the [parsta] bench. *)
 

@@ -1,0 +1,483 @@
+module Interval = Ssd_util.Interval
+module Types = Ssd_core.Types
+module Delay_model = Ssd_core.Delay_model
+module Netlist = Ssd_circuit.Netlist
+module Gate = Ssd_circuit.Gate
+module Charlib = Ssd_cell.Charlib
+module Obs = Ssd_obs.Obs
+
+type edit =
+  | Set_pi_spec of { pi : int; spec : Run_opts.pi_spec }
+  | Swap_gate of { node : int; kind : Gate.kind }
+  | Set_extra_delay of { line : int; delta : float }
+  | Set_model of Delay_model.t
+
+(* One journal entry: the previous value of a single overlay slot or
+   timing entry.  A frame (one edit's patch list) touches each location
+   at most once, so restoring a frame is order-insensitive. *)
+type patch =
+  | P_timing of int * Sta.line_timing
+  | P_kind of int * Gate.kind option
+  | P_extra of int * float
+  | P_pi of int * Run_opts.pi_spec option
+  | P_model of Delay_model.t * Delay_model.windowing
+
+type stats = {
+  edits : int;
+  reverts : int;
+  nodes_recomputed : int;
+  nodes_skipped : int;
+  cutoffs : int;
+}
+
+type checkpoint = { cp_depth : int }
+
+type t = {
+  e_netlist : Netlist.t;
+  e_library : Charlib.t;
+  e_opts : Run_opts.t;
+  e_jobs : int;
+  mutable e_model : Delay_model.t;
+  mutable e_windowing : Delay_model.windowing;
+  e_cache : Ssd_core.Eval_cache.t option;
+  e_timing : Sta.line_timing array;
+  (* per-node evaluation slots: the resolved cell and electrical load are
+     fixed per node (a kind swap refreshes its slot), so the hot path
+     skips the library lookup of the generic kernel; [None] marks a PI *)
+  e_cells : Charlib.cell option array;
+  e_loads : int array;
+  e_pi_win : Types.win;  (* window of the session-default PI spec *)
+  (* edit overlays over the immutable base netlist; [None] / [0.] means
+     "as built" *)
+  e_kind_ov : Gate.kind option array;
+  e_extra : float array;
+  e_pi_ov : Run_opts.pi_spec option array;
+  mutable e_journal : patch list list;  (* newest frame first *)
+  mutable e_depth : int;
+  mutable e_base_depth : int;  (* journal reaches back to this depth *)
+  mutable e_pool : Par.t option;  (* created on first parallel edit *)
+  mutable e_closed : bool;
+  mutable e_stats : stats;
+  c_edits : Obs.counter;
+  c_reverts : Obs.counter;
+  c_recomputed : Obs.counter;
+  c_skipped : Obs.counter;
+  c_cutoffs : Obs.counter;
+  c_cone : Obs.counter;
+  tm_edit : Obs.timer;
+}
+
+let check_open t ctx =
+  if t.e_closed then invalid_arg (ctx ^ ": engine is closed")
+
+(* The node as currently edited: a swapped gate keeps its fan-in. *)
+let node_view t i =
+  match t.e_kind_ov.(i) with
+  | None -> Netlist.node t.e_netlist i
+  | Some kind -> (
+    match Netlist.node t.e_netlist i with
+    | Netlist.Gate { fanin; _ } -> Netlist.Gate { kind; fanin }
+    | Netlist.Pi -> assert false)
+
+let pi_spec_of t i =
+  match t.e_pi_ov.(i) with
+  | Some s -> s
+  | None -> t.e_opts.Run_opts.pi_spec
+
+let extra_delay_of t i = t.e_extra.(i)
+
+(* Exactly {!Sta.eval_node}'s computation, routed through the per-node
+   cell/load slots: same cell, same load, same fan-in list, so the
+   windows come back bit-identical to the generic kernel's. *)
+let eval_one t i =
+  match t.e_cells.(i) with
+  | None ->
+    let pi_win =
+      match t.e_pi_ov.(i) with
+      | Some s -> Sta.pi_window s
+      | None -> t.e_pi_win
+    in
+    Sta.shift_timing { Sta.rise = pi_win; fall = pi_win } t.e_extra.(i)
+  | Some cell ->
+    let fanin =
+      match Netlist.node t.e_netlist i with
+      | Netlist.Gate { fanin; _ } -> fanin
+      | Netlist.Pi -> assert false
+    in
+    let fanin_timings =
+      Array.fold_right (fun j acc -> t.e_timing.(j) :: acc) fanin []
+    in
+    Sta.shift_timing
+      (Sta.gate_windows ?cache:t.e_cache ~windowing:t.e_windowing ~cell
+         ~load:t.e_loads.(i) fanin_timings)
+      t.e_extra.(i)
+
+(* Re-resolve a node's cell slot from its current (overlaid) kind. *)
+let refresh_cell t i =
+  match node_view t i with
+  | Netlist.Pi -> ()
+  | Netlist.Gate { kind; fanin } ->
+    t.e_cells.(i) <- Some (Sta.cell_of_gate t.e_library kind (Array.length fanin))
+
+let beq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let win_eq (a : Types.win) (b : Types.win) =
+  let ieq u v =
+    beq (Interval.lo u) (Interval.lo v) && beq (Interval.hi u) (Interval.hi v)
+  in
+  ieq a.Types.w_arr b.Types.w_arr && ieq a.Types.w_tt b.Types.w_tt
+
+let timing_eq (a : Sta.line_timing) (b : Sta.line_timing) =
+  win_eq a.Sta.rise b.Sta.rise && win_eq a.Sta.fall b.Sta.fall
+
+let pool_of t =
+  match t.e_pool with
+  | Some p -> p
+  | None ->
+    let p = Par.create ~obs:t.e_opts.Run_opts.obs ~jobs:t.e_jobs () in
+    t.e_pool <- Some p;
+    p
+
+(* Re-evaluate the dirty part of [nodes] (a topologically ordered slice —
+   a fanout cone, or the whole netlist for a model retarget).  A node is
+   dirty when it is a root of the edit or some fan-in's windows changed;
+   a recomputed node whose windows come back bit-identical is a cutoff —
+   it does not dirty its own fanout, which is what keeps a single-line
+   edit local even inside a wide cone.  Values never depend on the visit
+   schedule (the kernel is a pure function of committed fan-in entries),
+   so the sequential topological walk and the level-parallel walk are
+   bit-identical. *)
+let propagate t ~is_root ~root_eval ~nodes ~frame =
+  let nl = t.e_netlist in
+  (* push-based dirtying: a node is visited dirty when it is a root or a
+     changed node marked it through its fanout edges, so a clean cone
+     member costs one flag read instead of a fan-in scan *)
+  let dirty = Array.make (Netlist.size nl) false in
+  Array.iter (fun i -> if is_root i then dirty.(i) <- true) nodes;
+  let recomputed = ref 0 and skipped = ref 0 and cutoffs = ref 0 in
+  let eval i =
+    match root_eval with
+    | Some f when is_root i -> f ()
+    | _ -> eval_one t i
+  in
+  let commit i nv =
+    incr recomputed;
+    if timing_eq t.e_timing.(i) nv then incr cutoffs
+    else begin
+      frame := P_timing (i, t.e_timing.(i)) :: !frame;
+      t.e_timing.(i) <- nv;
+      Array.iter (fun j -> dirty.(j) <- true) (Netlist.fanout nl i)
+    end
+  in
+  if t.e_jobs <= 1 then
+    Array.iter
+      (fun i -> if dirty.(i) then commit i (eval i) else incr skipped)
+      nodes
+  else begin
+    (* Bucket the slice by logic level (a topological order need not be
+       level-sorted); nodes of one level are independent, so each bucket
+       fans out across the pool while dirty-filtering, the cutoff
+       comparison and journaling stay in the orchestrator. *)
+    let pool = pool_of t in
+    let by_level = Array.make (Netlist.depth nl + 1) [] in
+    Array.iter
+      (fun i ->
+        let l = Netlist.level nl i in
+        by_level.(l) <- i :: by_level.(l))
+      nodes;
+    Array.iter
+      (fun bucket ->
+        match List.rev bucket with
+        | [] -> ()
+        | bucket ->
+          let cand =
+            Array.of_list
+              (List.filter
+                 (fun i ->
+                   if not dirty.(i) then incr skipped;
+                   dirty.(i))
+                 bucket)
+          in
+          let nc = Array.length cand in
+          if nc > 0 then begin
+            let news = Array.make nc t.e_timing.(cand.(0)) in
+            Par.parallel_for pool ~chunk:1 ~label:"eco" ~n:nc (fun k ->
+                news.(k) <- eval cand.(k));
+            Array.iteri (fun k i -> commit i news.(k)) cand
+          end)
+      by_level
+  end;
+  Obs.add t.c_recomputed !recomputed;
+  Obs.add t.c_skipped !skipped;
+  Obs.add t.c_cutoffs !cutoffs;
+  t.e_stats <-
+    {
+      t.e_stats with
+      nodes_recomputed = t.e_stats.nodes_recomputed + !recomputed;
+      nodes_skipped = t.e_stats.nodes_skipped + !skipped;
+      cutoffs = t.e_stats.cutoffs + !cutoffs;
+    }
+
+let propagate_cone t ~root_eval ~root ~frame =
+  let cone = Netlist.fanout_cone t.e_netlist root in
+  Obs.add t.c_cone (Array.length cone.Netlist.cone_nodes);
+  propagate t ~is_root:(fun i -> i = root) ~root_eval
+    ~nodes:cone.Netlist.cone_nodes ~frame
+
+let create ?(opts = Run_opts.default) ~library ~model nl =
+  let windowing = Sta.windowing_of model in
+  let jobs =
+    if opts.Run_opts.jobs <= 0 then Par.default_jobs ()
+    else opts.Run_opts.jobs
+  in
+  let obs = opts.Run_opts.obs in
+  let n = Netlist.size nl in
+  let pi_win = Sta.pi_window opts.Run_opts.pi_spec in
+  let t =
+    {
+      e_netlist = nl;
+      e_library = library;
+      e_opts = opts;
+      e_jobs = jobs;
+      e_model = model;
+      e_windowing = windowing;
+      e_cache =
+        (if opts.Run_opts.cache then Some (Ssd_core.Eval_cache.create ())
+         else None);
+      e_timing = Array.make n { Sta.rise = pi_win; fall = pi_win };
+      e_cells =
+        Array.init n (fun i ->
+            match Netlist.node nl i with
+            | Netlist.Pi -> None
+            | Netlist.Gate { kind; fanin } ->
+              Some (Sta.cell_of_gate library kind (Array.length fanin)));
+      e_loads = Array.init n (Netlist.load_of nl);
+      e_pi_win = pi_win;
+      e_kind_ov = Array.make n None;
+      e_extra = Array.make n 0.;
+      e_pi_ov = Array.make n None;
+      e_journal = [];
+      e_depth = 0;
+      e_base_depth = 0;
+      e_pool = None;
+      e_closed = false;
+      e_stats =
+        { edits = 0; reverts = 0; nodes_recomputed = 0; nodes_skipped = 0;
+          cutoffs = 0 };
+      c_edits = Obs.counter obs "engine.edits";
+      c_reverts = Obs.counter obs "engine.reverts";
+      c_recomputed = Obs.counter obs "engine.nodes_recomputed";
+      c_skipped = Obs.counter obs "engine.nodes_skipped";
+      c_cutoffs = Obs.counter obs "engine.cutoffs";
+      c_cone = Obs.counter obs "engine.cone_nodes";
+      tm_edit = Obs.timer obs "engine.edit";
+    }
+  in
+  (* initial full forward pass: a plain sequential topological walk (the
+     session's baseline, not counted as edit work) *)
+  Array.iter (fun i -> t.e_timing.(i) <- eval_one t i) (Netlist.topo_order nl);
+  t
+
+let close t =
+  if not t.e_closed then begin
+    t.e_closed <- true;
+    (match t.e_pool with Some p -> Par.shutdown p | None -> ());
+    t.e_pool <- None
+  end
+
+let with_engine ?opts ~library ~model nl f =
+  let t = create ?opts ~library ~model nl in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let edit_name = function
+  | Set_pi_spec _ -> "set_pi_spec"
+  | Swap_gate _ -> "swap_gate"
+  | Set_extra_delay _ -> "set_extra_delay"
+  | Set_model _ -> "set_model"
+
+let apply t edit =
+  check_open t "Engine.apply";
+  let nl = t.e_netlist in
+  let n = Netlist.size nl in
+  let bad fmt = Printf.ksprintf invalid_arg ("Engine.apply: " ^^ fmt) in
+  let check_range what i =
+    if i < 0 || i >= n then bad "%s id %d out of range [0, %d)" what i n
+  in
+  (* validate fully before mutating anything: a rejected edit leaves the
+     engine exactly as it was *)
+  let run =
+    match edit with
+    | Set_pi_spec { pi; spec } ->
+      check_range "PI" pi;
+      (match Netlist.node nl pi with
+      | Netlist.Pi -> ()
+      | Netlist.Gate _ ->
+        bad "%s is a gate output, not a primary input"
+          (Netlist.signal_name nl pi));
+      fun frame ->
+        frame := P_pi (pi, t.e_pi_ov.(pi)) :: !frame;
+        t.e_pi_ov.(pi) <- Some spec;
+        propagate_cone t ~root_eval:None ~root:pi ~frame
+    | Swap_gate { node; kind } ->
+      check_range "gate" node;
+      let arity =
+        match Netlist.node nl node with
+        | Netlist.Pi ->
+          bad "%s is a primary input, not a gate" (Netlist.signal_name nl node)
+        | Netlist.Gate { fanin; _ } -> Array.length fanin
+      in
+      (match kind with
+      | Gate.Not when arity <> 1 ->
+        bad "cannot swap %d-input gate %s to NOT" arity
+          (Netlist.signal_name nl node)
+      | Gate.Not | Gate.Nand | Gate.Nor -> ()
+      | Gate.And | Gate.Or | Gate.Xor | Gate.Xnor | Gate.Buf ->
+        bad "%s is not a primitive kind (NAND/NOR/NOT)" (Gate.to_string kind));
+      (* reject uncharacterized arities up front *)
+      ignore (Sta.cell_of_gate t.e_library kind arity : Charlib.cell);
+      fun frame ->
+        frame := P_kind (node, t.e_kind_ov.(node)) :: !frame;
+        t.e_kind_ov.(node) <- Some kind;
+        refresh_cell t node;
+        propagate_cone t ~root_eval:None ~root:node ~frame
+    | Set_extra_delay { line; delta } ->
+      check_range "line" line;
+      if not (Float.is_finite delta) then
+        bad "extra delay %g on %s is not finite" delta
+          (Netlist.signal_name nl line);
+      fun frame ->
+        let old = t.e_extra.(line) in
+        frame := P_extra (line, old) :: !frame;
+        t.e_extra.(line) <- delta;
+        (* a line that carried no extra delay stores exactly the kernel
+           output, so the root's new windows are a pure translation of
+           the stored ones — same expression the kernel would compute,
+           without paying its corner searches *)
+        let root_eval =
+          if old = 0. then
+            Some (fun () -> Sta.shift_timing t.e_timing.(line) delta)
+          else None
+        in
+        propagate_cone t ~root_eval ~root:line ~frame
+    | Set_model model ->
+      let windowing = Sta.windowing_of model in
+      fun frame ->
+        frame := P_model (t.e_model, t.e_windowing) :: !frame;
+        t.e_model <- model;
+        t.e_windowing <- windowing;
+        propagate t ~is_root:(fun _ -> true) ~root_eval:None ~nodes:(Netlist.topo_order nl)
+          ~frame
+  in
+  let frame = ref [] in
+  Obs.span t.e_opts.Run_opts.obs
+    ~event:("engine.edit." ^ edit_name edit)
+    t.tm_edit
+    (fun () -> run frame);
+  t.e_journal <- !frame :: t.e_journal;
+  t.e_depth <- t.e_depth + 1;
+  Obs.incr t.c_edits;
+  t.e_stats <- { t.e_stats with edits = t.e_stats.edits + 1 }
+
+let checkpoint t =
+  check_open t "Engine.checkpoint";
+  { cp_depth = t.e_depth }
+
+let restore t = function
+  | P_timing (i, v) -> t.e_timing.(i) <- v
+  | P_kind (i, k) ->
+    t.e_kind_ov.(i) <- k;
+    refresh_cell t i
+  | P_extra (i, x) -> t.e_extra.(i) <- x
+  | P_pi (i, s) -> t.e_pi_ov.(i) <- s
+  | P_model (m, w) ->
+    t.e_model <- m;
+    t.e_windowing <- w
+
+let revert t cp =
+  check_open t "Engine.revert";
+  if cp.cp_depth > t.e_depth then
+    invalid_arg
+      "Engine.revert: checkpoint is ahead of this engine's history (taken \
+       on another engine, or already reverted past)";
+  if cp.cp_depth < t.e_base_depth then
+    invalid_arg "Engine.revert: checkpoint precedes the last Engine.commit";
+  while t.e_depth > cp.cp_depth do
+    match t.e_journal with
+    | [] -> assert false
+    | frame :: rest ->
+      List.iter (restore t) frame;
+      t.e_journal <- rest;
+      t.e_depth <- t.e_depth - 1;
+      Obs.incr t.c_reverts;
+      t.e_stats <- { t.e_stats with reverts = t.e_stats.reverts + 1 }
+  done
+
+let commit t =
+  check_open t "Engine.commit";
+  t.e_journal <- [];
+  t.e_base_depth <- t.e_depth
+
+let netlist t = t.e_netlist
+let model t = t.e_model
+let opts t = t.e_opts
+let depth t = t.e_depth
+let stats t = t.e_stats
+
+let cutoff_ratio s =
+  if s.nodes_recomputed = 0 then 0.
+  else float_of_int s.cutoffs /. float_of_int s.nodes_recomputed
+
+let timing t i =
+  check_open t "Engine.timing";
+  t.e_timing.(i)
+
+let po_window t =
+  check_open t "Engine.po_window";
+  let pos = Netlist.outputs t.e_netlist in
+  match pos with
+  | [] -> invalid_arg "Engine.po_window: netlist has no outputs"
+  | first :: rest ->
+    let win_of i =
+      let lt = t.e_timing.(i) in
+      Interval.hull lt.Sta.rise.Types.w_arr lt.Sta.fall.Types.w_arr
+    in
+    List.fold_left
+      (fun acc i -> Interval.hull acc (win_of i))
+      (win_of first) rest
+
+let min_delay t = Interval.lo (po_window t)
+let max_delay t = Interval.hi (po_window t)
+
+let edited_netlist t =
+  let nl = t.e_netlist in
+  if not (Array.exists Option.is_some t.e_kind_ov) then nl
+  else
+    let n = Netlist.size nl in
+    (* same signal names in the same declaration order: the rebuilt
+       netlist assigns every line its original id, so overlay indices
+       (extra delays, PI specs) remain valid against it *)
+    let signals =
+      List.init n (fun i -> (Netlist.signal_name nl i, node_view t i))
+    in
+    let outputs = List.map (Netlist.signal_name nl) (Netlist.outputs nl) in
+    Netlist.build ~name:(Netlist.name nl) ~signals ~outputs
+
+let reanalyze t =
+  check_open t "Engine.reanalyze";
+  Sta.analyze_with
+    ~extra_delay:(fun i -> t.e_extra.(i))
+    ~pi_override:(fun i -> t.e_pi_ov.(i))
+    { t.e_opts with Run_opts.jobs = 1; obs = Obs.disabled }
+    ~library:t.e_library ~model:t.e_model (edited_netlist t)
+
+let summary t =
+  let w = po_window t in
+  let s = t.e_stats in
+  Printf.sprintf
+    "%s [%s]: PO delay window [%.3f ns, %.3f ns] after %d edit(s) (%d \
+     nodes recomputed, %d skipped, %.0f%% cutoff)"
+    (Netlist.stats t.e_netlist)
+    t.e_model.Delay_model.name
+    (Interval.lo w *. 1e9) (Interval.hi w *. 1e9)
+    s.edits s.nodes_recomputed s.nodes_skipped
+    (100. *. cutoff_ratio s)

@@ -1,0 +1,164 @@
+(** Incremental ECO re-timing engine.
+
+    A mutable timing session over one netlist + characterized library:
+    created with a full {!Sta}-equivalent forward pass, it then serves
+    window queries and accepts {e edits} — per-PI spec changes, gate kind
+    swaps, per-line extra delays (the crosstalk-fault primitive) and
+    delay-model retargets — re-propagating only the edited line's
+    transitive fanout cone ({!Ssd_circuit.Netlist.fanout_cone}) with an
+    early cutoff wherever a recomputed node's rise/fall windows come back
+    bit-identical.
+
+    {2 Contract}
+
+    After any sequence of edits the engine's windows are bit-identical to
+    a fresh {!Sta.analyze_with} of the edited circuit ({!reanalyze} runs
+    exactly that reference analysis).  This holds because the per-node
+    kernel {!Sta.eval_node} is a pure function of the fan-in windows: a
+    node outside every dirty cone — or cut off behind bit-identical
+    recomputed windows — already holds the value the full pass would
+    recompute.  The guarantee covers any [jobs] lane count and an enabled
+    {!Ssd_core.Eval_cache} alike.
+
+    {2 History}
+
+    Every {!apply} pushes an undo frame (previous overlay slots and
+    overwritten windows); {!checkpoint} marks a depth and {!revert}
+    restores to it in O(windows changed since) without recomputation.
+    {!commit} discards accumulated history — bounding memory in
+    long-running sessions — after which earlier checkpoints are invalid.
+
+    A session holding [jobs > 1] lazily spawns a persistent {!Par} pool
+    on its first parallel propagation; call {!close} (or use
+    {!with_engine}) to join the worker domains. *)
+
+type t
+(** A timing session.  Not thread-safe: drive each engine from a single
+    orchestrating thread (its internal pool parallelizes safely under
+    it). *)
+
+type edit =
+  | Set_pi_spec of { pi : int; spec : Run_opts.pi_spec }
+      (** Override the arrival/transition windows of one primary input. *)
+  | Swap_gate of { node : int; kind : Ssd_circuit.Gate.kind }
+      (** Re-type a gate to another primitive kind (NAND/NOR, or NOT for
+          a 1-input gate); its fan-in is kept. *)
+  | Set_extra_delay of { line : int; delta : float }
+      (** Translate one line's arrival windows by [delta] seconds — the
+          window-level crosstalk-fault primitive ([0.] removes it). *)
+  | Set_model of Ssd_core.Delay_model.t
+      (** Retarget the delay model; recomputes every node (cutoffs still
+          limit journal growth to windows that actually moved). *)
+
+type checkpoint
+(** A history mark.  Only meaningful for the engine it was taken from. *)
+
+type stats = {
+  edits : int;  (** edits applied (reverted ones included) *)
+  reverts : int;  (** frames undone by {!revert} *)
+  nodes_recomputed : int;  (** kernel evaluations paid across all edits *)
+  nodes_skipped : int;
+      (** cone members never re-evaluated because no fan-in changed *)
+  cutoffs : int;
+      (** recomputed nodes whose windows came back bit-identical *)
+}
+(** Lifetime work counters (also emitted on the session's telemetry sink
+    as [engine.*] counters). *)
+
+val create :
+  ?opts:Run_opts.t ->
+  library:Ssd_cell.Charlib.t ->
+  model:Ssd_core.Delay_model.t ->
+  Ssd_circuit.Netlist.t ->
+  t
+(** Open a session: one full forward pass under [opts] (default
+    {!Run_opts.default}).  [opts.jobs] sets the session's lane count for
+    subsequent propagations, [opts.cache] memoizes corner searches across
+    the session's whole lifetime (it pays off far more here than in
+    one-shot analyses, since edits revisit the same cells), and
+    [opts.obs] receives per-edit spans ([engine.edit.<kind>]) and the
+    [engine.*] counters.  @raise Sta.Unsupported_gate or
+    [Invalid_argument] as {!Sta.analyze_with}. *)
+
+val close : t -> unit
+(** Join the session's worker domains (if any).  Idempotent; any further
+    operation on the engine raises [Invalid_argument]. *)
+
+val with_engine :
+  ?opts:Run_opts.t ->
+  library:Ssd_cell.Charlib.t ->
+  model:Ssd_core.Delay_model.t ->
+  Ssd_circuit.Netlist.t ->
+  (t -> 'a) ->
+  'a
+(** {!create}, run, then {!close} (also on exception). *)
+
+val apply : t -> edit -> unit
+(** Apply one edit and re-propagate its dirty cone.  Atomic: the edit is
+    validated first, and a rejected edit ([Invalid_argument] on an
+    out-of-range id, a non-PI in {!Set_pi_spec}, a non-gate or
+    non-primitive kind in {!Swap_gate}, a non-finite delta;
+    {!Sta.Unsupported_gate} on an uncharacterized arity) leaves the
+    engine untouched. *)
+
+val checkpoint : t -> checkpoint
+(** Mark the current history depth. *)
+
+val revert : t -> checkpoint -> unit
+(** Undo every edit applied after the checkpoint by restoring journaled
+    windows and overlay slots — no recomputation.  Reverting to the
+    current depth is a no-op.  @raise Invalid_argument when the
+    checkpoint is ahead of the engine's history (wrong engine, or itself
+    already reverted past) or predates the last {!commit}. *)
+
+val commit : t -> unit
+(** Drop all undo history (the edits stay applied).  Checkpoints taken
+    before the commit become invalid. *)
+
+(** {2 Queries} *)
+
+val timing : t -> int -> Sta.line_timing
+(** Current windows of any node id. *)
+
+val po_window : t -> Ssd_util.Interval.t
+(** Union of both transitions' arrival windows over all primary
+    outputs, as {!Sta.po_window}. *)
+
+val min_delay : t -> float
+val max_delay : t -> float
+
+val netlist : t -> Ssd_circuit.Netlist.t
+(** The base (unedited) netlist the session was created on. *)
+
+val edited_netlist : t -> Ssd_circuit.Netlist.t
+(** The netlist as currently edited: gate-kind swaps materialized, same
+    signal names in the same declaration order — so every line keeps its
+    id and the per-line overlays ({!extra_delay_of}, {!pi_spec_of})
+    remain valid against it.  Returns the base netlist unchanged when no
+    kind swap is live. *)
+
+val model : t -> Ssd_core.Delay_model.t
+(** The currently targeted delay model. *)
+
+val opts : t -> Run_opts.t
+val pi_spec_of : t -> int -> Run_opts.pi_spec
+(** Effective spec of a PI (the session default unless overridden). *)
+
+val extra_delay_of : t -> int -> float
+(** Current extra delay on a line ([0.] unless edited). *)
+
+val depth : t -> int
+(** Number of applied-and-not-reverted edits. *)
+
+val reanalyze : t -> Sta.t
+(** The reference analysis of the current edited state: a fresh
+    sequential {!Sta.analyze_with} over {!edited_netlist} with the
+    session's overlays threaded through [extra_delay] / [pi_override].
+    Bit-identical to the engine's own windows — this is the oracle the
+    tests, the [eco] bench and [ssd eco --check] compare against. *)
+
+val stats : t -> stats
+val cutoff_ratio : stats -> float
+(** [cutoffs / nodes_recomputed] ([0.] before any recomputation). *)
+
+val summary : t -> string

@@ -1,0 +1,24 @@
+module Interval = Ssd_util.Interval
+module Obs = Ssd_obs.Obs
+
+type pi_spec = { pi_arrival : Interval.t; pi_tt : Interval.t }
+
+let default_pi_spec =
+  {
+    pi_arrival = Interval.point 0.;
+    pi_tt = Interval.make 0.15e-9 0.5e-9;
+  }
+
+type t = {
+  jobs : int;
+  cache : bool;
+  obs : Obs.t;
+  pi_spec : pi_spec;
+}
+
+let default =
+  { jobs = 1; cache = false; obs = Obs.disabled; pi_spec = default_pi_spec }
+
+let make ?(jobs = 1) ?(cache = false) ?(obs = Obs.disabled)
+    ?(pi_spec = default_pi_spec) () =
+  { jobs; cache; obs; pi_spec }

@@ -1,0 +1,40 @@
+(** Shared run options for the timing engines.
+
+    Every analysis entry point — {!Sta.analyze_with}, {!Engine.create},
+    {!Ssd_atpg.Fault_sim.simulate_with}, {!Ssd_atpg.Atpg.run_with} — takes
+    one {!t} record instead of re-declaring the same optional arguments.
+    The legacy per-argument signatures remain as thin wrappers over
+    {!make}. *)
+
+type pi_spec = {
+  pi_arrival : Ssd_util.Interval.t;
+  pi_tt : Ssd_util.Interval.t;
+}
+(** Arrival-time and transition-time windows assumed at every primary
+    input (per-input overrides are an {!Engine} edit). *)
+
+val default_pi_spec : pi_spec
+(** Arrival fixed at t = 0; transition time window [0.15 ns, 0.5 ns]. *)
+
+type t = {
+  jobs : int;
+      (** execution lanes: [1] sequential, [> 1] that many domains,
+          [<= 0] auto-selects the recommended domain count *)
+  cache : bool;
+      (** memoize per-cell corner searches (never changes results) *)
+  obs : Ssd_obs.Obs.t;  (** telemetry sink (default: disabled no-op) *)
+  pi_spec : pi_spec;  (** windows assumed at the primary inputs *)
+}
+
+val default : t
+(** [jobs = 1], [cache = false], disabled telemetry,
+    {!default_pi_spec}. *)
+
+val make :
+  ?jobs:int ->
+  ?cache:bool ->
+  ?obs:Ssd_obs.Obs.t ->
+  ?pi_spec:pi_spec ->
+  unit ->
+  t
+(** {!default} with the given fields replaced. *)

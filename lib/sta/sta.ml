@@ -15,13 +15,12 @@ type required = {
   q_fall : Interval.t;
 }
 
-type pi_spec = { pi_arrival : Interval.t; pi_tt : Interval.t }
+type pi_spec = Run_opts.pi_spec = {
+  pi_arrival : Interval.t;
+  pi_tt : Interval.t;
+}
 
-let default_pi_spec =
-  {
-    pi_arrival = Interval.point 0.;
-    pi_tt = Interval.make 0.15e-9 0.5e-9;
-  }
+let default_pi_spec = Run_opts.default_pi_spec
 
 type t = {
   st_netlist : Netlist.t;
@@ -77,20 +76,55 @@ let gate_windows ?cache ~windowing ~cell ~load fanin_timings =
   if ctl_in_is_fall then { rise = ctl_out; fall = non_out }
   else { rise = non_out; fall = ctl_out }
 
-let analyze ?(pi_spec = default_pi_spec) ?(jobs = 1) ?(cache = false)
-    ?(obs = Obs.disabled) ~library ~model nl =
-  let windowing =
-    match model.Delay_model.windowing with
-    | Some w -> w
-    | None ->
-      invalid_arg
-        (Printf.sprintf
-           "Sta.analyze: model %S has no window transfer functions"
-           model.Delay_model.name)
+let windowing_of model =
+  match model.Delay_model.windowing with
+  | Some w -> w
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Sta: model %S has no window transfer functions"
+         model.Delay_model.name)
+
+let pi_window (spec : pi_spec) =
+  { Types.w_arr = spec.pi_arrival; w_tt = spec.pi_tt }
+
+(* Translate both transitions' arrival windows by a line's extra delay
+   (the crosstalk-fault primitive).  Guarded so the common extra = 0 case
+   is the identity — not merely numerically but bit-for-bit ([x +. 0.]
+   can flip the sign of a negative zero). *)
+let shift_timing lt extra =
+  if extra = 0. then lt
+  else
+    let sh (w : Types.win) =
+      { w with Types.w_arr = Interval.shift w.Types.w_arr extra }
+    in
+    { rise = sh lt.rise; fall = sh lt.fall }
+
+(* The forward pass's per-node kernel, shared by [analyze_with] and the
+   incremental {!Engine}: a pure function of the fan-in entries of
+   [timing] (for a PI, of [pi_win]), so recomputing any node whose inputs
+   are bit-identical reproduces its windows bit-identically. *)
+let eval_node ?cache ~windowing ~library nl timing ~node ~pi_win ~extra i =
+  let lt =
+    match node with
+    | Netlist.Pi -> { rise = pi_win; fall = pi_win }
+    | Netlist.Gate { kind; fanin } ->
+      let cell = cell_of_gate library kind (Array.length fanin) in
+      let fanin_timings =
+        Array.to_list (Array.map (fun j -> timing.(j)) fanin)
+      in
+      let load = Netlist.load_of nl i in
+      gate_windows ?cache ~windowing ~cell ~load fanin_timings
   in
+  shift_timing lt extra
+
+let analyze_with ?(extra_delay = fun _ -> 0.) ?(pi_override = fun _ -> None)
+    (opts : Run_opts.t) ~library ~model nl =
+  let { Run_opts.jobs; cache; obs; pi_spec } = opts in
+  let windowing = windowing_of model in
   let n = Netlist.size nl in
-  let pi_win =
-    { Types.w_arr = pi_spec.pi_arrival; w_tt = pi_spec.pi_tt }
+  let pi_win = pi_window pi_spec in
+  let pi_win_of i =
+    match pi_override i with None -> pi_win | Some spec -> pi_window spec
   in
   let timing =
     Array.make n { rise = pi_win; fall = pi_win }
@@ -100,17 +134,13 @@ let analyze ?(pi_spec = default_pi_spec) ?(jobs = 1) ?(cache = false)
   in
   let c_gates = Obs.counter obs "sta.gates" in
   let eval i =
-    match Netlist.node nl i with
-    | Netlist.Pi -> ()
-    | Netlist.Gate { kind; fanin } ->
-      Obs.incr c_gates;
-      let cell = cell_of_gate library kind (Array.length fanin) in
-      let fanin_timings =
-        Array.to_list (Array.map (fun j -> timing.(j)) fanin)
-      in
-      let load = Netlist.load_of nl i in
-      timing.(i) <- gate_windows ?cache:ecache ~windowing ~cell ~load
-          fanin_timings
+    let node = Netlist.node nl i in
+    (match node with
+    | Netlist.Gate _ -> Obs.incr c_gates
+    | Netlist.Pi -> ());
+    timing.(i) <-
+      eval_node ?cache:ecache ~windowing ~library nl timing ~node
+        ~pi_win:(pi_win_of i) ~extra:(extra_delay i) i
   in
   (* gates of one topological level are independent; the per-gate window
      computation is a pure function of the fan-in windows (and the memo
@@ -158,13 +188,17 @@ let analyze ?(pi_spec = default_pi_spec) ?(jobs = 1) ?(cache = false)
         end);
   Option.iter
     (fun ec ->
-      Obs.add (Obs.counter obs "sta.cache.hits") (Ssd_core.Eval_cache.hits ec);
-      Obs.add
-        (Obs.counter obs "sta.cache.misses")
-        (Ssd_core.Eval_cache.misses ec))
+      let s = Ssd_core.Eval_cache.stats ec in
+      Obs.add (Obs.counter obs "sta.cache.hits") s.Ssd_core.Eval_cache.s_hits;
+      Obs.add (Obs.counter obs "sta.cache.misses") s.Ssd_core.Eval_cache.s_misses;
+      Obs.add (Obs.counter obs "sta.cache.entries") s.Ssd_core.Eval_cache.s_entries)
     ecache;
   { st_netlist = nl; st_library = library; st_model = model;
     st_timing = timing; st_cache = ecache }
+
+let analyze ?(pi_spec = default_pi_spec) ?(jobs = 1) ?(cache = false)
+    ?(obs = Obs.disabled) ~library ~model nl =
+  analyze_with (Run_opts.make ~jobs ~cache ~obs ~pi_spec ()) ~library ~model nl
 
 let netlist t = t.st_netlist
 let library t = t.st_library

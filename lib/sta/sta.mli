@@ -16,7 +16,7 @@ type required = {
   q_fall : Ssd_util.Interval.t;
 }
 
-type pi_spec = {
+type pi_spec = Run_opts.pi_spec = {
   pi_arrival : Ssd_util.Interval.t;
   pi_tt : Ssd_util.Interval.t;
 }
@@ -35,6 +35,93 @@ val cell_of_gate :
 (** Map a primitive gate (NAND/NOR/NOT) with the given fan-in count to its
     characterized cell.  @raise Unsupported_gate *)
 
+val windowing_of : Ssd_core.Delay_model.t -> Ssd_core.Delay_model.windowing
+(** The model's window transfer functions.
+    @raise Invalid_argument when the model carries none. *)
+
+val pi_window : pi_spec -> Ssd_core.Types.win
+(** The window a PI spec induces on both transitions of the input. *)
+
+val gate_windows :
+  ?cache:Ssd_core.Eval_cache.t ->
+  windowing:Ssd_core.Delay_model.windowing ->
+  cell:Ssd_cell.Charlib.cell ->
+  load:int ->
+  line_timing list ->
+  line_timing
+(** Output windows of one gate given its fan-in windows (list order =
+    input positions, index 0 closest to the output).  The gate branch of
+    {!eval_node}, exposed so the {!Engine} can evaluate through per-node
+    cached cell/load slots without repeating the library lookup. *)
+
+val shift_timing : line_timing -> float -> line_timing
+(** Translate both transitions' arrival windows by a line's extra delay;
+    [0.] is the bit-exact identity (never flips a negative zero). *)
+
+val eval_node :
+  ?cache:Ssd_core.Eval_cache.t ->
+  windowing:Ssd_core.Delay_model.windowing ->
+  library:Ssd_cell.Charlib.t ->
+  Ssd_circuit.Netlist.t ->
+  line_timing array ->
+  node:Ssd_circuit.Netlist.node ->
+  pi_win:Ssd_core.Types.win ->
+  extra:float ->
+  int ->
+  line_timing
+(** The forward pass's per-node kernel: the windows of node [i] given the
+    already-computed fan-in entries of the timing array ([pi_win] for a
+    PI), with the line's arrival windows translated by [extra] (the
+    crosstalk-fault primitive; [0.] is the bit-exact identity).  A pure
+    function of those inputs — the contract that makes the sequential,
+    levelized-parallel and incremental ({!Engine}) schedules bit-identical.
+    Shared by {!analyze_with} and {!Engine}; reads only fan-in entries of
+    the timing array, so concurrent calls for distinct nodes of one logic
+    level are safe.  @raise Unsupported_gate *)
+
+val analyze_with :
+  ?extra_delay:(int -> float) ->
+  ?pi_override:(int -> Run_opts.pi_spec option) ->
+  Run_opts.t ->
+  library:Ssd_cell.Charlib.t ->
+  model:Ssd_core.Delay_model.t ->
+  Ssd_circuit.Netlist.t ->
+  t
+(** Forward pass only, under one {!Run_opts.t} record.
+
+    [opts.jobs] is the number of execution lanes: [1] walks the netlist
+    sequentially in topological order, [> 1] fans each logic level's
+    nodes across that many domains (see {!Par}), and [<= 0] auto-selects
+    [Domain.recommended_domain_count ()].  Results are bit-identical
+    regardless of [jobs].
+
+    [opts.obs] (default disabled) wires the analysis into a telemetry
+    sink: gate evaluations count into [sta.gates], each level runs under
+    a span [sta.level.<l>] (per-level wall time in the report, one trace
+    event per level), level widths feed the [sta.level_gates] histogram,
+    the {!Par} pool reports lane utilization and barrier waits, and —
+    when [opts.cache] is on — the memo statistics land in
+    [sta.cache.hits] / [sta.cache.misses] / [sta.cache.entries].
+    Instrumented runs walk level-by-level even at [jobs = 1]; results
+    stay bit-identical to the uninstrumented engine in every combination.
+
+    [opts.cache] (default [false]) memoizes the per-cell corner searches
+    across gate instances (see {!Ssd_core.Eval_cache}); it never changes
+    the results, only the work done to reach them.  It is off by default
+    because on the bundled analytic library a corner search is a handful
+    of polynomial evaluations (~0.1 us) — cheaper than any thread-safe
+    table hit — so memoization only pays when the per-cell kernels are
+    expensive (table-driven or re-simulated characterizations).
+
+    [extra_delay] (default: constant [0.]) translates a line's arrival
+    windows by that amount — the window-level image of
+    {!Timing_sim.simulate}'s fault-injection hook.  [pi_override]
+    (default: [None] everywhere) replaces [opts.pi_spec] on individual
+    primary inputs.  Both default to bit-exact no-ops.
+
+    @raise Unsupported_gate, or [Invalid_argument] when the model has no
+    window transfer functions. *)
+
 val analyze :
   ?pi_spec:pi_spec ->
   ?jobs:int ->
@@ -44,43 +131,20 @@ val analyze :
   model:Ssd_core.Delay_model.t ->
   Ssd_circuit.Netlist.t ->
   t
-(** Forward pass only.
-
-    [jobs] (default 1) is the number of execution lanes: [1] walks the
-    netlist sequentially in topological order, [> 1] fans each logic
-    level's gates across that many domains (see {!Par}), and [<= 0]
-    auto-selects [Domain.recommended_domain_count ()].  Results are
-    bit-identical regardless of [jobs].
-
-    [obs] (default disabled) wires the analysis into a telemetry sink:
-    gate evaluations count into [sta.gates], each level runs under a
-    span [sta.level.<l>] (per-level wall time in the report, one trace
-    event per level), level widths feed the [sta.level_gates]
-    histogram, the {!Par} pool reports lane utilization and barrier
-    waits, and — when [cache] is on — the memo hits/misses land in
-    [sta.cache.hits]/[sta.cache.misses].  Instrumented runs walk
-    level-by-level even at [jobs = 1]; results stay bit-identical to
-    the uninstrumented engine in every combination.
-
-    [cache] (default [false]) memoizes the per-cell corner searches
-    across gate instances (see {!Ssd_core.Eval_cache}); it never changes
-    the results, only the work done to reach them.  It is off by default
-    because on the bundled analytic library a corner search is a handful
-    of polynomial evaluations (~0.1 us) — cheaper than any thread-safe
-    table hit — so memoization only pays when the per-cell kernels are
-    expensive (table-driven or re-simulated characterizations).
-
-    @raise Unsupported_gate, or [Invalid_argument] when the model has no
-    window transfer functions. *)
+(** Thin wrapper over {!analyze_with} kept for source compatibility: the
+    optional arguments are bundled through {!Run_opts.make}.  Deprecated
+    in favour of {!analyze_with}; new call sites should build a
+    {!Run_opts.t}. *)
 
 val netlist : t -> Ssd_circuit.Netlist.t
 val library : t -> Ssd_cell.Charlib.t
 val timing : t -> int -> line_timing
 (** Windows of any node id. *)
 
-val cache_stats : t -> string option
-(** {!Ssd_core.Eval_cache.stats} of the memo table used by the
-    analysis; [None] when it ran with [cache:false]. *)
+val cache_stats : t -> Ssd_core.Eval_cache.stats option
+(** Structured {!Ssd_core.Eval_cache.stats} snapshot of the memo table
+    used by the analysis ([Ssd_core.Eval_cache.to_string] renders the
+    legacy one-liner); [None] when it ran with [cache:false]. *)
 
 val po_window : t -> Ssd_util.Interval.t
 (** Union of both transitions' arrival windows over all primary outputs:

@@ -1,0 +1,327 @@
+(* The Engine's contract (bit-identity to a fresh analysis of the edited
+   circuit, across edit kinds, checkpoint/revert round-trips and lane
+   counts) plus the Run_opts wrapper equivalences and the structured
+   Eval_cache stats. *)
+
+module Ck = Ssd_circuit
+module Sta = Ssd_sta.Sta
+module E = Ssd_sta.Engine
+module RO = Ssd_sta.Run_opts
+module TS = Ssd_sta.Timing_sim
+module A = Ssd_atpg
+module DM = Ssd_core.Delay_model
+module EC = Ssd_core.Eval_cache
+module Types = Ssd_core.Types
+module Charlib = Ssd_cell.Charlib
+module Interval = Ssd_util.Interval
+module Rng = Ssd_util.Rng
+
+let lib = lazy (Charlib.default ~profile:Charlib.coarse ())
+let c17_prim () = Ck.Decompose.to_primitive (Ck.Benchmarks.c17 ())
+let beq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let int_eq (a : Interval.t) (b : Interval.t) =
+  beq (Interval.lo a) (Interval.lo b) && beq (Interval.hi a) (Interval.hi b)
+
+let win_eq (a : Types.win) (b : Types.win) =
+  int_eq a.Types.w_arr b.Types.w_arr && int_eq a.Types.w_tt b.Types.w_tt
+
+let lt_eq (a : Sta.line_timing) (b : Sta.line_timing) =
+  win_eq a.Sta.rise b.Sta.rise && win_eq a.Sta.fall b.Sta.fall
+
+(* the oracle: engine windows vs a fresh sequential analysis of the
+   edited circuit, bit for bit on every line *)
+let engine_matches eng =
+  let reference = E.reanalyze eng in
+  let n = Ck.Netlist.size (E.netlist eng) in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if not (lt_eq (E.timing eng i) (Sta.timing reference i)) then ok := false
+  done;
+  !ok
+
+let two_input_gates nl =
+  List.filter
+    (fun i ->
+      match Ck.Netlist.node nl i with
+      | Ck.Netlist.Gate { fanin; _ } -> Array.length fanin = 2
+      | Ck.Netlist.Pi -> false)
+    (List.init (Ck.Netlist.size nl) Fun.id)
+
+let random_edit rng nl =
+  let pick l = List.nth l (Rng.int rng (List.length l)) in
+  match Rng.int rng 6 with
+  | 0 | 1 ->
+    E.Set_extra_delay
+      {
+        line = Rng.int rng (Ck.Netlist.size nl);
+        delta = Rng.float_range rng 10e-12 200e-12;
+      }
+  | 2 ->
+    (* removing an extra delay is also an edit *)
+    E.Set_extra_delay { line = Rng.int rng (Ck.Netlist.size nl); delta = 0. }
+  | 3 ->
+    E.Swap_gate
+      {
+        node = pick (two_input_gates nl);
+        kind = (if Rng.bool rng then Ck.Gate.Nand else Ck.Gate.Nor);
+      }
+  | 4 ->
+    let a_hi = Rng.float_range rng 0. 0.2e-9 in
+    let tt_lo = Rng.float_range rng 0.1e-9 0.3e-9 in
+    E.Set_pi_spec
+      {
+        pi = pick (Ck.Netlist.inputs nl);
+        spec =
+          {
+            RO.pi_arrival = Interval.make 0. a_hi;
+            pi_tt = Interval.make tt_lo (tt_lo +. 0.2e-9);
+          };
+      }
+  | _ -> E.Set_model (if Rng.bool rng then DM.proposed else DM.pin_to_pin)
+
+let prop_engine_bit_identical =
+  (* random edit sequences on random primitive netlists, with nested
+     checkpoint/revert round-trips, at jobs 1 and 4: after every step the
+     engine must equal its own reference re-analysis, and reverting to
+     the opening checkpoint must land bit-exactly on the opening pass *)
+  QCheck.Test.make ~name:"engine edits bit-identical to reanalyze (jobs 1, 4)"
+    ~count:10
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      List.for_all
+        (fun jobs ->
+          let rng = Rng.create (Int64.of_int (seed + (1000 * jobs))) in
+          let nl =
+            Ck.Decompose.to_primitive
+              (Ck.Generator.generate
+                 {
+                   Ck.Generator.default_params with
+                   Ck.Generator.g_name = "eco";
+                   n_inputs = 6;
+                   n_outputs = 3;
+                   n_gates = 20 + Rng.int rng 30;
+                   seed = Int64.of_int (seed + 1);
+                 })
+          in
+          let opts = RO.make ~jobs () in
+          E.with_engine ~opts ~library:(Lazy.force lib) ~model:DM.proposed nl
+            (fun eng ->
+              let base = E.reanalyze eng in
+              let ok = ref (engine_matches eng) in
+              let step () =
+                E.apply eng (random_edit rng nl);
+                if not (engine_matches eng) then ok := false
+              in
+              let cp0 = E.checkpoint eng in
+              for _ = 1 to 3 do step () done;
+              let mid = E.checkpoint eng in
+              for _ = 1 to 3 do step () done;
+              E.revert eng mid;
+              if not (engine_matches eng) then ok := false;
+              step ();
+              E.revert eng cp0;
+              if not (engine_matches eng) then ok := false;
+              for i = 0 to Ck.Netlist.size nl - 1 do
+                if not (lt_eq (E.timing eng i) (Sta.timing base i)) then
+                  ok := false
+              done;
+              Alcotest.(check int) "depth after full revert" 0 (E.depth eng);
+              !ok))
+        [ 1; 4 ])
+
+let prop_faulty_tsim_within_faulty_windows =
+  (* soundness of the Fault_sim window screen: under the fault (a
+     per-line extra delay), every timing-simulation event still falls
+     inside the corresponding faulty STA window — the same containment
+     the fault-free property in test_sta establishes, here with the
+     extra_delay hook threaded through both engines *)
+  QCheck.Test.make ~name:"faulty tsim events within faulty STA windows"
+    ~count:25
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let nl = c17_prim () in
+      let victim = Rng.int rng (Ck.Netlist.size nl) in
+      let delta = Rng.float_range rng 10e-12 300e-12 in
+      let extra_delay i = if i = victim then delta else 0. in
+      let pi_spec =
+        { Sta.pi_arrival = Interval.point 0.; pi_tt = Interval.point 0.25e-9 }
+      in
+      let sta =
+        Sta.analyze_with ~extra_delay (RO.make ~pi_spec ())
+          ~library:(Lazy.force lib) ~model:DM.proposed nl
+      in
+      let npi = List.length (Ck.Netlist.inputs nl) in
+      let vec = Array.init npi (fun _ -> (Rng.bool rng, Rng.bool rng)) in
+      let lines =
+        TS.simulate ~extra_delay ~pi_arrival:0. ~pi_tt:0.25e-9
+          ~library:(Lazy.force lib) ~model:DM.proposed nl vec
+      in
+      Array.for_all2
+        (fun l i ->
+          match l.TS.event with
+          | None -> true
+          | Some e ->
+            let lt = Sta.timing sta i in
+            let w = if not l.TS.v1 then lt.Sta.rise else lt.Sta.fall in
+            Interval.contains w.Types.w_arr e.Types.e_arr
+            && Interval.contains w.Types.w_tt e.Types.e_tt)
+        lines
+        (Array.init (Ck.Netlist.size nl) Fun.id))
+
+let expect_invalid name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.failf "%s: expected Invalid_argument" name
+
+let test_apply_validation () =
+  (* every rejected edit raises and leaves the engine untouched *)
+  let nl = c17_prim () in
+  E.with_engine ~library:(Lazy.force lib) ~model:DM.proposed nl (fun eng ->
+      let n = Ck.Netlist.size nl in
+      let snapshot = Array.init n (E.timing eng) in
+      let some_pi = List.hd (Ck.Netlist.inputs nl) in
+      let some_gate = List.hd (two_input_gates nl) in
+      List.iter
+        (fun (name, edit) ->
+          expect_invalid name (fun () -> E.apply eng edit))
+        [
+          ("negative id", E.Set_extra_delay { line = -1; delta = 1e-12 });
+          ("out-of-range id", E.Set_extra_delay { line = n; delta = 1e-12 });
+          ( "nan delta",
+            E.Set_extra_delay { line = some_gate; delta = Float.nan } );
+          ( "infinite delta",
+            E.Set_extra_delay { line = some_gate; delta = Float.infinity } );
+          ( "pi spec on a gate output",
+            E.Set_pi_spec { pi = some_gate; spec = RO.default_pi_spec } );
+          ("swap on a PI", E.Swap_gate { node = some_pi; kind = Ck.Gate.Nand });
+          ( "NOT on a 2-input gate",
+            E.Swap_gate { node = some_gate; kind = Ck.Gate.Not } );
+          ( "non-primitive kind",
+            E.Swap_gate { node = some_gate; kind = Ck.Gate.Xor } );
+          ("windowless model", E.Set_model DM.jun);
+        ];
+      Alcotest.(check int) "depth untouched" 0 (E.depth eng);
+      for i = 0 to n - 1 do
+        Alcotest.(check bool)
+          (Printf.sprintf "line %d untouched" i)
+          true
+          (lt_eq (E.timing eng i) snapshot.(i))
+      done)
+
+let test_commit_and_close () =
+  let nl = c17_prim () in
+  let eng = E.create ~library:(Lazy.force lib) ~model:DM.proposed nl in
+  let some_gate = List.hd (two_input_gates nl) in
+  let cp = E.checkpoint eng in
+  E.apply eng (E.Set_extra_delay { line = some_gate; delta = 20e-12 });
+  E.commit eng;
+  expect_invalid "checkpoint predates commit" (fun () -> E.revert eng cp);
+  Alcotest.(check int) "edits survive the commit" 1 (E.depth eng);
+  Alcotest.(check bool) "extra delay still applied" true
+    (beq (E.extra_delay_of eng some_gate) 20e-12);
+  Alcotest.(check int) "stats count the edit" 1 (E.stats eng).E.edits;
+  E.close eng;
+  E.close eng (* idempotent *);
+  expect_invalid "closed engine rejects queries" (fun () ->
+      ignore (E.timing eng 0 : Sta.line_timing))
+
+let test_cached_parallel_session () =
+  (* cache:true over a session's lifetime and jobs:4 propagation must not
+     move a bit relative to the fresh uncached sequential reference *)
+  let nl = c17_prim () in
+  let opts = RO.make ~jobs:4 ~cache:true () in
+  E.with_engine ~opts ~library:(Lazy.force lib) ~model:DM.proposed nl
+    (fun eng ->
+      let some_gate = List.hd (two_input_gates nl) in
+      List.iter
+        (fun edit ->
+          E.apply eng edit;
+          Alcotest.(check bool) "cached engine matches reanalyze" true
+            (engine_matches eng))
+        [
+          E.Set_extra_delay { line = some_gate; delta = 35e-12 };
+          E.Swap_gate { node = some_gate; kind = Ck.Gate.Nor };
+          E.Set_model DM.pin_to_pin;
+        ])
+
+let test_run_opts_wrappers () =
+  (* the legacy optional-argument entry points are thin wrappers over the
+     Run_opts ones: same inputs, bit-identical outputs *)
+  let nl = c17_prim () in
+  let lib = Lazy.force lib in
+  let a = Sta.analyze ~jobs:4 ~cache:true ~library:lib ~model:DM.proposed nl in
+  let b =
+    Sta.analyze_with
+      (RO.make ~jobs:4 ~cache:true ())
+      ~library:lib ~model:DM.proposed nl
+  in
+  for i = 0 to Ck.Netlist.size nl - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "sta wrapper line %d" i)
+      true
+      (lt_eq (Sta.timing a i) (Sta.timing b i))
+  done;
+  let sites =
+    A.Fault.extract ~count:8 ~delta:60e-12 ~align_window:2500e-12 ~seed:11L nl
+  in
+  let vectors = A.Fault_sim.random_vectors ~seed:5L ~count:16 nl in
+  let clock_period = Sta.max_delay a in
+  let r1 =
+    A.Fault_sim.simulate ~jobs:1 ~library:lib ~model:DM.proposed ~clock_period
+      nl sites vectors
+  in
+  let r2 =
+    A.Fault_sim.simulate_with (RO.make ()) ~library:lib ~model:DM.proposed
+      ~clock_period nl sites vectors
+  in
+  Alcotest.(check bool) "faultsim wrapper identical" true
+    (r1.A.Fault_sim.detected = r2.A.Fault_sim.detected
+    && r1.A.Fault_sim.undetected = r2.A.Fault_sim.undetected
+    && r1.A.Fault_sim.coverage = r2.A.Fault_sim.coverage)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_eval_cache_stats () =
+  let nl = c17_prim () in
+  let uncached =
+    Sta.analyze ~library:(Lazy.force lib) ~model:DM.proposed nl
+  in
+  Alcotest.(check bool) "no stats without a cache" true
+    (Sta.cache_stats uncached = None);
+  let t = Sta.analyze ~cache:true ~library:(Lazy.force lib) ~model:DM.proposed nl in
+  match Sta.cache_stats t with
+  | None -> Alcotest.fail "cache:true must expose stats"
+  | Some st ->
+    Alcotest.(check bool) "lookups happened" true
+      (st.EC.s_hits + st.EC.s_misses > 0);
+    Alcotest.(check bool) "one entry per miss at most" true
+      (st.EC.s_entries > 0 && st.EC.s_entries <= st.EC.s_misses);
+    let ratio = EC.hit_ratio st in
+    Alcotest.(check bool) "hit ratio in [0, 100]" true
+      (ratio >= 0. && ratio <= 100.);
+    let line = EC.to_string st in
+    Alcotest.(check bool) "one-liner renders the counters" true
+      (contains line "hits"
+      && contains line (string_of_int st.EC.s_entries))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let suites =
+  [
+    ( "engine.api",
+      [
+        Alcotest.test_case "apply validation" `Slow test_apply_validation;
+        Alcotest.test_case "commit and close" `Slow test_commit_and_close;
+        Alcotest.test_case "cached parallel session" `Slow
+          test_cached_parallel_session;
+        Alcotest.test_case "run-opts wrappers" `Slow test_run_opts_wrappers;
+        Alcotest.test_case "eval-cache stats" `Slow test_eval_cache_stats;
+      ] );
+    qsuite "engine.props"
+      [ prop_engine_bit_identical; prop_faulty_tsim_within_faulty_windows ];
+  ]

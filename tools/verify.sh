@@ -1,0 +1,19 @@
+#!/bin/sh
+# Tier-1 verification: build everything, run the full test suite, then
+# build the odoc documentation when an odoc binary is available (the CI
+# image may not ship one; all libraries are private, so the private-doc
+# alias is the one that renders their interfaces and surfaces odoc
+# warnings).
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+
+if command -v odoc >/dev/null 2>&1; then
+  dune build @doc @doc-private
+else
+  echo "verify: odoc not installed; skipping dune build @doc" >&2
+fi
+
+echo "verify: ok"
