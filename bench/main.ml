@@ -917,6 +917,123 @@ let perf () =
   Texttab.print t
 
 (* ------------------------------------------------------------------ *)
+(* Scale: SoA substrate at 100k+ gates                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* metrics exported into the --json report (gates/sec, bytes/gate) *)
+let scale_metrics : (string * float) list ref = ref []
+
+let scale () =
+  header "Scale — structure-of-arrays netlist/STA substrate at 100k+ gates";
+  let lib = Lazy.force library in
+  let gates =
+    (* SSD_SCALE_GATES downsizes the run for smoke checks / CI *)
+    match Sys.getenv_opt "SSD_SCALE_GATES" with
+    | Some s -> (try max 1_000 (int_of_string s) with Failure _ -> 100_000)
+    | None -> 100_000
+  in
+  let layers = max 32 (gates / 400) in
+  note "generating a layered %d-gate circuit (%d levels of gates)" gates layers;
+  let t0 = Unix.gettimeofday () in
+  let nl =
+    Ck.Decompose.to_primitive
+      (Ck.Generator.generate
+         {
+           Ck.Generator.default_params with
+           Ck.Generator.g_name = Printf.sprintf "scale%dk" (gates / 1000);
+           n_inputs = 256;
+           n_outputs = 128;
+           n_gates = gates;
+           locality = 1024;
+           seed = 42L;
+           shape = Ck.Generator.Layered { layers };
+         })
+  in
+  let t_gen = Unix.gettimeofday () -. t0 in
+  let n = Ck.Netlist.size nl in
+  note "%s built in %.2f s" (Ck.Netlist.stats nl) t_gen;
+  let beq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b) in
+  let lt_eq (x : Sta.line_timing) (y : Sta.line_timing) =
+    let w (lt : Sta.line_timing) =
+      [ lt.Sta.rise.Types.w_arr; lt.Sta.rise.Types.w_tt;
+        lt.Sta.fall.Types.w_arr; lt.Sta.fall.Types.w_tt ]
+    in
+    List.for_all2
+      (fun u v ->
+        beq (Interval.lo u) (Interval.lo v)
+        && beq (Interval.hi u) (Interval.hi v))
+      (w x) (w y)
+  in
+  let identity_check name circuit =
+    (* the packed path must reproduce the seed record-array oracle bit
+       for bit, sequentially and under every lane count *)
+    let oracle = Sta.analyze_ref ~library:lib ~model:DM.proposed circuit in
+    List.iter
+      (fun jobs ->
+        let t = Sta.analyze ~jobs ~library:lib ~model:DM.proposed circuit in
+        for i = 0 to Ck.Netlist.size circuit - 1 do
+          if not (lt_eq oracle.(i) (Sta.timing t i)) then
+            failwith
+              (Printf.sprintf
+                 "scale: %s jobs=%d: node %d differs from the seed oracle"
+                 name jobs i)
+        done)
+      [ 1; 4; 8 ];
+    note "%s: packed path bit-identical to the oracle at jobs 1/4/8" name
+  in
+  identity_check "c880s"
+    (Ck.Decompose.to_primitive (Option.get (Ck.Benchmarks.by_name "c880s")));
+  identity_check (Ck.Netlist.name nl) nl;
+  (* throughput: best-of-3 sequential full analysis *)
+  let best = ref infinity in
+  let last = ref None in
+  for _ = 1 to 3 do
+    let t0 = Unix.gettimeofday () in
+    last := Some (Sta.analyze ~library:lib ~model:DM.proposed nl);
+    best := Float.min !best (Unix.gettimeofday () -. t0)
+  done;
+  let sta = Option.get !last in
+  let gcount = Ck.Netlist.gate_count nl in
+  let gates_per_sec = float_of_int gcount /. !best in
+  (* steady-state footprint: packed structural arrays + packed windows *)
+  let struct_bytes = Ck.Netlist.mem_bytes nl in
+  let win_bytes = Ssd_sta.Windows.bytes (Sta.windows sta) in
+  let bytes_per_gate =
+    float_of_int (struct_bytes + win_bytes) /. float_of_int n
+  in
+  (* cone cache: membership is one bit per node, not one byte *)
+  let pi0 = List.hd (Ck.Netlist.inputs nl) in
+  let cone = Ck.Netlist.fanout_cone nl pi0 in
+  let cone_bytes = Ck.Netlist.cone_cache_bytes nl in
+  let budget =
+    (n / 8) + (8 * Array.length cone.Ck.Netlist.cone_nodes) + 128
+  in
+  if cone_bytes > budget then
+    failwith
+      (Printf.sprintf "scale: cached cone costs %d bytes, budget %d"
+         cone_bytes budget);
+  let t = Texttab.create ~header:[ "metric"; "value" ] in
+  Texttab.add_row t [ "nodes"; string_of_int n ];
+  Texttab.add_row t [ "gates"; string_of_int gcount ];
+  Texttab.add_row t [ "levels"; string_of_int (Ck.Netlist.depth nl) ];
+  Texttab.add_row t [ "analyze (s, best of 3)"; Printf.sprintf "%.3f" !best ];
+  Texttab.add_row t [ "gates/sec"; Printf.sprintf "%.0f" gates_per_sec ];
+  Texttab.add_row t
+    [ "structural bytes/gate";
+      Printf.sprintf "%.1f" (float_of_int struct_bytes /. float_of_int n) ];
+  Texttab.add_row t
+    [ "window bytes/gate";
+      Printf.sprintf "%.1f" (float_of_int win_bytes /. float_of_int n) ];
+  Texttab.add_row t [ "bytes/gate (total)"; Printf.sprintf "%.1f" bytes_per_gate ];
+  Texttab.add_row t
+    [ "cone cache (1 PI cone)"; Printf.sprintf "%d B" cone_bytes ];
+  Texttab.print t;
+  scale_metrics :=
+    [ ("gates", float_of_int gcount);
+      ("gates_per_sec", gates_per_sec);
+      ("bytes_per_gate", bytes_per_gate) ];
+  note "bit-identity, throughput and footprint are asserted, not just";
+  note "reported: a mismatch or a cone-cache regression fails the run."
 
 let experiments =
   [
@@ -934,6 +1051,7 @@ let experiments =
     ("parsta", parsta);
     ("faultsim", faultsim);
     ("eco", eco);
+    ("scale", scale);
     ("perf", perf);
   ]
 
@@ -956,6 +1074,8 @@ let write_json path timings total =
                    [ ("name", Json.Str name); ("wall_s", Json.Num wall) ])
                timings) );
         ("total_wall_s", Json.Num total);
+        ( "scale",
+          Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) !scale_metrics) );
         ( "counters",
           Json.Obj
             (List.map

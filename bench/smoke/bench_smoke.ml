@@ -169,6 +169,54 @@ let () =
         Printf.eprintf "bench smoke: reverted engine is not the base\n";
         exit 1
       end);
+  (* scale loop, downsized: the packed structure-of-arrays STA path must
+     reproduce the seed record-array oracle bit for bit — sequentially
+     and in parallel — on a layered generated circuit, and a cached cone
+     must cost bitset bytes (size/8), not a byte per node *)
+  let scale_nl =
+    Ck.Decompose.to_primitive
+      (Ck.Generator.generate
+         {
+           Ck.Generator.default_params with
+           Ck.Generator.g_name = "smoke-scale";
+           n_inputs = 32;
+           n_outputs = 16;
+           n_gates = 3_000;
+           locality = 256;
+           seed = 11L;
+           shape = Ck.Generator.Layered { layers = 30 };
+         })
+  in
+  let oracle = Sta.analyze_ref ~library:lib ~model:DM.proposed scale_nl in
+  List.iter
+    (fun jobs ->
+      let t = Sta.analyze ~jobs ~library:lib ~model:DM.proposed scale_nl in
+      let w = Sta.windows t in
+      for i = 0 to Ck.Netlist.size scale_nl - 1 do
+        if
+          not
+            (Ssd_sta.Windows.eq w i ~rise:oracle.(i).Sta.rise
+               ~fall:oracle.(i).Sta.fall)
+        then begin
+          Printf.eprintf
+            "bench smoke: scale jobs=%d node %d differs from the oracle\n"
+            jobs i;
+          exit 1
+        end
+      done)
+    [ 1; 4 ];
+  let scale_root = List.hd (Ck.Netlist.inputs scale_nl) in
+  let scale_cone = Ck.Netlist.fanout_cone scale_nl scale_root in
+  let scale_n = Ck.Netlist.size scale_nl in
+  let cone_budget =
+    (scale_n / 8) + (8 * Array.length scale_cone.Ck.Netlist.cone_nodes) + 128
+  in
+  if Ck.Netlist.cone_cache_bytes scale_nl > cone_budget then begin
+    Printf.eprintf "bench smoke: cached cone costs %d bytes, budget %d\n"
+      (Ck.Netlist.cone_cache_bytes scale_nl)
+      cone_budget;
+    exit 1
+  end;
   (* telemetry loop: run one instrumented --stats/--trace style pass,
      write the Chrome trace, parse it back, and check the span tree
      covers every STA level exactly once (one "sta.level.<l>" complete

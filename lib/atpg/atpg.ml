@@ -132,13 +132,12 @@ exception Slice_exhausted
 let observable_shift nl (site : Fault.site) faultfree faulty clock =
   List.exists
     (fun po ->
-      match
-        (faultfree.(po).Timing_sim.event, faulty.(po).Timing_sim.event)
-      with
-      | Some ff, Some f ->
-        ff.Types.e_arr <= clock
-        && f.Types.e_arr -. ff.Types.e_arr >= 0.45 *. site.Fault.delta
-      | _, _ -> false)
+      Timing_sim.has_event faultfree po
+      && Timing_sim.has_event faulty po
+      &&
+      let ff = Timing_sim.event_arr faultfree po in
+      ff <= clock
+      && Timing_sim.event_arr faulty po -. ff >= 0.45 *. site.Fault.delta)
     (Netlist.outputs nl)
 
 (* full-vector evaluation at a search leaf *)
@@ -160,30 +159,30 @@ let evaluate_leaf ~library ~model ~cfg nl (site : Fault.site) impl =
   | v ->
     let vector = Array.of_list v in
     let lines = Timing_sim.simulate ~library ~model nl vector in
-    let want tr l =
+    let want tr i =
       match tr with
-      | Value2f.Rise -> Timing_sim.rising l
-      | Value2f.Fall -> Timing_sim.falling l
+      | Value2f.Rise -> Timing_sim.rising_at lines i
+      | Value2f.Fall -> Timing_sim.falling_at lines i
     in
-    let la = lines.(site.Fault.aggressor) in
-    let lv = lines.(site.Fault.victim) in
-    if not (want site.Fault.agg_tr la && want site.Fault.vic_tr lv) then None
-    else begin
-      match (la.Timing_sim.event, lv.Timing_sim.event) with
-      | Some ea, Some ev
-        when Float.abs (ea.Types.e_arr -. ev.Types.e_arr)
-             <= site.Fault.align_window -> (
-        let faulty_lines =
-          Timing_sim.simulate
-            ~extra_delay:(fun i ->
-              if i = site.Fault.victim then site.Fault.delta else 0.)
-            ~library ~model nl vector
-        in
-        if observable_shift nl site lines faulty_lines cfg.clock_period then
-          Some vector
-        else None)
-      | _, _ -> None
+    let a = site.Fault.aggressor and v = site.Fault.victim in
+    if not (want site.Fault.agg_tr a && want site.Fault.vic_tr v) then None
+    else if
+      Timing_sim.has_event lines a
+      && Timing_sim.has_event lines v
+      && Float.abs (Timing_sim.event_arr lines a -. Timing_sim.event_arr lines v)
+         <= site.Fault.align_window
+    then begin
+      let faulty_lines =
+        Timing_sim.simulate
+          ~extra_delay:(fun i ->
+            if i = site.Fault.victim then site.Fault.delta else 0.)
+          ~library ~model nl vector
+      in
+      if observable_shift nl site lines faulty_lines cfg.clock_period then
+        Some vector
+      else None
     end
+    else None
 
 (* Paths from the victim to any primary output, shortest first, capped.
    Sensitizing one of them (side inputs steady at the non-controlling
@@ -496,24 +495,22 @@ let efficiency s =
 
 let verify_detection cfg ~library ~model nl (site : Fault.site) vector =
   let lines = Timing_sim.simulate ~library ~model nl vector in
-  let want tr l =
+  let want tr i =
     match tr with
-    | Value2f.Rise -> Timing_sim.rising l
-    | Value2f.Fall -> Timing_sim.falling l
+    | Value2f.Rise -> Timing_sim.rising_at lines i
+    | Value2f.Fall -> Timing_sim.falling_at lines i
   in
-  let la = lines.(site.Fault.aggressor) in
-  let lv = lines.(site.Fault.victim) in
-  want site.Fault.agg_tr la && want site.Fault.vic_tr lv
+  let a = site.Fault.aggressor and v = site.Fault.victim in
+  want site.Fault.agg_tr a && want site.Fault.vic_tr v
+  && Timing_sim.has_event lines a
+  && Timing_sim.has_event lines v
+  && Float.abs (Timing_sim.event_arr lines a -. Timing_sim.event_arr lines v)
+     <= site.Fault.align_window
   &&
-  match (la.Timing_sim.event, lv.Timing_sim.event) with
-  | Some ea, Some ev ->
-    Float.abs (ea.Types.e_arr -. ev.Types.e_arr) <= site.Fault.align_window
-    &&
-    let faulty =
-      Timing_sim.simulate
-        ~extra_delay:(fun i ->
-          if i = site.Fault.victim then site.Fault.delta else 0.)
-        ~library ~model nl vector
-    in
-    observable_shift nl site lines faulty cfg.clock_period
-  | _, _ -> false
+  let faulty =
+    Timing_sim.simulate
+      ~extra_delay:(fun i ->
+        if i = site.Fault.victim then site.Fault.delta else 0.)
+      ~library ~model nl vector
+  in
+  observable_shift nl site lines faulty cfg.clock_period

@@ -113,18 +113,24 @@ let extract_screened ?(count = 32) ?(delta = 200e-12) ?(align_window = 300e-12)
       let rec scan = function
         | [] -> None
         | lines :: rest ->
-          let la = lines.(aggressor) and lv = lines.(victim) in
           let close =
-            match (la.Timing_sim.event, lv.Timing_sim.event) with
-            | Some ea, Some ev ->
-              Float.abs (ea.Types.e_arr -. ev.Types.e_arr)
-              <= 1.5 *. align_window
-            | _, _ -> false
+            Timing_sim.has_event lines aggressor
+            && Timing_sim.has_event lines victim
+            && Float.abs
+                 (Timing_sim.event_arr lines aggressor
+                 -. Timing_sim.event_arr lines victim)
+               <= 1.5 *. align_window
           in
-          if close && Timing_sim.rising lv && Timing_sim.falling la then
-            Some (Value2f.Fall, Value2f.Rise)
-          else if close && Timing_sim.falling lv && Timing_sim.rising la then
-            Some (Value2f.Rise, Value2f.Fall)
+          if
+            close
+            && Timing_sim.rising_at lines victim
+            && Timing_sim.falling_at lines aggressor
+          then Some (Value2f.Fall, Value2f.Rise)
+          else if
+            close
+            && Timing_sim.falling_at lines victim
+            && Timing_sim.rising_at lines aggressor
+          then Some (Value2f.Rise, Value2f.Fall)
           else scan rest
       in
       scan sims

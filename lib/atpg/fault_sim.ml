@@ -18,32 +18,29 @@ type result = {
   undetected : int list;
 }
 
-let wants tr line =
+let wants tr lines i =
   match tr with
-  | Value2f.Rise -> Timing_sim.rising line
-  | Value2f.Fall -> Timing_sim.falling line
+  | Value2f.Rise -> Timing_sim.rising_at lines i
+  | Value2f.Fall -> Timing_sim.falling_at lines i
 
 let excited_and_aligned lines (site : Fault.site) =
-  let la = lines.(site.Fault.aggressor) in
-  let lv = lines.(site.Fault.victim) in
-  wants site.Fault.agg_tr la
-  && wants site.Fault.vic_tr lv
-  &&
-  match (la.Timing_sim.event, lv.Timing_sim.event) with
-  | Some ea, Some ev ->
-    Float.abs (ea.Types.e_arr -. ev.Types.e_arr) <= site.Fault.align_window
-  | _, _ -> false
+  let a = site.Fault.aggressor and v = site.Fault.victim in
+  wants site.Fault.agg_tr lines a
+  && wants site.Fault.vic_tr lines v
+  && Timing_sim.has_event lines a
+  && Timing_sim.has_event lines v
+  && Float.abs (Timing_sim.event_arr lines a -. Timing_sim.event_arr lines v)
+     <= site.Fault.align_window
 
 let observable nl (site : Fault.site) faultfree faulty clock =
   List.exists
     (fun po ->
-      match
-        (faultfree.(po).Timing_sim.event, faulty.(po).Timing_sim.event)
-      with
-      | Some ff, Some f ->
-        ff.Types.e_arr <= clock
-        && f.Types.e_arr -. ff.Types.e_arr >= 0.45 *. site.Fault.delta
-      | _, _ -> false)
+      Timing_sim.has_event faultfree po
+      && Timing_sim.has_event faulty po
+      &&
+      let ff = Timing_sim.event_arr faultfree po in
+      ff <= clock
+      && Timing_sim.event_arr faulty po -. ff >= 0.45 *. site.Fault.delta)
     (Netlist.outputs nl)
 
 (* Vector-independent necessary conditions per site, decided on STA
@@ -179,7 +176,7 @@ let simulate_with ?(engine = Cone) ?(window_screen = true)
       while !vi < nvec && any_live () do
         let bn = min block (nvec - !vi) in
         let base = !vi in
-        let ff = Array.make bn [||] in
+        let ff = Array.make bn Timing_sim.empty in
         Par.parallel_for pool ~chunk:1 ~label:"ff-sim" ~n:bn (fun k ->
             ff.(k) <- Timing_sim.simulate ~library ~model nl vectors.(base + k));
         Obs.add c_ff bn;

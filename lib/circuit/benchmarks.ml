@@ -38,6 +38,7 @@ let generate_spec (g_name, n_inputs, n_outputs, n_gates, seed) =
       max_fanin = 4;
       locality = max 32 (n_gates / 12);
       seed;
+      shape = Generator.Organic;
     }
 
 let synthetic_suite () = List.map generate_spec synthetic_specs

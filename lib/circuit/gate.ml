@@ -22,6 +22,30 @@ let to_string = function
   | Not -> "NOT"
   | Buf -> "BUFF"
 
+(* Dense integer tags for the structure-of-arrays netlist: the kind of
+   every node packs into one int array entry instead of a boxed variant
+   field.  [of_int] must invert [to_int] exactly. *)
+let to_int = function
+  | And -> 0
+  | Nand -> 1
+  | Or -> 2
+  | Nor -> 3
+  | Xor -> 4
+  | Xnor -> 5
+  | Not -> 6
+  | Buf -> 7
+
+let of_int = function
+  | 0 -> And
+  | 1 -> Nand
+  | 2 -> Or
+  | 3 -> Nor
+  | 4 -> Xor
+  | 5 -> Xnor
+  | 6 -> Not
+  | 7 -> Buf
+  | n -> invalid_arg (Printf.sprintf "Gate.of_int: invalid tag %d" n)
+
 let eval_fanin kind get n =
   let arity_one () =
     if n <> 1 then invalid_arg "Gate.eval: NOT/BUF take exactly one input"

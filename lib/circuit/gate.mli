@@ -7,6 +7,12 @@ val of_string : string -> kind option
 
 val to_string : kind -> string
 
+val to_int : kind -> int
+(** Dense tag in [0, 7], for packing kinds into flat int arrays. *)
+
+val of_int : int -> kind
+(** Inverse of {!to_int}.  @raise Invalid_argument outside [0, 7]. *)
+
 val eval : kind -> bool list -> bool
 (** @raise Invalid_argument on an arity violation (NOT/BUF take exactly
     one input; the others at least one). *)

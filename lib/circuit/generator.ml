@@ -1,5 +1,7 @@
 module Rng = Ssd_util.Rng
 
+type shape = Organic | Layered of { layers : int }
+
 type params = {
   g_name : string;
   n_inputs : int;
@@ -8,6 +10,7 @@ type params = {
   max_fanin : int;
   locality : int;
   seed : int64;
+  shape : shape;
 }
 
 let default_params =
@@ -19,15 +22,131 @@ let default_params =
     max_fanin = 4;
     locality = 48;
     seed = 1L;
+    shape = Organic;
   }
 
 let gate_kinds = [| Gate.Nand; Gate.Nand; Gate.Nor; Gate.Nand; Gate.Nor;
                     Gate.Not; Gate.And; Gate.Or |]
 
-let generate p =
+let check_params p =
   if p.n_inputs < 1 || p.n_outputs < 1 || p.n_gates < 1 then
     invalid_arg "Generator.generate: counts must be positive";
   if p.max_fanin < 2 then invalid_arg "Generator.generate: max_fanin < 2";
+  if p.n_outputs > p.n_gates then
+    invalid_arg "Generator.generate: n_outputs exceeds n_gates";
+  match p.shape with
+  | Organic -> ()
+  | Layered { layers } ->
+    if layers < 1 then invalid_arg "Generator.generate: layers < 1"
+
+(* ISCAS85-like fan-in mix: mostly 2-input, some 3, few at the cap.  The
+   wide branch honours [max_fanin] beyond 4 (drawing uniformly from
+   [4, max_fanin]) and never exceeds a cap below 4; the extra draw only
+   happens for [max_fanin > 4], so the RNG stream — and hence every
+   bundled benchmark — is unchanged for the classic 2..4 range. *)
+let draw_arity rng p kind =
+  match kind with
+  | Gate.Not -> 1
+  | Gate.Nand | Gate.Nor | Gate.And | Gate.Or ->
+    let r = Rng.int rng 100 in
+    if r < 70 then 2
+    else if r < 90 then min p.max_fanin 3
+    else if p.max_fanin <= 4 then min p.max_fanin 4
+    else 4 + Rng.int rng (p.max_fanin - 3)
+  | Gate.Xor | Gate.Xnor | Gate.Buf -> 2
+
+(* Random-simulation signatures (128 vectors as two 64-bit words per
+   node) guard against structurally constant lines: deep random DAGs
+   otherwise accumulate reconvergent correlations until most of the
+   circuit is stuck — unlike any real benchmark.  A gate whose signature
+   is constant across all sampled vectors is redrawn. *)
+let sig_words = 2
+
+let signature sigs kind fanin =
+  let out = Array.make sig_words 0L in
+  for w = 0 to sig_words - 1 do
+    let ins = List.map (fun j -> sigs.(j).(w)) fanin in
+    let all op init = List.fold_left op init ins in
+    out.(w) <-
+      (match kind with
+      | Gate.And -> all Int64.logand Int64.minus_one
+      | Gate.Nand -> Int64.lognot (all Int64.logand Int64.minus_one)
+      | Gate.Or -> all Int64.logor 0L
+      | Gate.Nor -> Int64.lognot (all Int64.logor 0L)
+      | Gate.Xor -> all Int64.logxor 0L
+      | Gate.Xnor -> Int64.lognot (all Int64.logxor 0L)
+      | Gate.Not -> Int64.lognot (List.hd ins)
+      | Gate.Buf -> List.hd ins)
+  done;
+  out
+
+let is_constant s =
+  Array.for_all (fun w -> w = 0L) s
+  || Array.for_all (fun w -> w = Int64.minus_one) s
+
+(* Outputs: prefer sinks (nodes with no reader) so the whole circuit is
+   observable, deepest first — shallow POs would make the circuit's
+   min-delay a trivial one-gate path, which no real benchmark has.  When
+   there are fewer sinks than requested outputs, top up deterministically
+   from the remaining deepest gates (already-consumed ones), so the PO
+   count always comes out exactly [n_outputs]. *)
+let select_outputs p ~total ~signals =
+  let consumed = Array.make total false in
+  List.iter
+    (fun (_, nd) ->
+      match nd with
+      | Netlist.Pi -> ()
+      | Netlist.Gate { fanin; _ } ->
+        Array.iter (fun j -> consumed.(j) <- true) fanin)
+    signals;
+  let level = Array.make total 0 in
+  List.iteri
+    (fun id (_, nd) ->
+      match nd with
+      | Netlist.Pi -> ()
+      | Netlist.Gate { fanin; _ } ->
+        level.(id) <-
+          1 + Array.fold_left (fun m j -> max m level.(j)) (-1) fanin)
+    signals;
+  let sinks = ref [] in
+  for id = total - 1 downto p.n_inputs do
+    if not consumed.(id) then sinks := id :: !sinks
+  done;
+  let sinks =
+    List.stable_sort (fun a b -> compare level.(b) level.(a)) !sinks
+  in
+  let rec take acc k = function
+    | _ when k = 0 -> List.rev acc
+    | [] -> List.rev acc
+    | x :: rest -> take (x :: acc) (k - 1) rest
+  in
+  let from_sinks = take [] p.n_outputs sinks in
+  let missing = p.n_outputs - List.length from_sinks in
+  let outputs =
+    if missing = 0 then from_sinks
+    else begin
+      let in_sel = Array.make total false in
+      List.iter (fun id -> in_sel.(id) <- true) from_sinks;
+      let rest = ref [] in
+      for id = p.n_inputs to total - 1 do
+        if not in_sel.(id) then rest := id :: !rest
+      done;
+      let rest =
+        List.stable_sort
+          (fun a b -> compare (level.(b), b) (level.(a), a))
+          !rest
+      in
+      from_sinks @ take [] missing rest
+    end
+  in
+  assert (List.length outputs = p.n_outputs);
+  outputs
+
+let name_of p id =
+  if id < p.n_inputs then Printf.sprintf "pi%d" id
+  else Printf.sprintf "g%d" id
+
+let generate_organic p =
   let rng = Rng.create p.seed in
   let total = p.n_inputs + p.n_gates in
   let signals = ref [] in
@@ -45,55 +164,17 @@ let generate p =
       lo + Rng.int rng (upto - lo)
     end
   in
-  (* Random-simulation signatures (128 vectors as two 64-bit words per
-     node) guard against structurally constant lines: deep random DAGs
-     otherwise accumulate reconvergent correlations until most of the
-     circuit is stuck — unlike any real benchmark.  A gate whose signature
-     is constant across all sampled vectors is redrawn. *)
-  let words = 2 in
-  let sigs = Array.make_matrix total words 0L in
+  let sigs = Array.make_matrix total sig_words 0L in
   for i = 0 to p.n_inputs - 1 do
-    for w = 0 to words - 1 do
+    for w = 0 to sig_words - 1 do
       sigs.(i).(w) <- Rng.next_int64 rng
     done
   done;
-  let signature kind fanin =
-    let out = Array.make words 0L in
-    for w = 0 to words - 1 do
-      let ins = List.map (fun j -> sigs.(j).(w)) fanin in
-      let all op init = List.fold_left op init ins in
-      out.(w) <-
-        (match kind with
-        | Gate.And -> all Int64.logand Int64.minus_one
-        | Gate.Nand -> Int64.lognot (all Int64.logand Int64.minus_one)
-        | Gate.Or -> all Int64.logor 0L
-        | Gate.Nor -> Int64.lognot (all Int64.logor 0L)
-        | Gate.Xor -> all Int64.logxor 0L
-        | Gate.Xnor -> Int64.lognot (all Int64.logxor 0L)
-        | Gate.Not -> Int64.lognot (List.hd ins)
-        | Gate.Buf -> List.hd ins)
-    done;
-    out
-  in
-  let is_constant s =
-    Array.for_all (fun w -> w = 0L) s
-    || Array.for_all (fun w -> w = Int64.minus_one) s
-  in
   for g = 0 to p.n_gates - 1 do
     let id = p.n_inputs + g in
     let draw () =
       let kind = Rng.pick rng gate_kinds in
-      let arity =
-        match kind with
-        | Gate.Not -> 1
-        | Gate.Nand | Gate.Nor | Gate.And | Gate.Or ->
-          (* ISCAS85-like fan-in mix: mostly 2-input, some 3, few wider *)
-          let r = Rng.int rng 100 in
-          if r < 70 then 2
-          else if r < 90 then 3
-          else min p.max_fanin 4
-        | Gate.Xor | Gate.Xnor | Gate.Buf -> 2
-      in
+      let arity = draw_arity rng p kind in
       let chosen = Hashtbl.create 4 in
       let fanin = ref [] in
       let attempts = ref 0 in
@@ -128,12 +209,12 @@ let generate p =
     in
     let rec attempt k =
       let kind, fanin = draw () in
-      let s = signature kind fanin in
+      let s = signature sigs kind fanin in
       if not (is_constant s) then (kind, fanin, s)
       else if k >= 20 then begin
         (* a NOT of a non-constant node is never constant *)
         let src = pick_fanin rng id in
-        (Gate.Not, [ src ], signature Gate.Not [ src ])
+        (Gate.Not, [ src ], signature sigs Gate.Not [ src ])
       end
       else attempt (k + 1)
     in
@@ -145,50 +226,103 @@ let generate p =
       :: !signals
   done;
   let signals = List.rev !signals in
-  (* Outputs: prefer sinks (nodes with no reader) so the whole circuit is
-     observable, deepest first — shallow POs would make the circuit's
-     min-delay a trivial one-gate path, which no real benchmark has. *)
-  let consumed = Array.make total false in
-  List.iter
-    (fun (_, nd) ->
-      match nd with
-      | Netlist.Pi -> ()
-      | Netlist.Gate { fanin; _ } ->
-        Array.iter (fun j -> consumed.(j) <- true) fanin)
-    signals;
-  let level = Array.make total 0 in
-  List.iteri
-    (fun id (_, nd) ->
-      match nd with
-      | Netlist.Pi -> ()
-      | Netlist.Gate { fanin; _ } ->
-        level.(id) <-
-          1 + Array.fold_left (fun m j -> max m level.(j)) (-1) fanin)
-    signals;
-  let sinks = ref [] in
-  for id = total - 1 downto p.n_inputs do
-    if not consumed.(id) then sinks := id :: !sinks
-  done;
-  let sinks =
-    List.stable_sort (fun a b -> compare level.(b) level.(a)) !sinks
-  in
-  let outputs =
-    let rec take acc k = function
-      | _ when k = 0 -> List.rev acc
-      | [] -> List.rev acc
-      | x :: rest -> take (x :: acc) (k - 1) rest
-    in
-    let from_sinks = take [] p.n_outputs sinks in
-    let missing = p.n_outputs - List.length from_sinks in
-    let extra =
-      List.init missing (fun k -> total - 1 - k)
-      |> List.filter (fun id -> not (List.mem id from_sinks))
-    in
-    from_sinks @ extra
-  in
-  let name_of id =
-    if id < p.n_inputs then Printf.sprintf "pi%d" id
-    else Printf.sprintf "g%d" id
-  in
+  let outputs = select_outputs p ~total ~signals in
   Netlist.build ~name:p.g_name ~signals
-    ~outputs:(List.map name_of outputs)
+    ~outputs:(List.map (name_of p) outputs)
+
+(* Layered shape: the gates are spread over a fixed number of layers and
+   every gate anchors at least one fan-in in the immediately preceding
+   layer (the rest draw from any earlier layer, preferring recent ones),
+   so by induction a layer-[l] gate sits at logic level exactly [l].
+   This pins the level-width profile — [n_gates / layers] gates per
+   level — which is what the scale bench needs to exercise the levelized
+   parallel schedule with realistic (wide, shallow) circuits at 100k+
+   gates, where the organic preferential growth would produce a long
+   thin tail instead. *)
+let generate_layered p ~layers =
+  let rng = Rng.create p.seed in
+  let total = p.n_inputs + p.n_gates in
+  let layers = min layers p.n_gates in
+  let signals = ref [] in
+  for i = 0 to p.n_inputs - 1 do
+    signals := (Printf.sprintf "pi%d" i, Netlist.Pi) :: !signals
+  done;
+  let sigs = Array.make_matrix total sig_words 0L in
+  for i = 0 to p.n_inputs - 1 do
+    for w = 0 to sig_words - 1 do
+      sigs.(i).(w) <- Rng.next_int64 rng
+    done
+  done;
+  (* layer l (0-based over gate layers) covers ids
+     [start.(l), start.(l + 1)); layer -1 is the PIs *)
+  let base = p.n_gates / layers and rem = p.n_gates mod layers in
+  let start = Array.make (layers + 1) p.n_inputs in
+  for l = 0 to layers - 1 do
+    start.(l + 1) <- start.(l) + base + (if l < rem then 1 else 0)
+  done;
+  for l = 0 to layers - 1 do
+    let prev_lo = if l = 0 then 0 else start.(l - 1) in
+    let prev_hi = start.(l) in
+    (* uniform over the previous layer, with locality kept for the
+       backward draws so reconvergence stays neighbourhood-biased *)
+    let pick_prev () = prev_lo + Rng.int rng (prev_hi - prev_lo) in
+    let pick_back () =
+      if Rng.int rng 100 < 15 then Rng.int rng prev_hi
+      else begin
+        let lo = max 0 (prev_hi - p.locality) in
+        lo + Rng.int rng (prev_hi - lo)
+      end
+    in
+    for id = start.(l) to start.(l + 1) - 1 do
+      let draw () =
+        let kind = Rng.pick rng gate_kinds in
+        let arity = draw_arity rng p kind in
+        let chosen = Hashtbl.create 4 in
+        let fanin = ref [] in
+        let attempts = ref 0 in
+        while List.length !fanin < arity && !attempts < 50 do
+          incr attempts;
+          let c = if !fanin = [] then pick_prev () else pick_back () in
+          if not (Hashtbl.mem chosen c) then begin
+            Hashtbl.replace chosen c ();
+            (* keep the anchor (previous-layer draw) first in the list:
+               [fanin] accumulates by prepending, so append order is
+               reversed below *)
+            fanin := c :: !fanin
+          end
+        done;
+        let fanin = List.rev !fanin in
+        let fanin = match fanin with [] -> [ pick_prev () ] | l -> l in
+        let kind = if List.length fanin = 1 then Gate.Not else kind in
+        (kind, fanin)
+      in
+      let rec attempt k =
+        let kind, fanin = draw () in
+        let s = signature sigs kind fanin in
+        if not (is_constant s) then (kind, fanin, s)
+        else if k >= 20 then begin
+          (* a NOT of a non-constant previous-layer node is never
+             constant, and keeps the gate at level l + 1 *)
+          let src = pick_prev () in
+          (Gate.Not, [ src ], signature sigs Gate.Not [ src ])
+        end
+        else attempt (k + 1)
+      in
+      let kind, fanin, s = attempt 0 in
+      sigs.(id) <- s;
+      signals :=
+        (Printf.sprintf "g%d" id,
+         Netlist.Gate { kind; fanin = Array.of_list fanin })
+        :: !signals
+    done
+  done;
+  let signals = List.rev !signals in
+  let outputs = select_outputs p ~total ~signals in
+  Netlist.build ~name:p.g_name ~signals
+    ~outputs:(List.map (name_of p) outputs)
+
+let generate p =
+  check_params p;
+  match p.shape with
+  | Organic -> generate_organic p
+  | Layered { layers } -> generate_layered p ~layers

@@ -3,22 +3,39 @@
     Stands in for the five larger ISCAS85 netlists (see DESIGN.md): the
     generated circuits match the originals' primary-input / primary-output
     / gate counts and have comparable depth, a NAND/NOR/NOT-dominated gate
-    mix, fan-in ≤ 4 and reconvergent fan-out.  Generation is layered: each
-    new gate draws its fan-ins from recent layers (locality) with an
-    occasional long edge, which yields ISCAS-like level distributions. *)
+    mix, bounded fan-in and reconvergent fan-out.  Two growth shapes:
+
+    - {!Organic} (the default): each new gate draws its fan-ins from
+      recent nodes (locality) with an occasional long edge, which yields
+      ISCAS-like level distributions.
+    - [Layered]: the gates are spread over a fixed number of layers and
+      every gate anchors one fan-in in the preceding layer, pinning both
+      the depth and the level widths — the shape the scale bench uses to
+      exercise the levelized schedule at 100k–1M gates. *)
+
+type shape =
+  | Organic
+  | Layered of { layers : int }  (** [layers >= 1] logic levels of gates *)
 
 type params = {
   g_name : string;
   n_inputs : int;
   n_outputs : int;
   n_gates : int;
-  max_fanin : int;       (** 2..4 typical *)
+  max_fanin : int;
+      (** >= 2; arities are drawn 2-heavy up to this cap (beyond 4, the
+          wide tail draws uniformly from [4, max_fanin]) *)
   locality : int;        (** how many recent nodes fan-ins prefer *)
   seed : int64;
+  shape : shape;
 }
 
 val default_params : params
 
 val generate : params -> Netlist.t
 (** Every PI reaches some gate and every gate transitively feeds some PO
-    (dead nodes are re-wired into the PO selection). *)
+    (dead nodes are re-wired into the PO selection); the PO count is
+    exactly [n_outputs], topped up from the deepest gates when the
+    circuit has fewer sinks than requested outputs.
+    @raise Invalid_argument on non-positive counts, [max_fanin < 2],
+    [n_outputs > n_gates] or [Layered] with [layers < 1]. *)

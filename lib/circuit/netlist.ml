@@ -1,21 +1,37 @@
+module Bitset = Ssd_util.Bitset
+
 type node = Pi | Gate of { kind : Gate.kind; fanin : int array }
 
 type cone = {
   cone_nodes : int array;
-  cone_member : bool array;
+  cone_member : Bitset.t;
 }
 
+(* Structure-of-arrays storage: node kinds in one flat int array (-1 for
+   a PI, else the dense {!Gate.to_int} tag) and the fan-in / fan-out /
+   level adjacency in CSR offset+data pairs.  Hot paths (STA forward
+   pass, ECO propagation, timing simulation) walk these contiguous
+   arrays; the [node]/[fanout]/[levels] accessors materialize the seed
+   representation on demand for cold callers. *)
 type t = {
   nl_name : string;
   names : string array;
-  nodes : node array;
   by_name : (string, int) Hashtbl.t;
+  kinds : int array;
+  fanin_off : int array;   (* length n+1 *)
+  fanin_dat : int array;
+  fanout_off : int array;  (* length n+1 *)
+  fanout_dat : int array;
   pis : int list;
   pos : int list;
-  fanouts : int array array;
   topo : int array;
-  levels : int array;
-  by_level : int array array;
+  node_level : int array;
+  level_off : int array;   (* length depth+2 *)
+  level_dat : int array;   (* node ids grouped by level, topo order *)
+  (* lazily materialized [levels] view; benign race: the view is
+     immutable and equal across materializations, so a duplicate build
+     only wastes one allocation *)
+  mutable by_level_view : int array array option;
   cones : (int, cone) Hashtbl.t;
   cone_lock : Mutex.t;
 }
@@ -34,9 +50,8 @@ let build ~name ~signals ~outputs =
       Hashtbl.replace by_name s i)
     signals;
   let names = Array.of_list (List.map fst signals) in
-  let resolve_names = Array.make n Pi in
-  List.iteri (fun i (_, nd) -> resolve_names.(i) <- nd) signals;
-  let nodes = resolve_names in
+  let nodes = Array.make n Pi in
+  List.iteri (fun i (_, nd) -> nodes.(i) <- nd) signals;
   (* validate fan-ins *)
   Array.iteri
     (fun i nd ->
@@ -68,23 +83,50 @@ let build ~name ~signals ~outputs =
         | None -> invalid "output %S is not a declared signal" s)
       outputs
   in
-  (* fanouts *)
-  let fo = Array.make n [] in
+  (* pack kinds and the fan-in CSR *)
+  let kinds = Array.make n (-1) in
+  let fanin_off = Array.make (n + 1) 0 in
   Array.iteri
     (fun i nd ->
       match nd with
       | Pi -> ()
-      | Gate { fanin; _ } -> Array.iter (fun j -> fo.(j) <- i :: fo.(j)) fanin)
+      | Gate { kind; fanin } ->
+        kinds.(i) <- Gate.to_int kind;
+        fanin_off.(i + 1) <- Array.length fanin)
     nodes;
-  let fanouts = Array.map (fun l -> Array.of_list (List.rev l)) fo in
+  for i = 0 to n - 1 do
+    fanin_off.(i + 1) <- fanin_off.(i) + fanin_off.(i + 1)
+  done;
+  let fanin_dat = Array.make fanin_off.(n) 0 in
+  Array.iteri
+    (fun i nd ->
+      match nd with
+      | Pi -> ()
+      | Gate { fanin; _ } ->
+        Array.blit fanin 0 fanin_dat fanin_off.(i) (Array.length fanin))
+    nodes;
+  (* fan-out CSR: consumers of each node in increasing consumer order *)
+  let fanout_off = Array.make (n + 1) 0 in
+  Array.iter
+    (fun j -> fanout_off.(j + 1) <- fanout_off.(j + 1) + 1)
+    fanin_dat;
+  for i = 0 to n - 1 do
+    fanout_off.(i + 1) <- fanout_off.(i) + fanout_off.(i + 1)
+  done;
+  let fanout_dat = Array.make fanout_off.(n) 0 in
+  let cursor = Array.make n 0 in
+  for i = 0 to n - 1 do
+    for p = fanin_off.(i) to fanin_off.(i + 1) - 1 do
+      let j = fanin_dat.(p) in
+      fanout_dat.(fanout_off.(j) + cursor.(j)) <- i;
+      cursor.(j) <- cursor.(j) + 1
+    done
+  done;
   (* topological order by Kahn's algorithm; detects cycles *)
   let indeg = Array.make n 0 in
-  Array.iteri
-    (fun i nd ->
-      match nd with
-      | Pi -> ()
-      | Gate { fanin; _ } -> indeg.(i) <- Array.length fanin)
-    nodes;
+  for i = 0 to n - 1 do
+    indeg.(i) <- fanin_off.(i + 1) - fanin_off.(i)
+  done;
   let queue = Queue.create () in
   Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
   let topo = Array.make n (-1) in
@@ -93,66 +135,114 @@ let build ~name ~signals ~outputs =
     let i = Queue.pop queue in
     topo.(!count) <- i;
     incr count;
-    Array.iter
-      (fun j ->
-        indeg.(j) <- indeg.(j) - 1;
-        if indeg.(j) = 0 then Queue.add j queue)
-      fanouts.(i)
+    for p = fanout_off.(i) to fanout_off.(i + 1) - 1 do
+      let j = fanout_dat.(p) in
+      indeg.(j) <- indeg.(j) - 1;
+      if indeg.(j) = 0 then Queue.add j queue
+    done
   done;
   if !count <> n then invalid "netlist %S contains a cycle" name;
-  let levels = Array.make n 0 in
+  let node_level = Array.make n 0 in
   Array.iter
     (fun i ->
-      match nodes.(i) with
-      | Pi -> levels.(i) <- 0
-      | Gate { fanin; _ } ->
-        levels.(i) <-
-          1 + Array.fold_left (fun m j -> max m levels.(j)) (-1) fanin)
+      if kinds.(i) >= 0 then begin
+        let m = ref (-1) in
+        for p = fanin_off.(i) to fanin_off.(i + 1) - 1 do
+          m := max !m node_level.(fanin_dat.(p))
+        done;
+        node_level.(i) <- 1 + !m
+      end)
     topo;
-  let by_level =
-    let depth = Array.fold_left max 0 levels in
-    let counts = Array.make (depth + 1) 0 in
-    Array.iter (fun l -> counts.(l) <- counts.(l) + 1) levels;
-    let groups = Array.map (fun c -> Array.make c (-1)) counts in
-    let fill = Array.make (depth + 1) 0 in
-    (* walk in topological order so each group lists its nodes in a
-       deterministic order consistent with [topo] *)
-    Array.iter
-      (fun i ->
-        let l = levels.(i) in
-        groups.(l).(fill.(l)) <- i;
-        fill.(l) <- fill.(l) + 1)
-      topo;
-    groups
-  in
-  { nl_name = name; names; nodes; by_name; pis; pos; fanouts; topo; levels;
-    by_level; cones = Hashtbl.create 16; cone_lock = Mutex.create () }
+  (* level CSR: node ids grouped by level, each group in topological
+     order (the walk below follows [topo]) *)
+  let depth = Array.fold_left max 0 node_level in
+  let level_off = Array.make (depth + 2) 0 in
+  Array.iter (fun l -> level_off.(l + 1) <- level_off.(l + 1) + 1) node_level;
+  for l = 0 to depth do
+    level_off.(l + 1) <- level_off.(l) + level_off.(l + 1)
+  done;
+  let level_dat = Array.make n 0 in
+  let fill = Array.make (depth + 1) 0 in
+  Array.iter
+    (fun i ->
+      let l = node_level.(i) in
+      level_dat.(level_off.(l) + fill.(l)) <- i;
+      fill.(l) <- fill.(l) + 1)
+    topo;
+  { nl_name = name; names; by_name; kinds; fanin_off; fanin_dat;
+    fanout_off; fanout_dat; pis; pos; topo; node_level; level_off;
+    level_dat; by_level_view = None; cones = Hashtbl.create 16;
+    cone_lock = Mutex.create () }
 
 let name t = t.nl_name
-let size t = Array.length t.nodes
+let size t = Array.length t.kinds
 
 let gate_count t =
-  Array.fold_left
-    (fun acc nd -> match nd with Pi -> acc | Gate _ -> acc + 1)
-    0 t.nodes
+  Array.fold_left (fun acc k -> if k >= 0 then acc + 1 else acc) 0 t.kinds
 
 let pi_count t = List.length t.pis
-let node t i = t.nodes.(i)
+
+(* ---- flat accessors (the hot-path API) ---- *)
+
+let is_pi t i = t.kinds.(i) < 0
+let gate_kind t i = Gate.of_int t.kinds.(i)
+let fanin_count t i = t.fanin_off.(i + 1) - t.fanin_off.(i)
+let fanin_nth t i p = t.fanin_dat.(t.fanin_off.(i) + p)
+
+let iter_fanin t i ~f =
+  for p = t.fanin_off.(i) to t.fanin_off.(i + 1) - 1 do
+    f t.fanin_dat.(p)
+  done
+
+let fanout_count t i = t.fanout_off.(i + 1) - t.fanout_off.(i)
+let fanout_nth t i p = t.fanout_dat.(t.fanout_off.(i) + p)
+
+let iter_fanout t i ~f =
+  for p = t.fanout_off.(i) to t.fanout_off.(i + 1) - 1 do
+    f t.fanout_dat.(p)
+  done
+
+let level_count t = Array.length t.level_off - 1
+let level_width t l = t.level_off.(l + 1) - t.level_off.(l)
+let level_node t l k = t.level_dat.(t.level_off.(l) + k)
+
+(* ---- seed-representation views (cold callers) ---- *)
+
+let node t i =
+  if t.kinds.(i) < 0 then Pi
+  else
+    Gate
+      {
+        kind = Gate.of_int t.kinds.(i);
+        fanin = Array.sub t.fanin_dat t.fanin_off.(i) (fanin_count t i);
+      }
+
 let signal_name t i = t.names.(i)
 let find t s = Hashtbl.find_opt t.by_name s
 let inputs t = t.pis
 let outputs t = t.pos
-let fanout t i = t.fanouts.(i)
-let load_of t i = max 1 (Array.length t.fanouts.(i))
+let fanout t i = Array.sub t.fanout_dat t.fanout_off.(i) (fanout_count t i)
+let load_of t i = max 1 (fanout_count t i)
 let topo_order t = t.topo
-let level t i = t.levels.(i)
-let levels t = t.by_level
-let depth t = Array.fold_left max 0 t.levels
+let level t i = t.node_level.(i)
+
+let levels t =
+  match t.by_level_view with
+  | Some v -> v
+  | None ->
+    let v =
+      Array.init (level_count t) (fun l ->
+          Array.sub t.level_dat t.level_off.(l) (level_width t l))
+    in
+    t.by_level_view <- Some v;
+    v
+
+let depth t = Array.length t.level_off - 2
 
 let fold_gates_topo t ~init ~f =
   Array.fold_left
     (fun acc i ->
-      match t.nodes.(i) with
+      match node t i with
       | Pi -> acc
       | Gate { kind; fanin } -> f acc i kind fanin)
     init t.topo
@@ -160,57 +250,68 @@ let fold_gates_topo t ~init ~f =
 let iter_gates_topo t ~f =
   Array.iter
     (fun i ->
-      match t.nodes.(i) with
+      match node t i with
       | Pi -> ()
       | Gate { kind; fanin } -> f i kind fanin)
     t.topo
 
-let transitive_closure next t i =
+let transitive_closure iter_next t i =
   let n = size t in
   let seen = Array.make n false in
-  let rec visit j =
-    if not seen.(j) then begin
-      seen.(j) <- true;
-      List.iter visit (next t j)
-    end
-  in
-  List.iter visit (next t i);
+  let stack = ref [ i ] in
+  (* iterative DFS: the recursion depth would otherwise scale with the
+     longest path, which overflows the stack on million-gate chains *)
+  seen.(i) <- true;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | j :: rest ->
+      stack := rest;
+      iter_next t j ~f:(fun k ->
+          if not seen.(k) then begin
+            seen.(k) <- true;
+            stack := k :: !stack
+          end)
+  done;
+  seen.(i) <- false;
   let order = ref [] in
-  Array.iter (fun j -> if seen.(j) then order := j :: !order) t.topo;
-  List.rev !order
+  for p = Array.length t.topo - 1 downto 0 do
+    let j = t.topo.(p) in
+    if seen.(j) then order := j :: !order
+  done;
+  !order
 
-let transitive_fanin t i =
-  transitive_closure
-    (fun t j ->
-      match t.nodes.(j) with
-      | Pi -> []
-      | Gate { fanin; _ } -> Array.to_list fanin)
-    t i
-
-let transitive_fanout t i =
-  transitive_closure (fun t j -> Array.to_list t.fanouts.(j)) t i
+let transitive_fanin t i = transitive_closure iter_fanin t i
+let transitive_fanout t i = transitive_closure iter_fanout t i
 
 let compute_cone t i =
-  let n = size t in
-  let member = Array.make n false in
-  let rec visit j =
-    if not member.(j) then begin
-      member.(j) <- true;
-      Array.iter visit t.fanouts.(j)
-    end
-  in
-  visit i;
-  let count = Array.fold_left (fun c m -> if m then c + 1 else c) 0 member in
+  let member = Bitset.create (size t) in
+  let stack = ref [ i ] in
+  Bitset.set member i;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | j :: rest ->
+      stack := rest;
+      iter_fanout t j ~f:(fun k ->
+          if not (Bitset.get member k) then begin
+            Bitset.set member k;
+            stack := k :: !stack
+          end)
+  done;
+  let count = Bitset.cardinal member in
   let nodes = Array.make count (-1) in
   let fill = ref 0 in
   Array.iter
     (fun j ->
-      if member.(j) then begin
+      if Bitset.get member j then begin
         nodes.(!fill) <- j;
         incr fill
       end)
     t.topo;
   { cone_nodes = nodes; cone_member = member }
+
+let in_cone cone j = Bitset.get cone.cone_member j
 
 let fanout_cone t i =
   if i < 0 || i >= size t then
@@ -235,6 +336,32 @@ let fanout_cone t i =
     in
     Mutex.unlock t.cone_lock;
     c
+
+let words_of_int_array a = Array.length a + 2  (* payload + header *)
+
+let mem_bytes t =
+  8
+  * (words_of_int_array t.kinds
+    + words_of_int_array t.fanin_off
+    + words_of_int_array t.fanin_dat
+    + words_of_int_array t.fanout_off
+    + words_of_int_array t.fanout_dat
+    + words_of_int_array t.topo
+    + words_of_int_array t.node_level
+    + words_of_int_array t.level_off
+    + words_of_int_array t.level_dat)
+
+let cone_cache_bytes t =
+  Mutex.lock t.cone_lock;
+  let total =
+    Hashtbl.fold
+      (fun _ c acc ->
+        acc + (8 * words_of_int_array c.cone_nodes)
+        + Bitset.bytes c.cone_member)
+      t.cones 0
+  in
+  Mutex.unlock t.cone_lock;
+  total
 
 let stats t =
   Printf.sprintf "%s: %d PIs, %d POs, %d gates, depth %d" t.nl_name

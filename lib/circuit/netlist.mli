@@ -3,7 +3,16 @@
     Every node is a named signal: either a primary input or the output of
     exactly one gate.  The structure is validated at construction time
     (defined-before-use not required, but the graph must be acyclic and
-    every fan-in must exist). *)
+    every fan-in must exist).
+
+    Storage is structure-of-arrays: node kinds live in one flat int
+    array and the fan-in / fan-out / level adjacency in CSR-style
+    offset+data pairs, so the analysis hot paths walk contiguous memory
+    at 100k–1M-gate scale.  The {!node} / {!fanout} / {!levels}
+    accessors materialize the original per-node representation on
+    demand; hot paths should use the flat accessors ({!is_pi},
+    {!gate_kind}, {!fanin_nth}, {!iter_fanout}, {!level_node}, ...)
+    which allocate nothing. *)
 
 type node = Pi | Gate of { kind : Gate.kind; fanin : int array }
 
@@ -29,6 +38,10 @@ val gate_count : t -> int
 val pi_count : t -> int
 
 val node : t -> int -> node
+(** Materialized view of one node (the [Gate] fan-in array is a fresh
+    copy).  Cold-path accessor; hot loops should read {!is_pi} /
+    {!gate_kind} / {!fanin_nth} instead. *)
+
 val signal_name : t -> int -> string
 val find : t -> string -> int option
 
@@ -37,10 +50,43 @@ val inputs : t -> int list
 
 val outputs : t -> int list
 
+(** {2 Flat structure-of-arrays accessors}
+
+    Allocation-free reads against the packed representation. *)
+
+val is_pi : t -> int -> bool
+
+val gate_kind : t -> int -> Gate.kind
+(** @raise Invalid_argument when the node is a PI. *)
+
+val fanin_count : t -> int -> int
+(** 0 for a PI. *)
+
+val fanin_nth : t -> int -> int -> int
+(** [fanin_nth t i p] is input position [p] of gate [i] (position 0 is
+    closest to the output, as everywhere else). *)
+
+val iter_fanin : t -> int -> f:(int -> unit) -> unit
+
+val fanout_count : t -> int -> int
+val fanout_nth : t -> int -> int -> int
+val iter_fanout : t -> int -> f:(int -> unit) -> unit
+
+val level_count : t -> int
+(** Number of logic levels, [depth + 1]. *)
+
+val level_width : t -> int -> int
+(** Node count of one level. *)
+
+val level_node : t -> int -> int -> int
+(** [level_node t l k] is the [k]-th node of level [l], in topological
+    order. *)
+
 val fanout : t -> int -> int array
-(** Gate ids that consume the given node.  A PO with no readers has an
-    empty fanout; its electrical load is still at least one (see
-    {!load_of}). *)
+(** Gate ids that consume the given node, as a fresh array (cold-path
+    view of the fan-out CSR row; hot loops use {!iter_fanout}).  A PO
+    with no readers has an empty fanout; its electrical load is still at
+    least one (see {!load_of}). *)
 
 val load_of : t -> int -> int
 (** Electrical fanout used by the delay models: [max 1 (consumers)]. *)
@@ -55,7 +101,8 @@ val levels : t -> int array array
 (** Node ids grouped by logic level: element [l] lists every node of
     level [l] in topological order.  Level 0 is the PIs; nodes within a
     level have no dependencies on one another, so each group can be
-    processed in parallel once all earlier groups are done. *)
+    processed in parallel once all earlier groups are done.  Materialized
+    from the level CSR on first use and cached. *)
 
 val depth : t -> int
 (** Maximum level over all nodes. *)
@@ -74,19 +121,34 @@ type cone = {
   cone_nodes : int array;
       (** the root line followed by every node it can reach, listed in
           the netlist's topological order *)
-  cone_member : bool array;
-      (** size {!size}: [cone_member.(j)] iff [j] is the root or in its
-          transitive fanout *)
+  cone_member : Ssd_util.Bitset.t;
+      (** packed membership flags over all {!size} node ids:
+          [Bitset.get cone_member j] iff [j] is the root or in its
+          transitive fanout — one bit per node, so a cached cone costs
+          [size/8] bytes instead of the [bool array]'s [size] *)
 }
 (** Transitive-fanout cone of one line — the set of lines whose timing
-    can change when the root line's delay changes.  Treat both arrays as
+    can change when the root line's delay changes.  Treat both fields as
     read-only: cones are cached and shared between callers. *)
+
+val in_cone : cone -> int -> bool
+(** [in_cone c j] iff [j] is the cone's root or in its transitive
+    fanout. *)
 
 val fanout_cone : t -> int -> cone
 (** Cached cone lookup: the first call per root computes and memoizes
     the cone, later calls (from any domain — the cache is
     mutex-protected) return the same structure.
     @raise Invalid_argument on an out-of-range node id. *)
+
+val mem_bytes : t -> int
+(** Approximate heap footprint of the packed structural arrays (kinds,
+    CSR offsets and data, topological and level orders) in bytes,
+    headers included; excludes signal names and the cone cache.  The
+    scale bench divides this by {!size} to track bytes/gate. *)
+
+val cone_cache_bytes : t -> int
+(** Approximate heap footprint of all cached cones in bytes. *)
 
 val stats : t -> string
 (** One-line human-readable summary. *)

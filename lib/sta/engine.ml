@@ -40,7 +40,7 @@ type t = {
   mutable e_model : Delay_model.t;
   mutable e_windowing : Delay_model.windowing;
   e_cache : Ssd_core.Eval_cache.t option;
-  e_timing : Sta.line_timing array;
+  e_timing : Windows.t;
   (* per-node evaluation slots: the resolved cell and electrical load are
      fixed per node (a kind swap refreshes its slot), so the hot path
      skips the library lookup of the generic kernel; [None] marks a PI *)
@@ -86,6 +86,10 @@ let pi_spec_of t i =
 
 let extra_delay_of t i = t.e_extra.(i)
 
+(* materialize one node's committed windows from the packed store *)
+let get t j =
+  { Sta.rise = Windows.rise t.e_timing j; fall = Windows.fall t.e_timing j }
+
 (* Exactly {!Sta.eval_node}'s computation, routed through the per-node
    cell/load slots: same cell, same load, same fan-in list, so the
    windows come back bit-identical to the generic kernel's. *)
@@ -99,17 +103,15 @@ let eval_one t i =
     in
     Sta.shift_timing { Sta.rise = pi_win; fall = pi_win } t.e_extra.(i)
   | Some cell ->
-    let fanin =
-      match Netlist.node t.e_netlist i with
-      | Netlist.Gate { fanin; _ } -> fanin
-      | Netlist.Pi -> assert false
-    in
-    let fanin_timings =
-      Array.fold_right (fun j acc -> t.e_timing.(j) :: acc) fanin []
-    in
+    let nl = t.e_netlist in
+    let n_in = Netlist.fanin_count nl i in
+    let fanin_timings = ref [] in
+    for p = n_in - 1 downto 0 do
+      fanin_timings := get t (Netlist.fanin_nth nl i p) :: !fanin_timings
+    done;
     Sta.shift_timing
       (Sta.gate_windows ?cache:t.e_cache ~windowing:t.e_windowing ~cell
-         ~load:t.e_loads.(i) fanin_timings)
+         ~load:t.e_loads.(i) !fanin_timings)
       t.e_extra.(i)
 
 (* Re-resolve a node's cell slot from its current (overlaid) kind. *)
@@ -118,17 +120,6 @@ let refresh_cell t i =
   | Netlist.Pi -> ()
   | Netlist.Gate { kind; fanin } ->
     t.e_cells.(i) <- Some (Sta.cell_of_gate t.e_library kind (Array.length fanin))
-
-let beq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
-
-let win_eq (a : Types.win) (b : Types.win) =
-  let ieq u v =
-    beq (Interval.lo u) (Interval.lo v) && beq (Interval.hi u) (Interval.hi v)
-  in
-  ieq a.Types.w_arr b.Types.w_arr && ieq a.Types.w_tt b.Types.w_tt
-
-let timing_eq (a : Sta.line_timing) (b : Sta.line_timing) =
-  win_eq a.Sta.rise b.Sta.rise && win_eq a.Sta.fall b.Sta.fall
 
 let pool_of t =
   match t.e_pool with
@@ -162,11 +153,14 @@ let propagate t ~is_root ~root_eval ~nodes ~frame =
   in
   let commit i nv =
     incr recomputed;
-    if timing_eq t.e_timing.(i) nv then incr cutoffs
+    (* the cutoff test compares against the packed slots bitwise, without
+       materializing the stored windows *)
+    if Windows.eq t.e_timing i ~rise:nv.Sta.rise ~fall:nv.Sta.fall then
+      incr cutoffs
     else begin
-      frame := P_timing (i, t.e_timing.(i)) :: !frame;
-      t.e_timing.(i) <- nv;
-      Array.iter (fun j -> dirty.(j) <- true) (Netlist.fanout nl i)
+      frame := P_timing (i, get t i) :: !frame;
+      Windows.set t.e_timing i ~rise:nv.Sta.rise ~fall:nv.Sta.fall;
+      Netlist.iter_fanout nl i ~f:(fun j -> dirty.(j) <- true)
     end
   in
   if t.e_jobs <= 1 then
@@ -200,7 +194,7 @@ let propagate t ~is_root ~root_eval ~nodes ~frame =
           in
           let nc = Array.length cand in
           if nc > 0 then begin
-            let news = Array.make nc t.e_timing.(cand.(0)) in
+            let news = Array.make nc (get t cand.(0)) in
             Par.parallel_for pool ~chunk:1 ~label:"eco" ~n:nc (fun k ->
                 news.(k) <- eval cand.(k));
             Array.iteri (fun k i -> commit i news.(k)) cand
@@ -244,7 +238,7 @@ let create ?(opts = Run_opts.default) ~library ~model nl =
       e_cache =
         (if opts.Run_opts.cache then Some (Ssd_core.Eval_cache.create ())
          else None);
-      e_timing = Array.make n { Sta.rise = pi_win; fall = pi_win };
+      e_timing = Windows.create n;
       e_cells =
         Array.init n (fun i ->
             match Netlist.node nl i with
@@ -275,7 +269,11 @@ let create ?(opts = Run_opts.default) ~library ~model nl =
   in
   (* initial full forward pass: a plain sequential topological walk (the
      session's baseline, not counted as edit work) *)
-  Array.iter (fun i -> t.e_timing.(i) <- eval_one t i) (Netlist.topo_order nl);
+  Array.iter
+    (fun i ->
+      let lt = eval_one t i in
+      Windows.set t.e_timing i ~rise:lt.Sta.rise ~fall:lt.Sta.fall)
+    (Netlist.topo_order nl);
   t
 
 let close t =
@@ -355,7 +353,7 @@ let apply t edit =
            without paying its corner searches *)
         let root_eval =
           if old = 0. then
-            Some (fun () -> Sta.shift_timing t.e_timing.(line) delta)
+            Some (fun () -> Sta.shift_timing (get t line) delta)
           else None
         in
         propagate_cone t ~root_eval ~root:line ~frame
@@ -383,7 +381,7 @@ let checkpoint t =
   { cp_depth = t.e_depth }
 
 let restore t = function
-  | P_timing (i, v) -> t.e_timing.(i) <- v
+  | P_timing (i, v) -> Windows.set t.e_timing i ~rise:v.Sta.rise ~fall:v.Sta.fall
   | P_kind (i, k) ->
     t.e_kind_ov.(i) <- k;
     refresh_cell t i
@@ -429,7 +427,7 @@ let cutoff_ratio s =
 
 let timing t i =
   check_open t "Engine.timing";
-  t.e_timing.(i)
+  get t i
 
 let po_window t =
   check_open t "Engine.po_window";
@@ -438,7 +436,7 @@ let po_window t =
   | [] -> invalid_arg "Engine.po_window: netlist has no outputs"
   | first :: rest ->
     let win_of i =
-      let lt = t.e_timing.(i) in
+      let lt = get t i in
       Interval.hull lt.Sta.rise.Types.w_arr lt.Sta.fall.Types.w_arr
     in
     List.fold_left

@@ -26,7 +26,7 @@ type t = {
   st_netlist : Netlist.t;
   st_library : Charlib.t;
   st_model : Delay_model.t;
-  st_timing : line_timing array;
+  st_timing : Windows.t;
   st_cache : Ssd_core.Eval_cache.t option;
 }
 
@@ -99,21 +99,27 @@ let shift_timing lt extra =
     in
     { rise = sh lt.rise; fall = sh lt.fall }
 
-(* The forward pass's per-node kernel, shared by [analyze_with] and the
-   incremental {!Engine}: a pure function of the fan-in entries of
-   [timing] (for a PI, of [pi_win]), so recomputing any node whose inputs
-   are bit-identical reproduces its windows bit-identically. *)
-let eval_node ?cache ~windowing ~library nl timing ~node ~pi_win ~extra i =
+(* The forward pass's per-node kernel, shared by [analyze_with], the
+   record-array oracle [analyze_ref] and the incremental {!Engine}: a
+   pure function of the fan-in entries read through [timing] (for a PI,
+   of [pi_win]), so recomputing any node whose inputs are bit-identical
+   reproduces its windows bit-identically.  [timing] abstracts the
+   storage — the packed {!Windows} store and the seed's record array
+   feed the identical float values through the identical operations. *)
+let eval_node ?cache ~windowing ~library nl timing ~pi_win ~extra i =
   let lt =
-    match node with
-    | Netlist.Pi -> { rise = pi_win; fall = pi_win }
-    | Netlist.Gate { kind; fanin } ->
-      let cell = cell_of_gate library kind (Array.length fanin) in
-      let fanin_timings =
-        Array.to_list (Array.map (fun j -> timing.(j)) fanin)
-      in
+    if Netlist.is_pi nl i then { rise = pi_win; fall = pi_win }
+    else begin
+      let kind = Netlist.gate_kind nl i in
+      let n_in = Netlist.fanin_count nl i in
+      let cell = cell_of_gate library kind n_in in
+      let fanin_timings = ref [] in
+      for p = n_in - 1 downto 0 do
+        fanin_timings := timing (Netlist.fanin_nth nl i p) :: !fanin_timings
+      done;
       let load = Netlist.load_of nl i in
-      gate_windows ?cache ~windowing ~cell ~load fanin_timings
+      gate_windows ?cache ~windowing ~cell ~load !fanin_timings
+    end
   in
   shift_timing lt extra
 
@@ -126,21 +132,19 @@ let analyze_with ?(extra_delay = fun _ -> 0.) ?(pi_override = fun _ -> None)
   let pi_win_of i =
     match pi_override i with None -> pi_win | Some spec -> pi_window spec
   in
-  let timing =
-    Array.make n { rise = pi_win; fall = pi_win }
-  in
+  let timing = Windows.create n in
+  let get j = { rise = Windows.rise timing j; fall = Windows.fall timing j } in
   let ecache =
     if cache then Some (Ssd_core.Eval_cache.create ()) else None
   in
   let c_gates = Obs.counter obs "sta.gates" in
   let eval i =
-    let node = Netlist.node nl i in
-    (match node with
-    | Netlist.Gate _ -> Obs.incr c_gates
-    | Netlist.Pi -> ());
-    timing.(i) <-
-      eval_node ?cache:ecache ~windowing ~library nl timing ~node
+    if not (Netlist.is_pi nl i) then Obs.incr c_gates;
+    let lt =
+      eval_node ?cache:ecache ~windowing ~library nl get
         ~pi_win:(pi_win_of i) ~extra:(extra_delay i) i
+    in
+    Windows.set timing i ~rise:lt.rise ~fall:lt.fall
   in
   (* gates of one topological level are independent; the per-gate window
      computation is a pure function of the fan-in windows (and the memo
@@ -154,37 +158,36 @@ let analyze_with ?(extra_delay = fun _ -> 0.) ?(pi_override = fun _ -> None)
     Array.iter eval (Netlist.topo_order nl)
   else
     Par.with_pool ~obs ~jobs (fun pool ->
-        let levels = Netlist.levels nl in
+        let nlevels = Netlist.level_count nl in
         if not (Obs.enabled obs) then
-          Array.iter
-            (fun level ->
-              Par.parallel_for pool ~n:(Array.length level) (fun k ->
-                  eval level.(k)))
-            levels
+          for l = 0 to nlevels - 1 do
+            Par.parallel_for pool ~n:(Netlist.level_width nl l) (fun k ->
+                eval (Netlist.level_node nl l k))
+          done
         else begin
           (* one caller-side span per level (named "sta.level.<l>",
              appearing exactly once per level in the trace) wrapping the
              fan-out; the lanes' own participation spans are labelled
              "L<l>" on their per-lane tracks *)
-          Obs.add (Obs.counter obs "sta.levels") (Array.length levels);
+          Obs.add (Obs.counter obs "sta.levels") nlevels;
+          let widest = ref 1 in
+          for l = 0 to nlevels - 1 do
+            widest := max !widest (Netlist.level_width nl l)
+          done;
           let h_gates =
-            Obs.histogram ~bins:16 ~lo:0.
-              ~hi:(float_of_int
-                     (Array.fold_left
-                        (fun m l -> max m (Array.length l))
-                        1 levels))
-              obs "sta.level_gates"
+            Obs.histogram ~bins:16 ~lo:0. ~hi:(float_of_int !widest) obs
+              "sta.level_gates"
           in
-          Array.iteri
-            (fun l level ->
-              let tm = Obs.timer obs (Printf.sprintf "sta.level.%d" l) in
-              Obs.observe h_gates (float_of_int (Array.length level));
-              Obs.span obs tm (fun () ->
-                  Par.parallel_for pool
-                    ~label:(Printf.sprintf "L%d" l)
-                    ~n:(Array.length level)
-                    (fun k -> eval level.(k))))
-            levels
+          for l = 0 to nlevels - 1 do
+            let width = Netlist.level_width nl l in
+            let tm = Obs.timer obs (Printf.sprintf "sta.level.%d" l) in
+            Obs.observe h_gates (float_of_int width);
+            Obs.span obs tm (fun () ->
+                Par.parallel_for pool
+                  ~label:(Printf.sprintf "L%d" l)
+                  ~n:width
+                  (fun k -> eval (Netlist.level_node nl l k)))
+          done
         end);
   Option.iter
     (fun ec ->
@@ -200,9 +203,32 @@ let analyze ?(pi_spec = default_pi_spec) ?(jobs = 1) ?(cache = false)
     ?(obs = Obs.disabled) ~library ~model nl =
   analyze_with (Run_opts.make ~jobs ~cache ~obs ~pi_spec ()) ~library ~model nl
 
+(* The seed representation, kept as the bit-identity oracle: a plain
+   sequential topological walk over a per-node record array.  Same
+   kernel, same schedule, different storage — the scale bench and the
+   property tests assert the packed path reproduces this array bit for
+   bit. *)
+let analyze_ref ?(pi_spec = default_pi_spec) ~library ~model nl =
+  let windowing = windowing_of model in
+  let n = Netlist.size nl in
+  let pi_win = pi_window pi_spec in
+  let timing = Array.make n { rise = pi_win; fall = pi_win } in
+  Array.iter
+    (fun i ->
+      timing.(i) <-
+        eval_node ~windowing ~library nl
+          (fun j -> timing.(j))
+          ~pi_win ~extra:0. i)
+    (Netlist.topo_order nl);
+  timing
+
 let netlist t = t.st_netlist
 let library t = t.st_library
-let timing t i = t.st_timing.(i)
+
+let timing t i =
+  { rise = Windows.rise t.st_timing i; fall = Windows.fall t.st_timing i }
+
+let windows t = t.st_timing
 let cache_stats t = Option.map Ssd_core.Eval_cache.stats t.st_cache
 
 let po_window t =
@@ -211,7 +237,7 @@ let po_window t =
   | [] -> invalid_arg "Sta.po_window: netlist has no outputs"
   | first :: rest ->
     let win_of i =
-      let lt = t.st_timing.(i) in
+      let lt = timing t i in
       Interval.hull lt.rise.Types.w_arr lt.fall.Types.w_arr
     in
     List.fold_left (fun acc i -> Interval.hull acc (win_of i)) (win_of first)
@@ -256,38 +282,37 @@ let compute_required t ~clock_period =
   let order = Netlist.topo_order nl in
   for k = Array.length order - 1 downto 0 do
     let i = order.(k) in
-    match Netlist.node nl i with
-    | Netlist.Pi -> ()
-    | Netlist.Gate { kind; fanin } ->
-      let cell = cell_of_gate t.st_library kind (Array.length fanin) in
+    if not (Netlist.is_pi nl i) then begin
+      let kind = Netlist.gate_kind nl i in
+      let n_in = Netlist.fanin_count nl i in
+      let cell = cell_of_gate t.st_library kind n_in in
       let load = Netlist.load_of nl i in
       let ctl_in_is_fall =
         match cell.Charlib.kind with Sweep.Nand -> true | Sweep.Nor -> false
       in
       let qi = q.(i) in
-      Array.iteri
-        (fun pos j ->
-          let in_lt = t.st_timing.(j) in
-          let propagate resp ~out_iv ~in_rise =
-            let tt_win =
-              if in_rise then in_lt.rise.Types.w_tt else in_lt.fall.Types.w_tt
-            in
-            let _, d_min = Cellfn.min_delay_over cell ~fanout:load resp ~pos tt_win in
-            let _, d_max = Cellfn.max_delay_over cell ~fanout:load resp ~pos tt_win in
-            let lo = Interval.lo out_iv -. d_min in
-            let hi = Interval.hi out_iv -. d_max in
-            let iv = if lo <= hi then Interval.make lo hi else Interval.make lo lo in
-            tighten j ~rise:in_rise iv
+      for pos = 0 to n_in - 1 do
+        let j = Netlist.fanin_nth nl i pos in
+        let in_lt = timing t j in
+        let propagate resp ~out_iv ~in_rise =
+          let tt_win =
+            if in_rise then in_lt.rise.Types.w_tt else in_lt.fall.Types.w_tt
           in
-          ignore pos;
-          ignore j;
-          (* to-controlling response *)
-          let ctl_out = if ctl_in_is_fall then qi.q_rise else qi.q_fall in
-          propagate Cellfn.Ctl ~out_iv:ctl_out ~in_rise:(not ctl_in_is_fall);
-          (* to-non-controlling response *)
-          let non_out = if ctl_in_is_fall then qi.q_fall else qi.q_rise in
-          propagate Cellfn.Non ~out_iv:non_out ~in_rise:ctl_in_is_fall)
-        fanin
+          let _, d_min = Cellfn.min_delay_over cell ~fanout:load resp ~pos tt_win in
+          let _, d_max = Cellfn.max_delay_over cell ~fanout:load resp ~pos tt_win in
+          let lo = Interval.lo out_iv -. d_min in
+          let hi = Interval.hi out_iv -. d_max in
+          let iv = if lo <= hi then Interval.make lo hi else Interval.make lo lo in
+          tighten j ~rise:in_rise iv
+        in
+        (* to-controlling response *)
+        let ctl_out = if ctl_in_is_fall then qi.q_rise else qi.q_fall in
+        propagate Cellfn.Ctl ~out_iv:ctl_out ~in_rise:(not ctl_in_is_fall);
+        (* to-non-controlling response *)
+        let non_out = if ctl_in_is_fall then qi.q_fall else qi.q_rise in
+        propagate Cellfn.Non ~out_iv:non_out ~in_rise:ctl_in_is_fall
+      done
+    end
   done;
   q
 
@@ -295,7 +320,7 @@ let violations t required =
   let nl = t.st_netlist in
   let issues = ref [] in
   for i = Netlist.size nl - 1 downto 0 do
-    let lt = t.st_timing.(i) in
+    let lt = timing t i in
     let r = required.(i) in
     let check label (w : Types.win) q =
       if Interval.hi w.Types.w_arr > Interval.hi q +. 1e-15 then

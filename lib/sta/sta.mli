@@ -63,21 +63,23 @@ val eval_node :
   windowing:Ssd_core.Delay_model.windowing ->
   library:Ssd_cell.Charlib.t ->
   Ssd_circuit.Netlist.t ->
-  line_timing array ->
-  node:Ssd_circuit.Netlist.node ->
+  (int -> line_timing) ->
   pi_win:Ssd_core.Types.win ->
   extra:float ->
   int ->
   line_timing
 (** The forward pass's per-node kernel: the windows of node [i] given the
-    already-computed fan-in entries of the timing array ([pi_win] for a
-    PI), with the line's arrival windows translated by [extra] (the
-    crosstalk-fault primitive; [0.] is the bit-exact identity).  A pure
-    function of those inputs — the contract that makes the sequential,
-    levelized-parallel and incremental ({!Engine}) schedules bit-identical.
-    Shared by {!analyze_with} and {!Engine}; reads only fan-in entries of
-    the timing array, so concurrent calls for distinct nodes of one logic
-    level are safe.  @raise Unsupported_gate *)
+    already-computed fan-in entries read through the timing getter
+    ([pi_win] for a PI), with the line's arrival windows translated by
+    [extra] (the crosstalk-fault primitive; [0.] is the bit-exact
+    identity).  A pure function of those inputs — the contract that makes
+    the sequential, levelized-parallel and incremental ({!Engine})
+    schedules bit-identical.  The getter abstracts the storage: the
+    packed {!Windows} store and {!analyze_ref}'s record array feed the
+    identical float values through the identical operations.  Shared by
+    {!analyze_with}, {!analyze_ref} and {!Engine}; reads only fan-in
+    entries, so concurrent calls for distinct nodes of one logic level
+    are safe.  @raise Unsupported_gate *)
 
 val analyze_with :
   ?extra_delay:(int -> float) ->
@@ -136,10 +138,27 @@ val analyze :
     in favour of {!analyze_with}; new call sites should build a
     {!Run_opts.t}. *)
 
+val analyze_ref :
+  ?pi_spec:pi_spec ->
+  library:Ssd_cell.Charlib.t ->
+  model:Ssd_core.Delay_model.t ->
+  Ssd_circuit.Netlist.t ->
+  line_timing array
+(** The seed representation, kept as the bit-identity oracle: a plain
+    sequential topological walk storing per-node [line_timing] records in
+    an array.  Same kernel and schedule as [analyze ~jobs:1], different
+    storage — the scale bench and the property tests assert the packed
+    {!Windows} path reproduces this array bit for bit.
+    @raise Unsupported_gate *)
+
 val netlist : t -> Ssd_circuit.Netlist.t
 val library : t -> Ssd_cell.Charlib.t
 val timing : t -> int -> line_timing
-(** Windows of any node id. *)
+(** Windows of any node id (materialized from the packed store). *)
+
+val windows : t -> Windows.t
+(** The packed per-node window store itself — allocation-free bitwise
+    comparisons via {!Windows.eq}. *)
 
 val cache_stats : t -> Ssd_core.Eval_cache.stats option
 (** Structured {!Ssd_core.Eval_cache.stats} snapshot of the memo table

@@ -9,18 +9,91 @@ type line = { v1 : bool; v2 : bool; event : Types.event option }
 let rising l = (not l.v1) && l.v2
 let falling l = l.v1 && not l.v2
 
+(* Structure-of-arrays line store: one flag byte per line (bit 0 = frame-1
+   value, bit 1 = frame-2 value, bit 2 = event present) plus two flat
+   float arrays for the event's arrival and transition time.  A 100k-line
+   result costs ~17 bytes/line in three allocations instead of a record
+   (plus an event box) per line, and the simulation inner loop reads the
+   fan-in events without chasing per-line pointers. *)
+type lines = {
+  ln_flags : Bytes.t;
+  ln_arr : float array;
+  ln_tt : float array;
+}
+
+let f_v1 = 1
+let f_v2 = 2
+let f_event = 4
+
+let create n =
+  { ln_flags = Bytes.make n '\000';
+    ln_arr = Array.make n 0.;
+    ln_tt = Array.make n 0. }
+
+let empty = create 0
+
+let length t = Bytes.length t.ln_flags
+
+let copy t =
+  { ln_flags = Bytes.copy t.ln_flags;
+    ln_arr = Array.copy t.ln_arr;
+    ln_tt = Array.copy t.ln_tt }
+
+let flags t i = Char.code (Bytes.get t.ln_flags i)
+let v1 t i = flags t i land f_v1 <> 0
+let v2 t i = flags t i land f_v2 <> 0
+let has_event t i = flags t i land f_event <> 0
+
+let rising_at t i =
+  let f = flags t i in
+  f land f_v1 = 0 && f land f_v2 <> 0
+
+let falling_at t i =
+  let f = flags t i in
+  f land f_v1 <> 0 && f land f_v2 = 0
+
+let event_arr t i = t.ln_arr.(i)
+let event_tt t i = t.ln_tt.(i)
+
+let event t i =
+  if has_event t i then Some { Types.e_arr = t.ln_arr.(i); e_tt = t.ln_tt.(i) }
+  else None
+
+let get t i = { v1 = v1 t i; v2 = v2 t i; event = event t i }
+
+let set t i ~v1 ~v2 ~event =
+  let f =
+    (if v1 then f_v1 else 0)
+    lor (if v2 then f_v2 else 0)
+    lor (match event with Some _ -> f_event | None -> 0)
+  in
+  Bytes.set t.ln_flags i (Char.chr f);
+  match event with
+  | Some e ->
+    t.ln_arr.(i) <- e.Types.e_arr;
+    t.ln_tt.(i) <- e.Types.e_tt
+  | None ->
+    t.ln_arr.(i) <- 0.;
+    t.ln_tt.(i) <- 0.
+
+let lines_bytes t =
+  (* flags payload + two float-array payloads, headers ignored *)
+  length t * (1 + 16)
+
 (* Event computation for one gate, shared by the full simulation and the
-   cone resimulation.  [get] reads the line of a fan-in id; both callers
-   perform the same floating-point operations in the same order, which is
-   what makes cone resimulation bit-identical to a full run. *)
-let gate_event ~library ~model ~pi_tt ~extra_delay nl ~get i kind fanin v1 v2 =
+   cone resimulation.  [src] is the line store the fan-in events are read
+   from; both callers perform the same floating-point operations in the
+   same order, which is what makes cone resimulation bit-identical to a
+   full run. *)
+let gate_event ~library ~model ~pi_tt ~extra_delay nl ~src i kind out1 out2 =
+  let n_in = Netlist.fanin_count nl i in
   let cell =
     (* reuse the STA cell lookup (including its unsupported-gate error
        reporting); looked up even for a static output so non-primitive
        gates are always rejected *)
-    Sta.cell_of_gate library kind (Array.length fanin)
+    Sta.cell_of_gate library kind n_in
   in
-  if v1 = v2 then None
+  if out1 = out2 then None
   else begin
     let load = Netlist.load_of nl i in
     let ctl_in_is_fall =
@@ -28,25 +101,23 @@ let gate_event ~library ~model ~pi_tt ~extra_delay nl ~get i kind fanin v1 v2 =
       | Sweep.Nand -> true
       | Sweep.Nor -> false
     in
-    let out_rises = (not v1) && v2 in
+    let out_rises = (not out1) && out2 in
     (* which input transition direction caused this response *)
     let causal_is_ctl = out_rises = ctl_in_is_fall in
-    let wanted l =
+    let wanted j =
       if causal_is_ctl then
-        if ctl_in_is_fall then falling l else rising l
-      else if ctl_in_is_fall then rising l
-      else falling l
+        if ctl_in_is_fall then falling_at src j else rising_at src j
+      else if ctl_in_is_fall then rising_at src j
+      else falling_at src j
     in
     let transitions =
       let acc = ref [] in
-      for pos = Array.length fanin - 1 downto 0 do
-        let l = get fanin.(pos) in
-        match l.event with
-        | Some e when wanted l ->
+      for pos = n_in - 1 downto 0 do
+        let j = Netlist.fanin_nth nl i pos in
+        if has_event src j && wanted j then
           acc :=
-            { Types.pos; arrival = e.Types.e_arr; t_tr = e.Types.e_tt }
+            { Types.pos; arrival = event_arr src j; t_tr = event_tt src j }
             :: !acc
-        | Some _ | None -> ()
       done;
       !acc
     in
@@ -55,15 +126,12 @@ let gate_event ~library ~model ~pi_tt ~extra_delay nl ~get i kind fanin v1 v2 =
       (* a static output change without a causal input event can only
          arise from a hazard we do not model; treat as instantaneous
          inheritance of the latest input event *)
-      let latest =
-        Array.fold_left
-          (fun acc j ->
-            match (get j).event with
-            | Some e -> Float.max acc e.Types.e_arr
-            | None -> acc)
-          0. fanin
-      in
-      Some { Types.e_arr = latest +. extra_delay i; e_tt = pi_tt }
+      let latest = ref 0. in
+      for pos = 0 to n_in - 1 do
+        let j = Netlist.fanin_nth nl i pos in
+        if has_event src j then latest := Float.max !latest (event_arr src j)
+      done;
+      Some { Types.e_arr = !latest +. extra_delay i; e_tt = pi_tt }
     | _ ->
       let e =
         if causal_is_ctl then
@@ -79,12 +147,12 @@ let simulate ?(pi_arrival = 0.) ?(pi_tt = 0.25e-9) ?(extra_delay = fun _ -> 0.)
   if Array.length vectors <> List.length pis then
     invalid_arg "Timing_sim.simulate: PI vector arity mismatch";
   let n = Netlist.size nl in
-  let lines = Array.make n { v1 = false; v2 = false; event = None } in
+  let out = create n in
   List.iteri
     (fun rank i ->
-      let v1, v2 = vectors.(rank) in
+      let a1, a2 = vectors.(rank) in
       let event =
-        if v1 <> v2 then
+        if a1 <> a2 then
           Some
             {
               Types.e_arr = pi_arrival +. extra_delay i;
@@ -92,56 +160,73 @@ let simulate ?(pi_arrival = 0.) ?(pi_tt = 0.25e-9) ?(extra_delay = fun _ -> 0.)
             }
         else None
       in
-      lines.(i) <- { v1; v2; event })
+      set out i ~v1:a1 ~v2:a2 ~event)
     pis;
-  let get j = lines.(j) in
-  Netlist.iter_gates_topo nl ~f:(fun i kind fanin ->
-      let n_in = Array.length fanin in
-      let v1 = Ssd_circuit.Gate.eval_fanin kind (fun p -> lines.(fanin.(p)).v1) n_in in
-      let v2 = Ssd_circuit.Gate.eval_fanin kind (fun p -> lines.(fanin.(p)).v2) n_in in
-      let event =
-        gate_event ~library ~model ~pi_tt ~extra_delay nl ~get i kind fanin v1 v2
-      in
-      lines.(i) <- { v1; v2; event });
-  lines
+  Array.iter
+    (fun i ->
+      if not (Netlist.is_pi nl i) then begin
+        let kind = Netlist.gate_kind nl i in
+        let n_in = Netlist.fanin_count nl i in
+        let a1 =
+          Ssd_circuit.Gate.eval_fanin kind
+            (fun p -> v1 out (Netlist.fanin_nth nl i p))
+            n_in
+        in
+        let a2 =
+          Ssd_circuit.Gate.eval_fanin kind
+            (fun p -> v2 out (Netlist.fanin_nth nl i p))
+            n_in
+        in
+        let event =
+          gate_event ~library ~model ~pi_tt ~extra_delay nl ~src:out i kind a1
+            a2
+        in
+        set out i ~v1:a1 ~v2:a2 ~event
+      end)
+    (Netlist.topo_order nl);
+  out
 
 let resimulate_cone ?(pi_arrival = 0.) ?(pi_tt = 0.25e-9) ~library ~model nl
     ~base ~cone ~extra_delay =
-  if Array.length base <> Netlist.size nl then
-    invalid_arg "Timing_sim.resimulate_cone: line array size mismatch";
-  (* copy-on-write scratch: every line outside the cone — in particular
-     any primary output the fault cannot reach — keeps the fault-free
-     record; only cone lines are re-evaluated, in topological order *)
-  let out = Array.copy base in
+  if length base <> Netlist.size nl then
+    invalid_arg "Timing_sim.resimulate_cone: line store size mismatch";
+  (* scratch initialized from the fault-free run: every line outside the
+     cone — in particular any primary output the fault cannot reach —
+     keeps the fault-free value verbatim; only cone lines are
+     re-evaluated, in topological order.  Logic frames cannot change (an
+     extra delay shifts events, not values), so only the event slots of
+     cone lines are rewritten. *)
+  let out = copy base in
   Array.iter
     (fun i ->
-      match Netlist.node nl i with
-      | Netlist.Pi ->
-        let l = base.(i) in
+      if Netlist.is_pi nl i then begin
+        let a1 = v1 base i and a2 = v2 base i in
         let event =
-          if l.v1 <> l.v2 then
+          if a1 <> a2 then
             Some { Types.e_arr = pi_arrival +. extra_delay i; e_tt = pi_tt }
           else None
         in
-        out.(i) <- { l with event }
-      | Netlist.Gate { kind; fanin } ->
-        let l = base.(i) in
+        set out i ~v1:a1 ~v2:a2 ~event
+      end
+      else begin
+        let kind = Netlist.gate_kind nl i in
+        let a1 = v1 base i and a2 = v2 base i in
         let event =
-          gate_event ~library ~model ~pi_tt ~extra_delay nl
-            ~get:(fun j -> out.(j))
-            i kind fanin l.v1 l.v2
+          gate_event ~library ~model ~pi_tt ~extra_delay nl ~src:out i kind a1
+            a2
         in
-        out.(i) <- { l with event })
+        set out i ~v1:a1 ~v2:a2 ~event
+      end)
     cone.Netlist.cone_nodes;
   out
 
 let po_latest nl lines =
   List.fold_left
     (fun acc i ->
-      match lines.(i).event with
-      | Some e -> (
+      if has_event lines i then
+        let a = event_arr lines i in
         match acc with
-        | Some best -> Some (Float.max best e.Types.e_arr)
-        | None -> Some e.Types.e_arr)
-      | None -> acc)
+        | Some best -> Some (Float.max best a)
+        | None -> Some a
+      else acc)
     None (Netlist.outputs nl)

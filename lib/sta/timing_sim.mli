@@ -8,6 +8,14 @@
     Hazards (multiple events per line) are not modelled, matching the
     paper's timing-simulation framework.
 
+    Results are stored structure-of-arrays ({!lines}): one flag byte per
+    line plus two flat float arrays for the event slots — ~17 bytes/line
+    in three allocations instead of a record (and an event box) per line,
+    which is what keeps fault simulation over 100k–1M-line circuits off
+    the allocator.  {!get} materializes the per-line {!line} record view
+    on demand; hot loops should use the flat accessors ({!v1}, {!v2},
+    {!has_event}, {!event_arr}, ...).
+
     [extra_delay] injects additional delay on chosen lines (the crosstalk
     ATPG's fault effect); it is applied to the line's own event and hence
     propagates downstream. *)
@@ -17,6 +25,39 @@ type line = {
   v2 : bool;
   event : Ssd_core.Types.event option;  (** present iff v1 <> v2 *)
 }
+(** Materialized view of one line (see {!get}). *)
+
+type lines
+(** Packed per-line simulation result over all node ids of one netlist. *)
+
+val length : lines -> int
+val empty : lines
+(** Zero-length placeholder (for slots filled in later). *)
+
+(** {2 Flat accessors} — allocation-free reads by node id. *)
+
+val v1 : lines -> int -> bool
+val v2 : lines -> int -> bool
+val has_event : lines -> int -> bool
+
+val event_arr : lines -> int -> float
+(** Event arrival; meaningful only when {!has_event}. *)
+
+val event_tt : lines -> int -> float
+(** Event transition time; meaningful only when {!has_event}. *)
+
+val rising_at : lines -> int -> bool
+val falling_at : lines -> int -> bool
+
+val event : lines -> int -> Ssd_core.Types.event option
+val get : lines -> int -> line
+(** Materialize one line's record view. *)
+
+val lines_bytes : lines -> int
+(** Approximate payload footprint in bytes (~17 per line). *)
+
+val rising : line -> bool
+val falling : line -> bool
 
 val simulate :
   ?pi_arrival:float ->
@@ -26,7 +67,7 @@ val simulate :
   model:Ssd_core.Delay_model.t ->
   Ssd_circuit.Netlist.t ->
   (bool * bool) array ->
-  line array
+  lines
 (** The vector pair is indexed by PI rank ({!Ssd_circuit.Netlist.inputs}
     order).  @raise Sta.Unsupported_gate on non-primitive gates. *)
 
@@ -36,24 +77,21 @@ val resimulate_cone :
   library:Ssd_cell.Charlib.t ->
   model:Ssd_core.Delay_model.t ->
   Ssd_circuit.Netlist.t ->
-  base:line array ->
+  base:lines ->
   cone:Ssd_circuit.Netlist.cone ->
   extra_delay:(int -> float) ->
-  line array
+  lines
 (** Incremental re-simulation: [base] is a fault-free {!simulate} result
     and [cone] the {!Ssd_circuit.Netlist.fanout_cone} of the line whose
     delay [extra_delay] perturbs.  Only lines inside the cone are
     re-evaluated (logic frames cannot change — an extra delay shifts
-    events, not values), written copy-on-write into a fresh scratch
-    array; every line outside the cone aliases the fault-free record, so
-    [base] is never mutated and unreachable primary outputs cost
-    nothing.  With the same [pi_arrival]/[pi_tt] the result is
-    bit-identical to [simulate ~extra_delay] on the same vector pair
-    (property-tested in [test/test_sta.ml]).  [extra_delay] must be zero
-    outside the cone for that equivalence to hold. *)
+    events, not values); every line outside the cone — in particular any
+    primary output the fault cannot reach — keeps the fault-free value,
+    copied into a fresh scratch store, so [base] is never mutated.  With
+    the same [pi_arrival]/[pi_tt] the result is bit-identical to
+    [simulate ~extra_delay] on the same vector pair (property-tested in
+    [test/test_sta.ml]).  [extra_delay] must be zero outside the cone for
+    that equivalence to hold. *)
 
-val po_latest : Ssd_circuit.Netlist.t -> line array -> float option
+val po_latest : Ssd_circuit.Netlist.t -> lines -> float option
 (** Latest PO event arrival, [None] when no PO switches. *)
-
-val rising : line -> bool
-val falling : line -> bool

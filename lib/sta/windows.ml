@@ -1,0 +1,86 @@
+module Interval = Ssd_util.Interval
+module Types = Ssd_core.Types
+
+(* Eight float64 slots per node, in one contiguous off-heap Bigarray:
+
+     0 rise arrival lo   1 rise arrival hi
+     2 rise tt lo        3 rise tt hi
+     4 fall arrival lo   5 fall arrival hi
+     6 fall tt lo        7 fall tt hi
+
+   Float load/store through the Bigarray is bit-preserving, so packing
+   and re-materializing a window round-trips every IEEE-754 payload
+   (negative zeros, subnormals) exactly — the property the SoA/seed
+   bit-identity contract rests on. *)
+
+type t = {
+  data : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  n : int;
+}
+
+let slots = 8
+
+let create n =
+  if n < 0 then invalid_arg "Windows.create: negative size";
+  { data = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (n * slots);
+    n }
+
+let length t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then
+    invalid_arg
+      (Printf.sprintf "Windows: node id %d out of range [0, %d)" i t.n)
+
+let set t i ~(rise : Types.win) ~(fall : Types.win) =
+  check t i;
+  let b = i * slots in
+  let d = t.data in
+  Bigarray.Array1.unsafe_set d b (Interval.lo rise.Types.w_arr);
+  Bigarray.Array1.unsafe_set d (b + 1) (Interval.hi rise.Types.w_arr);
+  Bigarray.Array1.unsafe_set d (b + 2) (Interval.lo rise.Types.w_tt);
+  Bigarray.Array1.unsafe_set d (b + 3) (Interval.hi rise.Types.w_tt);
+  Bigarray.Array1.unsafe_set d (b + 4) (Interval.lo fall.Types.w_arr);
+  Bigarray.Array1.unsafe_set d (b + 5) (Interval.hi fall.Types.w_arr);
+  Bigarray.Array1.unsafe_set d (b + 6) (Interval.lo fall.Types.w_tt);
+  Bigarray.Array1.unsafe_set d (b + 7) (Interval.hi fall.Types.w_tt)
+
+let win t b =
+  let d = t.data in
+  {
+    Types.w_arr =
+      Interval.make
+        (Bigarray.Array1.unsafe_get d b)
+        (Bigarray.Array1.unsafe_get d (b + 1));
+    w_tt =
+      Interval.make
+        (Bigarray.Array1.unsafe_get d (b + 2))
+        (Bigarray.Array1.unsafe_get d (b + 3));
+  }
+
+let rise t i =
+  check t i;
+  win t (i * slots)
+
+let fall t i =
+  check t i;
+  win t ((i * slots) + 4)
+
+let beq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+(* bitwise equality of the stored slots against a candidate, without
+   materializing the stored window *)
+let eq t i ~(rise : Types.win) ~(fall : Types.win) =
+  check t i;
+  let b = i * slots in
+  let d = t.data in
+  beq (Bigarray.Array1.unsafe_get d b) (Interval.lo rise.Types.w_arr)
+  && beq (Bigarray.Array1.unsafe_get d (b + 1)) (Interval.hi rise.Types.w_arr)
+  && beq (Bigarray.Array1.unsafe_get d (b + 2)) (Interval.lo rise.Types.w_tt)
+  && beq (Bigarray.Array1.unsafe_get d (b + 3)) (Interval.hi rise.Types.w_tt)
+  && beq (Bigarray.Array1.unsafe_get d (b + 4)) (Interval.lo fall.Types.w_arr)
+  && beq (Bigarray.Array1.unsafe_get d (b + 5)) (Interval.hi fall.Types.w_arr)
+  && beq (Bigarray.Array1.unsafe_get d (b + 6)) (Interval.lo fall.Types.w_tt)
+  && beq (Bigarray.Array1.unsafe_get d (b + 7)) (Interval.hi fall.Types.w_tt)
+
+let bytes t = t.n * slots * 8

@@ -1,0 +1,40 @@
+(** Packed per-node rise/fall timing windows.
+
+    One contiguous float64 Bigarray holds eight slots per node (rise and
+    fall, arrival and transition-time, lo and hi bounds) instead of a
+    per-node tree of records — 64 bytes per node, off the OCaml heap
+    (neither scanned nor moved by the GC), walked sequentially by the
+    levelized STA forward pass and the incremental engine.
+
+    Loads and stores are bit-preserving, so a window materialized by
+    {!rise}/{!fall} is bit-identical to the one {!set} packed — the
+    invariant that keeps the packed path bit-identical to the
+    record-array seed representation ({!Sta.analyze_ref}).
+
+    Concurrent {!set} on distinct node ids from several domains is safe
+    (disjoint plain float writes, no OCaml-heap mutation); the level
+    barrier of the parallel schedule orders writers before readers. *)
+
+type t
+
+val create : int -> t
+(** [create n] allocates windows for [n] nodes, uninitialized — write
+    every node before reading it. *)
+
+val length : t -> int
+
+val set : t -> int -> rise:Ssd_core.Types.win -> fall:Ssd_core.Types.win -> unit
+(** @raise Invalid_argument on an out-of-range node id. *)
+
+val rise : t -> int -> Ssd_core.Types.win
+val fall : t -> int -> Ssd_core.Types.win
+(** Materialize one transition's window.
+    @raise Invalid_argument on an out-of-range node id. *)
+
+val eq : t -> int -> rise:Ssd_core.Types.win -> fall:Ssd_core.Types.win -> bool
+(** Bitwise ([Int64.bits_of_float]) comparison of the stored slots
+    against a candidate, without materializing the stored window — the
+    incremental engine's cutoff test. *)
+
+val bytes : t -> int
+(** Payload footprint in bytes: [64 * length]. *)

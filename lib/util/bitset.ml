@@ -1,0 +1,37 @@
+type t = { bits : Bytes.t; len : int }
+
+let create len =
+  if len < 0 then invalid_arg "Bitset.create: negative length";
+  { bits = Bytes.make ((len + 7) / 8) '\000'; len }
+
+let length t = t.len
+
+let check t i =
+  if i < 0 || i >= t.len then
+    invalid_arg (Printf.sprintf "Bitset: index %d out of range [0, %d)" i t.len)
+
+let set t i =
+  check t i;
+  let b = i lsr 3 in
+  Bytes.unsafe_set t.bits b
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.bits b) lor (1 lsl (i land 7))))
+
+let get t i =
+  check t i;
+  Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let mem = get
+
+let cardinal t =
+  let c = ref 0 in
+  for b = 0 to Bytes.length t.bits - 1 do
+    let v = ref (Char.code (Bytes.unsafe_get t.bits b)) in
+    while !v <> 0 do
+      v := !v land (!v - 1);
+      incr c
+    done
+  done;
+  !c
+
+(* heap footprint of the payload: one byte per 8 entries, rounded up *)
+let bytes t = Bytes.length t.bits

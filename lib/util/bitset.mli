@@ -1,0 +1,29 @@
+(** Packed bitset: one bit per entry, backed by [Bytes].
+
+    Replaces [bool array] membership flags where the set is cached and
+    long-lived — at one million entries a [bool array] costs 1 MB where
+    the bitset costs 128 kB.  Not thread-safe for concurrent writes;
+    build the set single-threaded, then share it read-only (reads are
+    plain byte loads). *)
+
+type t
+
+val create : int -> t
+(** [create len] is the empty set over [0 .. len-1]. *)
+
+val length : t -> int
+
+val set : t -> int -> unit
+(** @raise Invalid_argument on an out-of-range index. *)
+
+val get : t -> int -> bool
+(** @raise Invalid_argument on an out-of-range index. *)
+
+val mem : t -> int -> bool
+(** Alias of {!get}. *)
+
+val cardinal : t -> int
+(** Number of set bits. *)
+
+val bytes : t -> int
+(** Heap footprint of the bit payload in bytes: [ceil (length / 8)]. *)

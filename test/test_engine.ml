@@ -158,16 +158,15 @@ let prop_faulty_tsim_within_faulty_windows =
         TS.simulate ~extra_delay ~pi_arrival:0. ~pi_tt:0.25e-9
           ~library:(Lazy.force lib) ~model:DM.proposed nl vec
       in
-      Array.for_all2
-        (fun l i ->
-          match l.TS.event with
+      Array.for_all
+        (fun i ->
+          match TS.event lines i with
           | None -> true
           | Some e ->
             let lt = Sta.timing sta i in
-            let w = if not l.TS.v1 then lt.Sta.rise else lt.Sta.fall in
+            let w = if not (TS.v1 lines i) then lt.Sta.rise else lt.Sta.fall in
             Interval.contains w.Types.w_arr e.Types.e_arr
             && Interval.contains w.Types.w_tt e.Types.e_tt)
-        lines
         (Array.init (Ck.Netlist.size nl) Fun.id))
 
 let expect_invalid name f =

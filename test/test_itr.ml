@@ -232,20 +232,19 @@ let prop_itr_windows_sound =
         Itr.create ~pi_spec ~library:(Lazy.force lib) ~model:DM.proposed nl
       in
       let sound () =
-        Array.for_all2
-          (fun l i ->
-            match l.TS.event with
+        Array.for_all
+          (fun i ->
+            match TS.event lines i with
             | None -> true
             | Some e ->
               let w =
-                if not l.TS.v1 then Itr.rise_window itr i
+                if not (TS.v1 lines i) then Itr.rise_window itr i
                 else Itr.fall_window itr i
               in
               (match w with
               | None -> false
               | Some w ->
                 Interval.contains w.Types.w_arr e.Types.e_arr))
-          lines
           (Array.init (Ck.Netlist.size nl) Fun.id)
       in
       let ok = ref (sound ()) in

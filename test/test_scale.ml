@@ -1,0 +1,187 @@
+(* Scale-substrate properties: the packed structure-of-arrays STA path
+   against the seed record-array oracle at >= 10k gates, determinism of
+   the parallel schedule, and the generator's structural invariants
+   (exact PO count, honored fan-in cap — including caps beyond 4 — and
+   acyclicity, which Netlist.build enforces). *)
+
+module Ck = Ssd_circuit
+module Sta = Ssd_sta.Sta
+module Windows = Ssd_sta.Windows
+module DM = Ssd_core.Delay_model
+module Types = Ssd_core.Types
+module Charlib = Ssd_cell.Charlib
+module Interval = Ssd_util.Interval
+
+let lib = lazy (Charlib.default ~profile:Charlib.coarse ())
+
+let beq x y = Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+
+let win_beq (a : Types.win) (b : Types.win) =
+  beq (Interval.lo a.Types.w_arr) (Interval.lo b.Types.w_arr)
+  && beq (Interval.hi a.Types.w_arr) (Interval.hi b.Types.w_arr)
+  && beq (Interval.lo a.Types.w_tt) (Interval.lo b.Types.w_tt)
+  && beq (Interval.hi a.Types.w_tt) (Interval.hi b.Types.w_tt)
+
+let lt_beq (a : Sta.line_timing) (b : Sta.line_timing) =
+  win_beq a.Sta.rise b.Sta.rise && win_beq a.Sta.fall b.Sta.fall
+
+(* a >= 10k-gate primitive circuit per seed; layered so the level widths
+   stay wide enough to exercise the level CSR and the parallel schedule *)
+let big_prim seed =
+  Ck.Decompose.to_primitive
+    (Ck.Generator.generate
+       {
+         Ck.Generator.default_params with
+         Ck.Generator.g_name = Printf.sprintf "scale%d" seed;
+         n_inputs = 64;
+         n_outputs = 32;
+         n_gates = 10_000;
+         locality = 256;
+         seed = Int64.of_int (seed + 101);
+         shape = Ck.Generator.Layered { layers = 40 };
+       })
+
+let prop_soa_matches_ref =
+  QCheck.Test.make ~name:"packed STA bit-identical to record-array oracle"
+    ~count:3
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let nl = big_prim seed in
+      let lib = Lazy.force lib in
+      let oracle = Sta.analyze_ref ~library:lib ~model:DM.proposed nl in
+      let t = Sta.analyze ~library:lib ~model:DM.proposed nl in
+      let w = Sta.windows t in
+      let ok = ref true in
+      for i = 0 to Ck.Netlist.size nl - 1 do
+        (* both through the materializing accessor and the packed
+           bitwise comparison *)
+        if not (lt_beq oracle.(i) (Sta.timing t i)) then ok := false;
+        if not (Windows.eq w i ~rise:oracle.(i).Sta.rise ~fall:oracle.(i).Sta.fall)
+        then ok := false
+      done;
+      !ok)
+
+let prop_jobs_deterministic =
+  QCheck.Test.make ~name:"analyze bit-identical across jobs 1/4/8" ~count:2
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let nl = big_prim seed in
+      let lib = Lazy.force lib in
+      let base = Sta.analyze ~jobs:1 ~library:lib ~model:DM.proposed nl in
+      List.for_all
+        (fun jobs ->
+          let t = Sta.analyze ~jobs ~library:lib ~model:DM.proposed nl in
+          let ok = ref true in
+          for i = 0 to Ck.Netlist.size nl - 1 do
+            if not (lt_beq (Sta.timing base i) (Sta.timing t i)) then
+              ok := false
+          done;
+          !ok)
+        [ 4; 8 ])
+
+let gen_invariants ~shape ~max_fanin seed =
+  let p =
+    {
+      Ck.Generator.default_params with
+      Ck.Generator.g_name = "inv";
+      n_inputs = 32;
+      n_outputs = 17;
+      n_gates = 2_000;
+      max_fanin;
+      seed = Int64.of_int (seed + 7);
+      shape;
+    }
+  in
+  (* Netlist.build validates acyclicity, so generate succeeding is the
+     acyclicity check *)
+  let nl = Ck.Generator.generate p in
+  let po_count_ok =
+    List.length (Ck.Netlist.outputs nl) = p.Ck.Generator.n_outputs
+  in
+  let fanin_ok = ref true in
+  let wide_seen = ref 0 in
+  for i = 0 to Ck.Netlist.size nl - 1 do
+    if not (Ck.Netlist.is_pi nl i) then begin
+      let a = Ck.Netlist.fanin_count nl i in
+      if a < 1 || a > max_fanin then fanin_ok := false;
+      if a > 4 then incr wide_seen
+    end
+  done;
+  (* with a cap beyond 4, the wide tail must actually be used *)
+  let wide_ok = max_fanin <= 4 || !wide_seen > 0 in
+  po_count_ok && !fanin_ok && wide_ok
+
+let prop_generator_invariants =
+  QCheck.Test.make
+    ~name:"generator: exact PO count, fan-in cap honored, acyclic" ~count:6
+    QCheck.(pair (int_range 0 1000) (int_range 2 8))
+    (fun (seed, max_fanin) ->
+      gen_invariants ~shape:Ck.Generator.Organic ~max_fanin seed
+      && gen_invariants
+           ~shape:(Ck.Generator.Layered { layers = 25 })
+           ~max_fanin seed)
+
+let test_layered_levels () =
+  (* the layered shape pins depth = layers and non-trivial level widths *)
+  let layers = 40 in
+  let nl =
+    Ck.Generator.generate
+      {
+        Ck.Generator.default_params with
+        Ck.Generator.g_name = "layered";
+        n_inputs = 64;
+        n_outputs = 32;
+        n_gates = 4_000;
+        seed = 5L;
+        shape = Ck.Generator.Layered { layers };
+      }
+  in
+  Alcotest.(check int) "depth = layers" layers (Ck.Netlist.depth nl);
+  for l = 1 to Ck.Netlist.level_count nl - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "level %d populated" l)
+      true
+      (Ck.Netlist.level_width nl l > 0)
+  done
+
+let test_cone_bitset_footprint () =
+  (* a cached cone stores membership as one bit per node: size/8 bytes
+     (+ constant header), not the seed's one byte per node *)
+  let nl = big_prim 0 in
+  let n = Ck.Netlist.size nl in
+  let before = Ck.Netlist.cone_cache_bytes nl in
+  Alcotest.(check int) "no cones cached yet" 0 before;
+  let root = List.hd (Ck.Netlist.inputs nl) in
+  let cone = Ck.Netlist.fanout_cone nl root in
+  let per_cone = Ck.Netlist.cone_cache_bytes nl in
+  let member_budget = (n / 8) + 64 in
+  let nodes_bytes = 8 * Array.length cone.Ck.Netlist.cone_nodes in
+  Alcotest.(check bool)
+    (Printf.sprintf "cone footprint %d <= bitset budget %d" per_cone
+       (member_budget + nodes_bytes + 64))
+    true
+    (per_cone <= member_budget + nodes_bytes + 64);
+  (* and membership agrees with the node list *)
+  let listed = Hashtbl.create 64 in
+  Array.iter (fun j -> Hashtbl.replace listed j ()) cone.Ck.Netlist.cone_nodes;
+  for j = 0 to n - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "membership bit %d" j)
+      (Hashtbl.mem listed j)
+      (Ck.Netlist.in_cone cone j)
+  done
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let suites =
+  [
+    ( "scale.substrate",
+      [
+        Alcotest.test_case "layered levels" `Slow test_layered_levels;
+        Alcotest.test_case "cone bitset footprint" `Slow
+          test_cone_bitset_footprint;
+      ] );
+    qsuite "scale.props"
+      [ prop_soa_matches_ref; prop_jobs_deterministic;
+        prop_generator_invariants ];
+  ]

@@ -10,6 +10,11 @@ cd "$(dirname "$0")/.."
 dune build
 dune runtest
 
+# Downsized scale run: the 100k-gate experiment shrunk to a few thousand
+# gates — still asserts SoA/seed bit-identity across jobs and the cone
+# footprint, and reports gates/sec + bytes/gate.
+SSD_FAST=1 SSD_SCALE_GATES=5000 dune exec bench/main.exe -- scale
+
 if command -v odoc >/dev/null 2>&1; then
   dune build @doc @doc-private
 else
