@@ -217,6 +217,34 @@ let () =
       cone_budget;
     exit 1
   end;
+  (* corners loop, downsized: every plane of one batched K-corner sweep
+     must equal an independent scalar analysis over that corner's
+     derated library, bit for bit, sequentially and in parallel (K=3
+     exercises a partial chunk of the corner-chunked parallel path) *)
+  let module CS = Ssd_sta.Corner_sta in
+  let module Corners = Ssd_cell.Corners in
+  let ck = 3 in
+  let table = Corners.build ~specs:(Corners.default_specs ck) lib in
+  List.iter
+    (fun jobs ->
+      let batched =
+        CS.analyze ~opts:(Ssd_sta.Run_opts.make ~jobs ()) ~table scale_nl
+      in
+      for c = 0 to ck - 1 do
+        let scalar =
+          Sta.analyze_with
+            (Ssd_sta.Run_opts.make ())
+            ~library:(Corners.library table c) ~model:DM.proposed scale_nl
+        in
+        if not (CS.plane_matches batched ~corner:c scalar) then begin
+          Printf.eprintf
+            "bench smoke: corners jobs=%d plane %d differs from its scalar \
+             analysis\n"
+            jobs c;
+          exit 1
+        end
+      done)
+    [ 1; 4 ];
   (* telemetry loop: run one instrumented --stats/--trace style pass,
      write the Chrome trace, parse it back, and check the span tree
      covers every STA level exactly once (one "sta.level.<l>" complete

@@ -6,6 +6,8 @@
      ssd eco FILE.bench SCRIPT [--model NAME] [--check]
      ssd gen --gates N [--inputs N] [--outputs N] [--seed N] -o FILE.bench
      ssd delay --skew PS [--tx NS] [--ty NS]  # query all models on a NAND2
+     ssd corners FILE.bench [--corners K] [--check]
+     ssd mc FILE.bench [--samples N] [--seed N]
 
    The worker subcommands (sta, atpg, gen, eco) share one common option
    block — --jobs / --stats / --trace with identical semantics — parsed
@@ -14,12 +16,14 @@
 module S = Ssd_spice
 module Charlib = Ssd_cell.Charlib
 module Sweep = Ssd_cell.Sweep
+module Corners = Ssd_cell.Corners
 module Fit = Ssd_cell.Fit
 module DM = Ssd_core.Delay_model
 module Types = Ssd_core.Types
 module Ck = Ssd_circuit
 module Sta = Ssd_sta.Sta
 module Engine = Ssd_sta.Engine
+module Corner_sta = Ssd_sta.Corner_sta
 module Run_opts = Ssd_sta.Run_opts
 module A = Ssd_atpg
 module Interval = Ssd_util.Interval
@@ -537,6 +541,110 @@ let gen_cmd =
     Term.(const run $ common_t $ gates_t $ inputs_t $ outputs_t $ seed_t
           $ out_t)
 
+(* ---- corners ---- *)
+
+let corners_cmd =
+  let k_t =
+    Arg.(value & opt int 4 & info [ "corners" ] ~docv:"K"
+           ~doc:"Number of process corners to spread across the derating \
+                 range (delay ±25%, transition ∓10%).")
+  in
+  let check_t =
+    Arg.(value & flag & info [ "check" ]
+         ~doc:"Re-run every corner as an independent single-corner analysis \
+               over its derated library and verify the batched plane is \
+               bit-identical (exit 1 on the first mismatch).")
+  in
+  let run common fine file k check =
+    let obs = setup_common common in
+    if k < 2 then begin
+      Printf.eprintf "ssd: --corners must be at least 2\n";
+      exit 2
+    end;
+    let lib = library_of fine in
+    let nl = Ck.Decompose.to_primitive (load_netlist file) in
+    let table = Corners.build ~specs:(Corners.default_specs k) lib in
+    let opts = Run_opts.make ~jobs:common.co_jobs ~obs ~corners:k () in
+    let t = Corner_sta.analyze ~opts ~table nl in
+    print_endline (Corner_sta.summary t);
+    if check then begin
+      for c = 0 to k - 1 do
+        let scalar =
+          Sta.analyze_with (Run_opts.make ())
+            ~library:(Corners.library table c) ~model:DM.proposed nl
+        in
+        if not (Corner_sta.plane_matches t ~corner:c scalar) then begin
+          Printf.eprintf
+            "ssd: corner %d plane differs from its scalar analysis\n" c;
+          exit 1
+        end
+      done;
+      Printf.printf
+        "check: %d corner plane(s) bit-identical to independent analyses\n" k
+    end;
+    finish_common common obs;
+    0
+  in
+  Cmd.v
+    (Cmd.info "corners"
+       ~doc:"Batched multi-corner timing analysis (one sweep, K planes)")
+    Term.(const run $ common_t $ fine_t $ bench_file_t $ k_t $ check_t)
+
+(* ---- mc ---- *)
+
+let mc_cmd =
+  let samples_t =
+    Arg.(value & opt int 64 & info [ "samples" ] ~docv:"N"
+           ~doc:"Number of Monte-Carlo corner samples.")
+  in
+  let seed_t =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"Sampling seed.")
+  in
+  let run common fine file samples seed =
+    let obs = setup_common common in
+    if samples < 1 then begin
+      Printf.eprintf "ssd: --samples must be at least 1\n";
+      exit 2
+    end;
+    let lib = library_of fine in
+    let nl = Ck.Decompose.to_primitive (load_netlist file) in
+    (* the eval cache pays off here: every sample revisits the same
+       cells through the resident engine session *)
+    let opts = run_opts_of ~cache:true common obs in
+    let res =
+      Corner_sta.monte_carlo ~opts ~samples ~seed:(Int64.of_int seed)
+        ~library:lib nl
+    in
+    let qs = [ 0.; 0.05; 0.5; 0.95; 1. ] in
+    Printf.printf "%s: %d Monte-Carlo corner samples (seed %d)\n"
+      (Ck.Netlist.stats nl) samples seed;
+    let table =
+      Texttab.create
+        ~header:[ "PO"; "min (ns)"; "q5"; "median"; "q95"; "max (ns)" ]
+    in
+    let per_po = Corner_sta.mc_po_quantiles res qs in
+    Array.iteri
+      (fun pi po ->
+        Texttab.add_row table
+          (Ck.Netlist.signal_name nl po
+          :: List.map
+               (fun (_, v) -> Printf.sprintf "%.3f" (v *. 1e9))
+               per_po.(pi)))
+      res.Corner_sta.mc_pos;
+    Texttab.print table;
+    print_string "circuit max delay: ";
+    List.iter
+      (fun (q, v) -> Printf.printf " q%02.0f %.3f ns" (q *. 100.) (v *. 1e9))
+      (Corner_sta.mc_max_quantiles res qs);
+    print_newline ();
+    finish_common common obs;
+    0
+  in
+  Cmd.v
+    (Cmd.info "mc"
+       ~doc:"Monte-Carlo corner sampling over a resident re-timing session")
+    Term.(const run $ common_t $ fine_t $ bench_file_t $ samples_t $ seed_t)
+
 (* ---- delay ---- *)
 
 let delay_cmd =
@@ -585,4 +693,5 @@ let () =
   let doc = "simultaneous-switching gate delay model toolkit (DAC 2001 repro)" in
   let info = Cmd.info "ssd" ~version:"1.0.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
-                     [ characterize_cmd; sta_cmd; atpg_cmd; eco_cmd; gen_cmd; delay_cmd ]))
+                     [ characterize_cmd; sta_cmd; atpg_cmd; eco_cmd; gen_cmd; delay_cmd;
+                       corners_cmd; mc_cmd ]))

@@ -78,6 +78,24 @@ let nabavi =
     windowing = None;
   }
 
+let remap_cells ?name f m =
+  {
+    name = (match name with Some n -> n | None -> m.name);
+    single_delay = (fun cell -> m.single_delay (f cell));
+    pair_delay = (fun cell -> m.pair_delay (f cell));
+    pair_out_tt = (fun cell -> m.pair_out_tt (f cell));
+    ctl_event = (fun cell -> m.ctl_event (f cell));
+    non_event = (fun cell -> m.non_event (f cell));
+    windowing =
+      Option.map
+        (fun w ->
+          {
+            ctl_window = (fun ?cache cell -> w.ctl_window ?cache (f cell));
+            non_window = (fun ?cache cell -> w.non_window ?cache (f cell));
+          })
+        m.windowing;
+  }
+
 let all = [ proposed; pin_to_pin; jun; nabavi ]
 
 let find name = List.find_opt (fun m -> m.name = name) all

@@ -50,6 +50,14 @@ val jun : t
 val nabavi : t
 (** Inverter-model baseline [18]; point evaluation only. *)
 
+val remap_cells : ?name:string -> (Ssd_cell.Charlib.cell -> Ssd_cell.Charlib.cell) -> t -> t
+(** [remap_cells f m] evaluates [m] through [f]-substituted cells: every
+    entry point applies [f] to its cell argument first.  The corner and
+    Monte-Carlo paths use it to retarget a resident session onto a
+    derated twin library ([f = Corners.remap_of_library lib']) without
+    rebuilding the session — the netlist keeps resolving cells against
+    the nominal library.  [name] defaults to [m]'s. *)
+
 val all : t list
 val find : string -> t option
 (** Lookup by [name]. *)

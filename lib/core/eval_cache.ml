@@ -3,16 +3,21 @@ module Sweep = Ssd_cell.Sweep
 module Interval = Ssd_util.Interval
 
 (* The key identifies a corner search up to everything the load-free
-   extremum depends on.  Within one cache (= one characterized library,
-   the unit Sta.analyze works with) a cell is uniquely named by
-   (kind, n); fanout is deliberately absent because the load correction
-   is a constant shift applied outside the cached kernel.
+   extremum depends on.  A cell is named by a per-cache identity id
+   assigned on first sight (physical equality): (kind, n) alone is NOT
+   sufficient — one engine session can retarget its model mid-stream
+   (Engine [Set_model]) onto corner-derated twins of the same cell, and a
+   Monte-Carlo sweep walks through hundreds of such twins, all NAND2s
+   with different fit coefficients.  Fanout is deliberately absent
+   because the load correction is a constant shift applied outside the
+   cached kernel.
 
    All fields are immediate ints so hashing and equality never chase
    boxed values: [k_meta] packs kind (1 bit), n (4), fn (3), resp-or-k
-   (4), pos (4) and the two float sign bits; [k_lo]/[k_hi] carry the low
-   63 bits of the interval endpoints' IEEE encoding.  Together with the
-   sign bits in [k_meta] the key remains an exact image of the floats. *)
+   (4), pos (4), the two float sign bits (16–17) and the cell id
+   (bit 18 upward); [k_lo]/[k_hi] carry the low 63 bits of the interval
+   endpoints' IEEE encoding.  Together with the sign bits in [k_meta]
+   the key remains an exact image of the floats. *)
 type key = {
   k_meta : int;
   k_lo : int;
@@ -21,11 +26,24 @@ type key = {
 
 type shard = { mutex : Mutex.t; tbl : (key, float * float) Hashtbl.t }
 
+(* Physical-identity side table mapping cell records to their per-cache
+   ids.  Structural hashing ([Hashtbl.hash] bounds its traversal) gives
+   stable buckets; [==] distinguishes derated twins with equal prefixes. *)
+module Ident = Hashtbl.Make (struct
+  type t = Charlib.cell
+
+  let equal = ( == )
+  let hash (c : Charlib.cell) = Hashtbl.hash c
+end)
+
 type t = {
   shards : shard array;
   quantum : float;
   hits : int Atomic.t;
   misses : int Atomic.t;
+  ids : int Ident.t;
+  ids_mutex : Mutex.t;
+  mutable next_id : int;
 }
 
 let create ?(shards = 16) ?(quantum = 0.) () =
@@ -39,7 +57,27 @@ let create ?(shards = 16) ?(quantum = 0.) () =
     quantum;
     hits = Atomic.make 0;
     misses = Atomic.make 0;
+    ids = Ident.create 64;
+    ids_mutex = Mutex.create ();
+    next_id = 0;
   }
+
+(* First-seen id assignment: deterministic values are not required (the
+   cached kernels are pure, so ids only partition the key space), but
+   distinctness is — two different cell records must never share one. *)
+let cell_id t cell =
+  Mutex.lock t.ids_mutex;
+  let id =
+    match Ident.find_opt t.ids cell with
+    | Some id -> id
+    | None ->
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      Ident.add t.ids cell id;
+      id
+  in
+  Mutex.unlock t.ids_mutex;
+  id
 
 let hits t = Atomic.get t.hits
 let misses t = Atomic.get t.misses
@@ -97,7 +135,8 @@ let lookup t (cell : Charlib.cell) ~fn ~tag ~pos iv compute =
         lor (tag lsl 8)
         lor (pos lsl 12)
         lor (sign lo_bits lsl 16)
-        lor (sign hi_bits lsl 17);
+        lor (sign hi_bits lsl 17)
+        lor (cell_id t cell lsl 18);
       k_lo = Int64.to_int lo_bits;
       k_hi = Int64.to_int hi_bits;
     }

@@ -6,10 +6,18 @@
     levelized netlist most gates at a given depth see the same handful of
     transition-time windows, so the corner search results repeat
     massively.  This cache keys the load-free kernel on
-    (cell kind, fan-in count, search, response, position, tt-interval)
-    and replays the stored extremum; the linear load correction — a
-    constant shift that cannot move the extremum — is applied per call,
-    which also keeps the table independent of each instance's fanout.
+    (cell identity, search, response, position, tt-interval) and replays
+    the stored extremum; the linear load correction — a constant shift
+    that cannot move the extremum — is applied per call, which also
+    keeps the table independent of each instance's fanout.
+
+    Cell identity is physical: each distinct cell record seen by the
+    cache gets its own key-space partition.  (kind, n) alone would alias
+    corner-derated twins — same NAND2 shape, different coefficients —
+    which one engine session walks through under {!Ssd_sta.Engine}
+    [Set_model] retargets and Monte-Carlo sweeps; with identity in the
+    key a retargeted session can never replay a stale corner-search hit
+    from a previous model.
 
     The table is sharded and mutex-protected: safe to share across the
     {!Ssd_sta.Par} worker domains.  Because the cached kernel is pure and

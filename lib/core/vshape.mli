@@ -12,6 +12,11 @@
     pair-wise candidates, refined by the tied-k characterization when
     three or more transitions fall inside the saturation window. *)
 
+val eps_skew : float
+(** Floor applied to fitted saturation skews before dividing by them;
+    shared with the batched kernel ({!Corner_batch}) so both paths
+    degenerate identically. *)
+
 val pair_delay : Ssd_cell.Charlib.cell -> fanout:int
   -> a:Types.transition_in -> b:Types.transition_in -> float
 (** Delay of the to-controlling response measured from min(A_a, A_b).

@@ -1,0 +1,228 @@
+module Interval = Ssd_util.Interval
+module Stats = Ssd_util.Stats
+module Charlib = Ssd_cell.Charlib
+module Sweep = Ssd_cell.Sweep
+module Corners = Ssd_cell.Corners
+module Corner_batch = Ssd_core.Corner_batch
+module Delay_model = Ssd_core.Delay_model
+module Types = Ssd_core.Types
+module Netlist = Ssd_circuit.Netlist
+module Gate = Ssd_circuit.Gate
+module Obs = Ssd_obs.Obs
+
+type t = {
+  ct_netlist : Netlist.t;
+  ct_table : Corners.table;
+  ct_timing : Windows.t;
+}
+
+(* corners evaluated per task: one level×corner-chunk cell of the
+   parallel schedule.  Four keeps K = 4 in a single streaming pass and
+   splits K = 16 into four independent lanes per node. *)
+let corner_chunk = 4
+
+let slot_of_gate table kind n_in =
+  let lookup k n =
+    match Corners.cell_slot table k n with
+    | Some s -> s
+    | None ->
+      raise
+        (Sta.Unsupported_gate
+           (Printf.sprintf "no characterized cell for %s with %d inputs"
+              (Gate.to_string kind) n_in))
+  in
+  match kind with
+  | Gate.Not -> lookup Sweep.Nand 1
+  | Gate.Nand -> lookup Sweep.Nand n_in
+  | Gate.Nor -> lookup Sweep.Nor n_in
+  | Gate.And | Gate.Or | Gate.Xor | Gate.Xnor | Gate.Buf ->
+    raise
+      (Sta.Unsupported_gate
+         (Printf.sprintf
+            "gate type %s is not primitive; decompose the netlist first"
+            (Gate.to_string kind)))
+
+let analyze ?(opts = Run_opts.default) ~table nl =
+  let k = Corners.k table in
+  if opts.Run_opts.corners <> 1 && opts.Run_opts.corners <> k then
+    invalid_arg
+      (Printf.sprintf
+         "Corner_sta.analyze: opts.corners = %d but the table has %d corners"
+         opts.Run_opts.corners k);
+  let cb = Corner_batch.create table in
+  let n = Netlist.size nl in
+  let w = Windows.create ~planes:k n in
+  let data = Windows.data w in
+  let pi_win = Sta.pi_window opts.Run_opts.pi_spec in
+  (* resolve every gate's table slot up front: one hash lookup per node
+     instead of one per (node × corner), and unsupported gates fail
+     before any work is done *)
+  let slots = Array.make n (-1) in
+  let max_fanin = ref 1 in
+  for i = 0 to n - 1 do
+    if not (Netlist.is_pi nl i) then begin
+      let m = Netlist.fanin_count nl i in
+      slots.(i) <- slot_of_gate table (Netlist.gate_kind nl i) m;
+      if m > !max_fanin then max_fanin := m
+    end
+  done;
+  let max_fanin = !max_fanin in
+  let nw = Windows.length w in
+  let eval_range ~inp ~out i c0 c1 =
+    if Netlist.is_pi nl i then
+      for c = c0 to c1 - 1 do
+        Windows.set_plane w ~plane:c i ~rise:pi_win ~fall:pi_win
+      done
+    else begin
+      let m = Netlist.fanin_count nl i in
+      (* pin-major gather: the fanin lookup runs once per pin, not once
+         per (pin × corner), and the plane base is inlined arithmetic
+         ([Windows.base] = ((plane·n)+node)·8) *)
+      for p = 0 to m - 1 do
+        let j = Netlist.fanin_nth nl i p in
+        let d0 = p * 8 in
+        for c = c0 to c1 - 1 do
+          let src = ((c * nw) + j) * 8 in
+          let dst = ((c - c0) * m * 8) + d0 in
+          for f = 0 to 7 do
+            Array.unsafe_set inp (dst + f)
+              (Bigarray.Array1.unsafe_get data (src + f))
+          done
+        done
+      done;
+      Corner_batch.eval_node cb ~slot:slots.(i) ~fanout:(Netlist.load_of nl i)
+        ~m ~c0 ~c1 ~inputs:inp ~outputs:out;
+      for c = c0 to c1 - 1 do
+        let dst = ((c * nw) + i) * 8 in
+        let ob = (c - c0) * 8 in
+        for f = 0 to 7 do
+          Bigarray.Array1.unsafe_set data (dst + f)
+            (Array.unsafe_get out (ob + f))
+        done
+      done
+    end
+  in
+  let jobs =
+    if opts.Run_opts.jobs <= 0 then Par.default_jobs () else opts.Run_opts.jobs
+  in
+  if jobs <= 1 then begin
+    (* one streaming pass over all K corners per node *)
+    let inp = Array.make (k * max_fanin * 8) 0. in
+    let out = Array.make (k * 8) 0. in
+    Array.iter (fun i -> eval_range ~inp ~out i 0 k) (Netlist.topo_order nl)
+  end
+  else begin
+    (* the pool parallelizes over (level slot × corner chunk): a level
+       of width W fans out into W × ⌈K/chunk⌉ independent tasks, since
+       corner planes never read each other *)
+    let nchunks = (k + corner_chunk - 1) / corner_chunk in
+    let scratch =
+      Domain.DLS.new_key (fun () ->
+          ( Array.make (corner_chunk * max_fanin * 8) 0.,
+            Array.make (corner_chunk * 8) 0. ))
+    in
+    Par.with_pool ~obs:opts.Run_opts.obs ~jobs (fun pool ->
+        for l = 0 to Netlist.level_count nl - 1 do
+          Par.parallel_for pool ~n:(Netlist.level_width nl l * nchunks)
+            (fun tsk ->
+              let i = Netlist.level_node nl l (tsk / nchunks) in
+              let c0 = tsk mod nchunks * corner_chunk in
+              let c1 = min k (c0 + corner_chunk) in
+              let inp, out = Domain.DLS.get scratch in
+              eval_range ~inp ~out i c0 c1)
+        done)
+  end;
+  { ct_netlist = nl; ct_table = table; ct_timing = w }
+
+let netlist t = t.ct_netlist
+let table t = t.ct_table
+let corners t = Corners.k t.ct_table
+let windows t = t.ct_timing
+
+let timing t ~corner i =
+  {
+    Sta.rise = Windows.rise_plane t.ct_timing ~plane:corner i;
+    fall = Windows.fall_plane t.ct_timing ~plane:corner i;
+  }
+
+let po_window t ~corner =
+  match Netlist.outputs t.ct_netlist with
+  | [] -> invalid_arg "Corner_sta.po_window: netlist has no outputs"
+  | first :: rest ->
+    let win_of i =
+      let lt = timing t ~corner i in
+      Interval.hull lt.Sta.rise.Types.w_arr lt.Sta.fall.Types.w_arr
+    in
+    List.fold_left (fun acc i -> Interval.hull acc (win_of i)) (win_of first)
+      rest
+
+let min_delay t ~corner = Interval.lo (po_window t ~corner)
+let max_delay t ~corner = Interval.hi (po_window t ~corner)
+
+let plane_matches t ~corner (sta : Sta.t) =
+  Windows.plane_eq t.ct_timing ~plane:corner (Sta.windows sta) ~plane:0
+
+let summary t =
+  let k = corners t in
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s [%d corners]:" (Netlist.stats t.ct_netlist) k);
+  for c = 0 to k - 1 do
+    let s = Corners.spec t.ct_table c in
+    Buffer.add_string buf
+      (Printf.sprintf "\n  %-6s (d×%.3f t×%.3f): PO window [%.3f ns, %.3f ns]"
+         s.Corners.c_name s.Corners.c_delay s.Corners.c_tt
+         (min_delay t ~corner:c *. 1e9)
+         (max_delay t ~corner:c *. 1e9))
+  done;
+  Buffer.contents buf
+
+(* ----- Monte-Carlo parameter sampling over a resident session ---------- *)
+
+type mc_result = {
+  mc_specs : Corners.spec array;
+  mc_pos : int array;
+  mc_delays : float array array;
+      (* [po][sample]: latest arrival over both transitions *)
+  mc_max : float array;  (* [sample]: circuit max delay *)
+}
+
+let monte_carlo ?(opts = Run_opts.default) ?(samples = 64) ~seed ~library nl =
+  if samples < 1 then invalid_arg "Corner_sta.monte_carlo: samples < 1";
+  let specs = Array.of_list (Corners.sample_specs ~seed samples) in
+  let pos = Array.of_list (Netlist.outputs nl) in
+  let delays = Array.map (fun _ -> Array.make samples 0.) pos in
+  let mc_max = Array.make samples 0. in
+  let opts = { opts with Run_opts.corners = 1 } in
+  Engine.with_engine ~opts ~library ~model:Delay_model.proposed nl (fun eng ->
+      Array.iteri
+        (fun s spec ->
+          (* one Set_model retarget per sample against the resident
+             session: netlist, levels, cones, pool and eval cache are
+             all reused; only the windows are recomputed *)
+          let dlib = Corners.derate_library spec library in
+          let m =
+            Delay_model.remap_cells
+              ~name:("proposed@" ^ spec.Corners.c_name)
+              (Corners.remap_of_library dlib)
+              Delay_model.proposed
+          in
+          Engine.apply eng (Engine.Set_model m);
+          (* keep the journal from accumulating one frame per sample *)
+          Engine.commit eng;
+          Array.iteri
+            (fun pi po ->
+              let lt = Engine.timing eng po in
+              delays.(pi).(s) <-
+                Float.max
+                  (Interval.hi lt.Sta.rise.Types.w_arr)
+                  (Interval.hi lt.Sta.fall.Types.w_arr))
+            pos;
+          mc_max.(s) <- Engine.max_delay eng)
+        specs);
+  { mc_specs = specs; mc_pos = pos; mc_delays = delays; mc_max }
+
+let mc_po_quantiles res qs =
+  Array.map (fun d -> Stats.quantiles qs (Array.to_list d)) res.mc_delays
+
+let mc_max_quantiles res qs = Stats.quantiles qs (Array.to_list res.mc_max)

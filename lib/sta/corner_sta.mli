@@ -1,0 +1,87 @@
+(** Batched multi-corner STA and Monte-Carlo parameter sampling.
+
+    {!analyze} runs the forward window pass for all K corners of a
+    {!Ssd_cell.Corners.table} in one sweep: every gate is evaluated for
+    a whole corner range per task through the allocation-free
+    {!Ssd_core.Corner_batch} kernel, writing K timing planes of one
+    plane-major {!Windows} store.  With [jobs > 1] the pool
+    parallelizes over (level slot × corner chunk).
+
+    Each corner plane is bit-identical to an independent scalar
+    {!Sta.analyze_with} over that corner's derated library
+    ({!plane_matches} is the check the corners bench asserts).
+
+    {!monte_carlo} samples random corners and retargets one resident
+    {!Engine} session per sample ([Set_model] with cell remapping),
+    amortizing netlist preprocessing, pool spawn and eval-cache warmup
+    across the whole sweep; {!mc_po_quantiles} reports per-PO delay
+    distributions. *)
+
+type t
+(** A completed K-corner analysis. *)
+
+val analyze : ?opts:Run_opts.t -> table:Ssd_cell.Corners.table -> Ssd_circuit.Netlist.t -> t
+(** Forward pass over all corners of [table].  [opts.corners] must be 1
+    (unset) or equal the table's corner count; [opts.jobs] and
+    [opts.pi_spec] behave as in {!Sta.analyze_with} ([opts.cache] is
+    irrelevant — the batched kernel does not search through the memo
+    cache).  @raise Sta.Unsupported_gate on an uncharacterized gate
+    arity, [Invalid_argument] on a corner-count mismatch. *)
+
+val netlist : t -> Ssd_circuit.Netlist.t
+val table : t -> Ssd_cell.Corners.table
+val corners : t -> int
+val windows : t -> Windows.t
+(** The K-plane store (plane [c] = corner [c]). *)
+
+val timing : t -> corner:int -> int -> Sta.line_timing
+(** Windows of one node under one corner.
+    @raise Invalid_argument on an out-of-range id or corner. *)
+
+val po_window : t -> corner:int -> Ssd_util.Interval.t
+(** Union of both transitions' arrival windows over all primary
+    outputs, per corner.  @raise Invalid_argument on a netlist without
+    outputs. *)
+
+val min_delay : t -> corner:int -> float
+val max_delay : t -> corner:int -> float
+
+val plane_matches : t -> corner:int -> Sta.t -> bool
+(** Bitwise comparison of one corner plane against a scalar analysis
+    (expected: [Sta.analyze_with] over [Corners.library table corner]). *)
+
+val summary : t -> string
+(** Multi-line per-corner PO window report. *)
+
+(** {1 Monte-Carlo corner sampling} *)
+
+type mc_result = {
+  mc_specs : Ssd_cell.Corners.spec array;  (** the sampled corners *)
+  mc_pos : int array;  (** primary-output node ids *)
+  mc_delays : float array array;
+      (** [(po, sample)]: latest arrival over both transitions *)
+  mc_max : float array;  (** per-sample circuit max delay *)
+}
+
+val monte_carlo :
+  ?opts:Run_opts.t ->
+  ?samples:int ->
+  seed:int64 ->
+  library:Ssd_cell.Charlib.t ->
+  Ssd_circuit.Netlist.t ->
+  mc_result
+(** Sample [samples] (default 64) Gaussian corners
+    ({!Ssd_cell.Corners.sample_specs}) and analyze each by retargeting
+    one resident {!Engine} session via [Set_model] +
+    {!Ssd_core.Delay_model.remap_cells}; the history is committed after
+    every sample so journal memory stays bounded.  [opts.jobs] sets the
+    session's lane count and [opts.cache] its corner-search memo cache
+    (safe across retargets: the cache keys on physical cell identity).
+    @raise Invalid_argument on [samples < 1]. *)
+
+val mc_po_quantiles : mc_result -> float list -> (float * float) list array
+(** Per PO (aligned with [mc_pos]), the requested quantiles of its
+    delay samples. *)
+
+val mc_max_quantiles : mc_result -> float list -> (float * float) list
+(** Quantiles of the per-sample circuit max delay. *)

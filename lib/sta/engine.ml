@@ -376,6 +376,22 @@ let apply t edit =
   Obs.incr t.c_edits;
   t.e_stats <- { t.e_stats with edits = t.e_stats.edits + 1 }
 
+(* One-call corner retarget: derate the session's library and swap in a
+   cell-remapped model — the Monte-Carlo sweep's per-sample edit.  [base]
+   is the model the remap wraps (default: the paper's proposed model);
+   passing the session's current model after a previous retarget would
+   chain remaps, so the base is taken explicitly. *)
+let retarget_corner ?(base = Delay_model.proposed) t spec =
+  check_open t "Engine.retarget_corner";
+  let dlib = Ssd_cell.Corners.derate_library spec t.e_library in
+  let m =
+    Delay_model.remap_cells
+      ~name:(base.Delay_model.name ^ "@" ^ spec.Ssd_cell.Corners.c_name)
+      (Ssd_cell.Corners.remap_of_library dlib)
+      base
+  in
+  apply t (Set_model m)
+
 let checkpoint t =
   check_open t "Engine.checkpoint";
   { cp_depth = t.e_depth }

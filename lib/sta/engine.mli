@@ -101,6 +101,16 @@ val apply : t -> edit -> unit
     {!Sta.Unsupported_gate} on an uncharacterized arity) leaves the
     engine untouched. *)
 
+val retarget_corner : ?base:Ssd_core.Delay_model.t -> t -> Ssd_cell.Corners.spec -> unit
+(** [retarget_corner t spec] applies one {!Set_model} edit that rebinds
+    every evaluation to the session library derated by [spec]
+    ({!Ssd_core.Delay_model.remap_cells} over
+    {!Ssd_cell.Corners.derate_library}).  [base] is the model being
+    remapped — default {!Ssd_core.Delay_model.proposed}; it is taken
+    explicitly rather than from the session so repeated retargets
+    replace instead of chaining.  Undo/revert behave as for any other
+    edit.  @raise Invalid_argument as {!apply}. *)
+
 val checkpoint : t -> checkpoint
 (** Mark the current history depth. *)
 

@@ -14,11 +14,19 @@ type t = {
   cache : bool;
   obs : Obs.t;
   pi_spec : pi_spec;
+  corners : int;
 }
 
 let default =
-  { jobs = 1; cache = false; obs = Obs.disabled; pi_spec = default_pi_spec }
+  {
+    jobs = 1;
+    cache = false;
+    obs = Obs.disabled;
+    pi_spec = default_pi_spec;
+    corners = 1;
+  }
 
 let make ?(jobs = 1) ?(cache = false) ?(obs = Obs.disabled)
-    ?(pi_spec = default_pi_spec) () =
-  { jobs; cache; obs; pi_spec }
+    ?(pi_spec = default_pi_spec) ?(corners = 1) () =
+  if corners < 1 then invalid_arg "Run_opts.make: corners < 1";
+  { jobs; cache; obs; pi_spec; corners }

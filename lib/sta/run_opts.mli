@@ -24,17 +24,24 @@ type t = {
       (** memoize per-cell corner searches (never changes results) *)
   obs : Ssd_obs.Obs.t;  (** telemetry sink (default: disabled no-op) *)
   pi_spec : pi_spec;  (** windows assumed at the primary inputs *)
+  corners : int;
+      (** timing planes to evaluate: [1] (default) the nominal corner
+          through the scalar path; [> 1] the batched corner sweep
+          ({!Corner_sta}), which requires it to match the corner
+          table's count *)
 }
 
 val default : t
 (** [jobs = 1], [cache = false], disabled telemetry,
-    {!default_pi_spec}. *)
+    {!default_pi_spec}, [corners = 1]. *)
 
 val make :
   ?jobs:int ->
   ?cache:bool ->
   ?obs:Ssd_obs.Obs.t ->
   ?pi_spec:pi_spec ->
+  ?corners:int ->
   unit ->
   t
-(** {!default} with the given fields replaced. *)
+(** {!default} with the given fields replaced.
+    @raise Invalid_argument on [corners < 1]. *)

@@ -8,6 +8,12 @@ module Types = Ssd_core.Types
      4 fall arrival lo   5 fall arrival hi
      6 fall tt lo        7 fall tt hi
 
+   A store can carry several timing planes — one per process corner —
+   laid out plane-major: plane [p] occupies the contiguous slice
+   [[p*n*8, (p+1)*n*8)], so the batched corner sweep streams one
+   corner's windows sequentially and the plane-0 addressing is the
+   legacy single-plane addressing unchanged.
+
    Float load/store through the Bigarray is bit-preserving, so packing
    and re-materializing a window round-trips every IEEE-754 payload
    (negative zeros, subnormals) exactly — the property the SoA/seed
@@ -16,25 +22,39 @@ module Types = Ssd_core.Types
 type t = {
   data : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t;
   n : int;
+  planes : int;
 }
 
 let slots = 8
 
-let create n =
+let create ?(planes = 1) n =
   if n < 0 then invalid_arg "Windows.create: negative size";
-  { data = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (n * slots);
-    n }
+  if planes < 1 then invalid_arg "Windows.create: planes < 1";
+  {
+    data =
+      Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout
+        (planes * n * slots);
+    n;
+    planes;
+  }
 
 let length t = t.n
+let planes t = t.planes
+let data t = t.data
 
 let check t i =
   if i < 0 || i >= t.n then
     invalid_arg
       (Printf.sprintf "Windows: node id %d out of range [0, %d)" i t.n)
 
-let set t i ~(rise : Types.win) ~(fall : Types.win) =
-  check t i;
-  let b = i * slots in
+let check_plane t p =
+  if p < 0 || p >= t.planes then
+    invalid_arg
+      (Printf.sprintf "Windows: plane %d out of range [0, %d)" p t.planes)
+
+let base t ~plane i = ((plane * t.n) + i) * slots
+
+let set_at t b ~(rise : Types.win) ~(fall : Types.win) =
   let d = t.data in
   Bigarray.Array1.unsafe_set d b (Interval.lo rise.Types.w_arr);
   Bigarray.Array1.unsafe_set d (b + 1) (Interval.hi rise.Types.w_arr);
@@ -44,6 +64,15 @@ let set t i ~(rise : Types.win) ~(fall : Types.win) =
   Bigarray.Array1.unsafe_set d (b + 5) (Interval.hi fall.Types.w_arr);
   Bigarray.Array1.unsafe_set d (b + 6) (Interval.lo fall.Types.w_tt);
   Bigarray.Array1.unsafe_set d (b + 7) (Interval.hi fall.Types.w_tt)
+
+let set t i ~rise ~fall =
+  check t i;
+  set_at t (i * slots) ~rise ~fall
+
+let set_plane t ~plane i ~rise ~fall =
+  check t i;
+  check_plane t plane;
+  set_at t (base t ~plane i) ~rise ~fall
 
 let win t b =
   let d = t.data in
@@ -66,6 +95,16 @@ let fall t i =
   check t i;
   win t ((i * slots) + 4)
 
+let rise_plane t ~plane i =
+  check t i;
+  check_plane t plane;
+  win t (base t ~plane i)
+
+let fall_plane t ~plane i =
+  check t i;
+  check_plane t plane;
+  win t (base t ~plane i + 4)
+
 let beq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
 
 (* bitwise equality of the stored slots against a candidate, without
@@ -83,4 +122,21 @@ let eq t i ~(rise : Types.win) ~(fall : Types.win) =
   && beq (Bigarray.Array1.unsafe_get d (b + 6)) (Interval.lo fall.Types.w_tt)
   && beq (Bigarray.Array1.unsafe_get d (b + 7)) (Interval.hi fall.Types.w_tt)
 
-let bytes t = t.n * slots * 8
+(* bitwise equality of one plane against another store's plane *)
+let plane_eq a ~plane:pa b ~plane:pb =
+  check_plane a pa;
+  check_plane b pb;
+  a.n = b.n
+  && begin
+       let ba = pa * a.n * slots and bb = pb * b.n * slots in
+       let rec go i =
+         i >= a.n * slots
+         || beq
+              (Bigarray.Array1.unsafe_get a.data (ba + i))
+              (Bigarray.Array1.unsafe_get b.data (bb + i))
+            && go (i + 1)
+       in
+       go 0
+     end
+
+let bytes t = t.planes * t.n * slots * 8

@@ -1,11 +1,55 @@
 type basis = float array -> float array
 
+(* --- basis families ---------------------------------------------------- *)
+
+let quadratic_1d x = [| x.(0) *. x.(0); x.(0); 1. |]
+
+let quadratic_2d x =
+  let a = x.(0) and b = x.(1) in
+  [| a *. a; b *. b; a *. b; a; b; 1. |]
+
+let cbrt v = Float.pow v (1. /. 3.)
+
+let bilinear_cuberoot_2d x =
+  let a = cbrt x.(0) and b = cbrt x.(1) in
+  [| a *. b; a; b; 1. |]
+
+let linear_1d x = [| x.(0); 1. |]
+
+let cubic_2d x =
+  let a = x.(0) and b = x.(1) in
+  [|
+    a *. a *. a; b *. b *. b; a *. a *. b; a *. b *. b;
+    a *. a; b *. b; a *. b; a; b; 1.;
+  |]
+
+(* Name the exported basis families by physical identity so a failed fit
+   can say which family it was building (corner tables are assembled from
+   many fits; "Lsq.fit failed" alone does not localize anything). *)
+let basis_name (b : basis) =
+  if b == quadratic_1d then "quadratic_1d"
+  else if b == quadratic_2d then "quadratic_2d"
+  else if b == bilinear_cuberoot_2d then "bilinear_cuberoot_2d"
+  else if b == linear_1d then "linear_1d"
+  else if b == cubic_2d then "cubic_2d"
+  else "custom"
+
+(* --- least squares ----------------------------------------------------- *)
+
 let fit basis samples =
   match samples with
   | [] -> invalid_arg "Lsq.fit: empty sample list"
   | (x0, _) :: _ ->
     let k = Array.length (basis x0) in
     let n = List.length samples in
+    let fail reason =
+      invalid_arg
+        (Printf.sprintf
+           "Lsq.fit: %s normal equations for basis %s (%d coefficient(s), %d \
+            sample(s))"
+           reason (basis_name basis) k n)
+    in
+    if k = 0 then fail "empty";
     (* Column normalization: basis values can span tens of orders of
        magnitude (e.g. T² with T ~ 1e-9 s), which would make the normal
        equations hopeless in double precision.  Each column is scaled to
@@ -37,13 +81,25 @@ let fit basis samples =
           done
         done)
       samples;
-    (* A tiny ridge keeps degenerate sweeps (duplicated columns) solvable;
+    (* A tiny ridge keeps degenerate sweeps (duplicated columns) and
+       underdetermined grids (fewer samples than coefficients) solvable;
        with unit-RMS columns its size is meaningful. *)
     for i = 0 to k - 1 do
       ata.(i).(i) <- ata.(i).(i) +. (1e-10 *. float_of_int n)
     done;
-    let c = Linalg.solve ata atb in
-    Array.mapi (fun j cj -> cj /. scale.(j)) c
+    let c =
+      (* singular even with the ridge: non-finite sample data collapsed
+         the pivot column(s) *)
+      try Linalg.solve ata atb
+      with Linalg.Singular -> fail "singular"
+    in
+    let c = Array.mapi (fun j cj -> cj /. scale.(j)) c in
+    (* NaN/inf coefficients would silently poison every downstream
+       evaluation (fitted cells, derated corner tables); fail here where
+       the offending fit is still identifiable. *)
+    if not (Array.for_all Float.is_finite c) then
+      fail "singular/underdetermined";
+    c
 
 let predict basis coeffs x = Linalg.dot coeffs (basis x)
 
@@ -61,24 +117,3 @@ let max_abs_error basis coeffs samples =
     (fun m r -> Float.max m (Float.abs r))
     0.
     (residuals basis coeffs samples)
-
-let quadratic_1d x = [| x.(0) *. x.(0); x.(0); 1. |]
-
-let quadratic_2d x =
-  let a = x.(0) and b = x.(1) in
-  [| a *. a; b *. b; a *. b; a; b; 1. |]
-
-let cbrt v = Float.pow v (1. /. 3.)
-
-let bilinear_cuberoot_2d x =
-  let a = cbrt x.(0) and b = cbrt x.(1) in
-  [| a *. b; a; b; 1. |]
-
-let linear_1d x = [| x.(0); 1. |]
-
-let cubic_2d x =
-  let a = x.(0) and b = x.(1) in
-  [|
-    a *. a *. a; b *. b *. b; a *. a *. b; a *. b *. b;
-    a *. a; b *. b; a *. b; a; b; 1.;
-  |]

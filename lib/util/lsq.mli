@@ -12,7 +12,15 @@ val fit : basis -> (float array * float) list -> float array
 (** [fit basis samples] returns coefficients [c] minimizing
     [sum_i (dot c (basis x_i) - y_i)^2] over samples [(x_i, y_i)].
     Solves the normal equations with a small Tikhonov ridge (1e-12 relative)
-    for robustness.  @raise Invalid_argument on an empty sample list. *)
+    for robustness.  @raise Invalid_argument on an empty sample list, and —
+    naming the basis family and the sample count — when the ridge-regularized
+    normal equations are still singular or produce non-finite coefficients
+    (e.g. NaN observations): a corner table must never be populated from a
+    silently failed fit. *)
+
+val basis_name : basis -> string
+(** The exported basis families by physical identity ("quadratic_1d", ...);
+    ["custom"] for anything else.  Used in {!fit} diagnostics. *)
 
 val residuals : basis -> float array -> (float array * float) list
   -> float list

@@ -19,6 +19,42 @@ let min_max = function
          (fun (lo, hi) v -> (Float.min lo v, Float.max hi v))
          (x, x) xs)
 
+(* Sorted-array quantile with linear interpolation between order
+   statistics (the "type 7" estimator): q = 0 is the minimum, q = 1 the
+   maximum, q = 0.5 the median. *)
+let quantile_sorted a q =
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else begin
+    let h = q *. float_of_int (n - 1) in
+    let i = int_of_float (Float.floor h) in
+    let i = if i < 0 then 0 else if i > n - 2 then n - 2 else i in
+    let f = h -. float_of_int i in
+    a.(i) +. (f *. (a.(i + 1) -. a.(i)))
+  end
+
+let check_q q =
+  if Float.is_nan q || q < 0. || q > 1. then
+    invalid_arg (Printf.sprintf "Stats.quantile: q = %g outside [0, 1]" q)
+
+let quantile q xs =
+  check_q q;
+  match xs with
+  | [] -> invalid_arg "Stats.quantile: empty sample list"
+  | xs ->
+    let a = Array.of_list xs in
+    Array.sort Float.compare a;
+    quantile_sorted a q
+
+let quantiles qs xs =
+  match xs with
+  | [] -> invalid_arg "Stats.quantiles: empty sample list"
+  | xs ->
+    List.iter check_q qs;
+    let a = Array.of_list xs in
+    Array.sort Float.compare a;
+    List.map (fun q -> (q, quantile_sorted a q)) qs
+
 let pct_errors ~reference values =
   if List.length reference <> List.length values then
     invalid_arg "Stats: length mismatch";

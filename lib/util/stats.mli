@@ -7,6 +7,15 @@ val rms : float list -> float
 val max_abs : float list -> float
 val min_max : float list -> (float * float) option
 
+val quantile : float -> float list -> float
+(** [quantile q xs] is the [q]-quantile of [xs] (linear interpolation
+    between order statistics; [q = 0] minimum, [0.5] median, [1] maximum).
+    @raise Invalid_argument on an empty list or [q] outside [0, 1]. *)
+
+val quantiles : float list -> float list -> (float * float) list
+(** [(q, quantile q xs)] for each requested [q], sorting [xs] once.
+    @raise Invalid_argument on an empty list or any [q] outside [0, 1]. *)
+
 val mean_abs_pct_error : reference:float list -> float list -> float
 (** Mean of |model − reference| / |reference| over positions where the
     reference is non-zero, in percent.  Lists must have equal length. *)

@@ -1,0 +1,253 @@
+(* The corner-batched sweep's contract: every plane of
+   Corner_sta.analyze is bit-identical to an independent scalar analysis
+   over that corner's derated library, at jobs 1 and 4 and for a corner
+   count that leaves a partial chunk in the parallel schedule.  The same
+   windows must come out of Engine.retarget_corner — including through
+   edits and checkpoint/revert round-trips — and out of a cached session
+   flipping models mid-stream.  Monte-Carlo sampling must be
+   seed-deterministic and agree with fresh per-sample analyses. *)
+
+module Ck = Ssd_circuit
+module Sta = Ssd_sta.Sta
+module CS = Ssd_sta.Corner_sta
+module E = Ssd_sta.Engine
+module RO = Ssd_sta.Run_opts
+module DM = Ssd_core.Delay_model
+module Types = Ssd_core.Types
+module Corners = Ssd_cell.Corners
+module Charlib = Ssd_cell.Charlib
+module Interval = Ssd_util.Interval
+
+let lib = lazy (Charlib.default ~profile:Charlib.coarse ())
+let beq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let int_beq (a : Interval.t) (b : Interval.t) =
+  beq (Interval.lo a) (Interval.lo b) && beq (Interval.hi a) (Interval.hi b)
+
+let win_beq (a : Types.win) (b : Types.win) =
+  int_beq a.Types.w_arr b.Types.w_arr && int_beq a.Types.w_tt b.Types.w_tt
+
+let lt_beq (a : Sta.line_timing) (b : Sta.line_timing) =
+  win_beq a.Sta.rise b.Sta.rise && win_beq a.Sta.fall b.Sta.fall
+
+(* a mid-size layered primitive circuit: wide enough levels to exercise
+   the (level slot × corner chunk) schedule, small enough to re-analyze
+   once per corner inside a property *)
+let mid_prim ?(gates = 1_200) seed =
+  Ck.Decompose.to_primitive
+    (Ck.Generator.generate
+       {
+         Ck.Generator.default_params with
+         Ck.Generator.g_name = Printf.sprintf "corner%d" seed;
+         n_inputs = 24;
+         n_outputs = 12;
+         n_gates = gates;
+         locality = 64;
+         seed = Int64.of_int (seed + 7001);
+         shape = Ck.Generator.Layered { layers = 12 };
+       })
+
+(* the scalar oracle for one corner: an independent single-corner
+   analysis over the derated library *)
+let scalar_corner table c nl =
+  Sta.analyze_with (RO.make ()) ~library:(Corners.library table c)
+    ~model:DM.proposed nl
+
+let prop_batched_matches_scalar =
+  QCheck.Test.make
+    ~name:"batched K-corner == K scalar single-corner analyses (jobs 1, 4)"
+    ~count:2
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let nl = mid_prim seed in
+      let lib = Lazy.force lib in
+      (* K = 5 leaves a partial corner chunk (4 + 1) in the parallel
+         schedule; K = 4 is the single-chunk streaming case *)
+      List.for_all
+        (fun k ->
+          let table = Corners.build ~specs:(Corners.default_specs k) lib in
+          let oracles = Array.init k (fun c -> scalar_corner table c nl) in
+          List.for_all
+            (fun jobs ->
+              let t =
+                CS.analyze ~opts:(RO.make ~jobs ~corners:k ()) ~table nl
+              in
+              let ok = ref true in
+              for c = 0 to k - 1 do
+                if not (CS.plane_matches t ~corner:c oracles.(c)) then
+                  ok := false;
+                (* the materializing accessors agree with the oracle's *)
+                List.iter
+                  (fun po ->
+                    if not (lt_beq (CS.timing t ~corner:c po)
+                              (Sta.timing oracles.(c) po))
+                    then ok := false)
+                  (Ck.Netlist.outputs nl);
+                if not (beq (CS.max_delay t ~corner:c)
+                          (Sta.max_delay oracles.(c)))
+                then ok := false
+              done;
+              !ok)
+            [ 1; 4 ])
+        [ 4; 5 ])
+
+let engine_matches_plane eng batched c =
+  let n = Ck.Netlist.size (E.netlist eng) in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if not (lt_beq (E.timing eng i) (CS.timing batched ~corner:c i)) then
+      ok := false
+  done;
+  !ok
+
+let prop_retarget_through_edits =
+  QCheck.Test.make
+    ~name:"Engine.retarget_corner matches planes through edits and revert"
+    ~count:2
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let nl = mid_prim ~gates:500 seed in
+      let lib = Lazy.force lib in
+      let table = Corners.build ~specs:(Corners.default_specs 3) lib in
+      let batched = CS.analyze ~table nl in
+      let nominal = Sta.analyze_with (RO.make ()) ~library:lib
+          ~model:DM.proposed nl in
+      E.with_engine ~library:lib ~model:DM.proposed nl (fun eng ->
+          let ok = ref true in
+          let ck0 = E.checkpoint eng in
+          (* retargets replace (not chain): each corner in turn must
+             land exactly on its batched plane *)
+          for c = 0 to 2 do
+            E.retarget_corner eng (Corners.spec table c);
+            if not (engine_matches_plane eng batched c) then ok := false
+          done;
+          (* an edit under a corner, then revert back to that corner *)
+          E.retarget_corner eng (Corners.spec table 1);
+          let ck1 = E.checkpoint eng in
+          let line = List.hd (Ck.Netlist.outputs nl) in
+          E.apply eng (E.Set_extra_delay { line; delta = 3e-11 });
+          E.apply eng
+            (E.Set_pi_spec { pi = 0; spec = RO.default_pi_spec });
+          E.revert eng ck1;
+          if not (engine_matches_plane eng batched 1) then ok := false;
+          (* full unwind: back to the nominal library bit for bit *)
+          E.revert eng ck0;
+          let n = Ck.Netlist.size nl in
+          for i = 0 to n - 1 do
+            if not (lt_beq (E.timing eng i) (Sta.timing nominal i)) then
+              ok := false
+          done;
+          !ok))
+
+(* The Eval_cache regression: a cached session flipping models
+   mid-stream (corner retargets both ways, plus a different model
+   family) must stay bit-identical to an uncached session applying the
+   same sequence.  Before the cache keyed on cell identity, entries
+   memoized under one corner's cells poisoned the next. *)
+let test_cache_across_retargets () =
+  let nl = mid_prim ~gates:400 11 in
+  let lib = Lazy.force lib in
+  let table = Corners.build ~specs:(Corners.default_specs 3) lib in
+  let edits eng =
+    [
+      (fun () -> E.retarget_corner eng (Corners.spec table 0));
+      (fun () -> E.retarget_corner eng (Corners.spec table 2));
+      (fun () -> E.apply eng (E.Set_model DM.pin_to_pin));
+      (fun () -> E.retarget_corner eng (Corners.spec table 0));
+      (fun () -> E.apply eng (E.Set_model DM.proposed));
+    ]
+  in
+  E.with_engine ~opts:(RO.make ~cache:true ()) ~library:lib
+    ~model:DM.proposed nl (fun cached ->
+      E.with_engine ~library:lib ~model:DM.proposed nl (fun plain ->
+          let n = Ck.Netlist.size nl in
+          List.iteri
+            (fun step (ec, ep) ->
+              ec ();
+              ep ();
+              for i = 0 to n - 1 do
+                if not (lt_beq (E.timing cached i) (E.timing plain i)) then
+                  Alcotest.failf
+                    "cached/uncached windows diverge at node %d after step %d"
+                    i step
+              done)
+            (List.combine (edits cached) (edits plain))))
+
+let test_mc_deterministic () =
+  let nl = mid_prim ~gates:400 5 in
+  let lib = Lazy.force lib in
+  let run () =
+    CS.monte_carlo ~opts:(RO.make ~cache:true ()) ~samples:8 ~seed:42L
+      ~library:lib nl
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "samples" 8 (Array.length a.CS.mc_max);
+  Array.iteri
+    (fun s x ->
+      if not (beq x b.CS.mc_max.(s)) then
+        Alcotest.failf "mc_max diverges between identical runs at sample %d" s)
+    a.CS.mc_max;
+  (* each sample agrees with a fresh scalar analysis of its derated
+     library: the resident-session retarget is an optimization, not an
+     approximation *)
+  List.iter
+    (fun s ->
+      let dlib = Corners.derate_library a.CS.mc_specs.(s) lib in
+      let sta =
+        Sta.analyze_with (RO.make ()) ~library:dlib ~model:DM.proposed nl
+      in
+      if not (beq a.CS.mc_max.(s) (Sta.max_delay sta)) then
+        Alcotest.failf "mc_max.(%d) differs from a fresh derated analysis" s;
+      Array.iteri
+        (fun pi po ->
+          let lt = Sta.timing sta po in
+          let want =
+            Float.max
+              (Interval.hi lt.Sta.rise.Types.w_arr)
+              (Interval.hi lt.Sta.fall.Types.w_arr)
+          in
+          if not (beq a.CS.mc_delays.(pi).(s) want) then
+            Alcotest.failf "mc_delays.(%d).(%d) differs from fresh analysis"
+              pi s)
+        a.CS.mc_pos)
+    [ 0; 7 ];
+  (* quantiles: monotone in q, endpoints are the sample extremes *)
+  let qs = [ 0.; 0.5; 0.95; 1. ] in
+  let mx = CS.mc_max_quantiles a qs in
+  let values = List.map snd mx in
+  let sorted = List.sort Float.compare values in
+  Alcotest.(check (list (float 0.))) "monotone quantiles" sorted values;
+  let lo = Array.fold_left Float.min infinity a.CS.mc_max in
+  let hi = Array.fold_left Float.max neg_infinity a.CS.mc_max in
+  Alcotest.(check bool) "q0 = min" true (beq (List.assoc 0. mx) lo);
+  Alcotest.(check bool) "q1 = max" true (beq (List.assoc 1. mx) hi);
+  let per_po = CS.mc_po_quantiles a qs in
+  Alcotest.(check int) "one quantile list per PO"
+    (Array.length a.CS.mc_pos) (Array.length per_po)
+
+let test_corner_count_mismatch () =
+  let nl = mid_prim ~gates:200 1 in
+  let table = Corners.build ~specs:(Corners.default_specs 3) (Lazy.force lib) in
+  (match CS.analyze ~opts:(RO.make ~corners:3 ()) ~table nl with
+  | t -> Alcotest.(check int) "corners" 3 (CS.corners t));
+  Alcotest.check_raises "corner-count mismatch"
+    (Invalid_argument
+       "Corner_sta.analyze: opts.corners = 2 but the table has 3 corners")
+    (fun () -> ignore (CS.analyze ~opts:(RO.make ~corners:2 ()) ~table nl))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let suites =
+  [
+    qsuite "corners.prop"
+      [ prop_batched_matches_scalar; prop_retarget_through_edits ];
+    ( "corners.unit",
+      [
+        Alcotest.test_case "cache across model retargets" `Quick
+          test_cache_across_retargets;
+        Alcotest.test_case "monte-carlo determinism + oracle" `Quick
+          test_mc_deterministic;
+        Alcotest.test_case "corner-count validation" `Quick
+          test_corner_count_mismatch;
+      ] );
+  ]

@@ -170,6 +170,50 @@ let test_lsq_cuberoot_basis () =
   Alcotest.(check (float 1e-9)) "y term" 3. b.(2);
   Alcotest.(check (float 1e-9)) "const" 1. b.(3)
 
+let test_lsq_singular_raises () =
+  (* a fit poisoned by non-finite data must raise a message naming the
+     basis and sample count, not hand back NaN coefficients *)
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let expect_fail samples =
+    match Lsq.fit Lsq.quadratic_1d samples with
+    | _ -> Alcotest.fail "expected Invalid_argument from Lsq.fit"
+    | exception Invalid_argument msg ->
+      Alcotest.(check bool) "names the basis" true
+        (contains msg (Lsq.basis_name Lsq.quadratic_1d));
+      Alcotest.(check bool) "names the sample count" true
+        (contains msg "3 sample(s)")
+  in
+  expect_fail [ ([| Float.nan |], 1.); ([| 1. |], 2.); ([| 2. |], 3.) ];
+  expect_fail [ ([| 1. |], Float.infinity); ([| 2. |], 2.); ([| 3. |], 3.) ];
+  Alcotest.check_raises "empty" (Invalid_argument "Lsq.fit: empty sample list")
+    (fun () -> ignore (Lsq.fit Lsq.quadratic_1d []))
+
+(* ---------- Stats.quantile ---------- *)
+
+let test_stats_quantile () =
+  let xs = [ 3.; 1.; 4.; 2. ] in
+  (* type-7 estimator on the sorted samples [1;2;3;4] *)
+  Alcotest.(check (float 1e-12)) "q0 = min" 1. (Stats.quantile 0. xs);
+  Alcotest.(check (float 1e-12)) "q1 = max" 4. (Stats.quantile 1. xs);
+  Alcotest.(check (float 1e-12)) "median" 2.5 (Stats.quantile 0.5 xs);
+  Alcotest.(check (float 1e-12)) "q25 interpolates" 1.75 (Stats.quantile 0.25 xs);
+  Alcotest.(check (float 1e-12)) "singleton" 7. (Stats.quantile 0.5 [ 7. ]);
+  (match Stats.quantiles [ 0.; 0.5; 1. ] xs with
+  | [ (0., a); (0.5, b); (1., c) ] ->
+    Alcotest.(check (float 1e-12)) "qs min" 1. a;
+    Alcotest.(check (float 1e-12)) "qs median" 2.5 b;
+    Alcotest.(check (float 1e-12)) "qs max" 4. c
+  | _ -> Alcotest.fail "quantiles shape");
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.quantile: empty sample list")
+    (fun () -> ignore (Stats.quantile 0.5 []));
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Stats.quantile: q = 1.5 outside [0, 1]")
+    (fun () -> ignore (Stats.quantile 1.5 xs))
+
 (* ---------- Func1d ---------- *)
 
 let test_func1d_corner_search () =
@@ -424,6 +468,7 @@ let suites =
         Alcotest.test_case "nano scale" `Quick test_lsq_nano_scale;
         Alcotest.test_case "2d bases" `Quick test_lsq_2d_bases;
         Alcotest.test_case "cuberoot basis" `Quick test_lsq_cuberoot_basis;
+        Alcotest.test_case "singular raises" `Quick test_lsq_singular_raises;
       ] );
     ( "util.func1d",
       [
@@ -452,6 +497,7 @@ let suites =
         Alcotest.test_case "histogram" `Quick test_stats_histogram;
         Alcotest.test_case "histogram fixed range" `Quick
           test_stats_histogram_range;
+        Alcotest.test_case "quantile" `Quick test_stats_quantile;
       ] );
     ( "util.json",
       [

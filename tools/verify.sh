@@ -15,6 +15,11 @@ dune runtest
 # footprint, and reports gates/sec + bytes/gate.
 SSD_FAST=1 SSD_SCALE_GATES=5000 dune exec bench/main.exe -- scale
 
+# Downsized corners run: the 40k-gate batched-corner experiment shrunk —
+# still asserts per-plane bit-identity against K scalar analyses and the
+# batched-speedup floor, and runs the 64-sample Monte-Carlo sweep.
+SSD_FAST=1 SSD_CORNERS=4000 dune exec bench/main.exe -- corners
+
 if command -v odoc >/dev/null 2>&1; then
   dune build @doc @doc-private
 else
