@@ -960,19 +960,19 @@ let corners () =
   note "the batched sweep walks the netlist once, resolves each gate's";
   note "table slot once, and evaluates all K corners of a node from one";
   note "contiguous coefficient block with no per-corner allocation.";
-  (* Monte-Carlo: >= 64 sampled corners through one resident engine
-     session, with per-PO delay quantiles *)
+  (* Monte-Carlo: >= 64 sampled corners through the chunked batched
+     kernel (the mc experiment benchmarks it against the scalar oracle) *)
   let samples = 64 in
   let t0 = Unix.gettimeofday () in
   let res =
     CS.monte_carlo
-      ~opts:(Ssd_sta.Run_opts.make ~cache:true ())
+      ~opts:(Ssd_sta.Run_opts.make ())
       ~samples ~seed:4242L ~library:lib nl
   in
   let t_mc = Unix.gettimeofday () -. t0 in
   let rate = float_of_int samples /. t_mc in
-  note "Monte-Carlo: %d corner samples in %.2f s (%.1f samples/s, one \
-        Set_model retarget each against the resident session)"
+  note "Monte-Carlo: %d corner samples in %.2f s (%.1f samples/s, swept \
+        16 refitted corner planes per batched-kernel pass)"
     samples t_mc rate;
   let qs = [ 0.05; 0.5; 0.95 ] in
   let mt = Texttab.create
@@ -1001,6 +1001,133 @@ let corners () =
         ("mc_samples_per_sec", rate);
         ("mc_max_median", snd (List.nth (CS.mc_max_quantiles res qs) 1));
       ]
+
+(* ------------------------------------------------------------------ *)
+(* Monte-Carlo: chunked batched-kernel sampling vs the scalar path     *)
+(* ------------------------------------------------------------------ *)
+
+(* metrics exported into the --json report (speedup, boxed words/sample) *)
+let mc_metrics : (string * float) list ref = ref []
+
+let mc () =
+  header "Monte-Carlo — chunked batched-kernel sampling vs the scalar engine";
+  let module CS = Ssd_sta.Corner_sta in
+  let lib = Lazy.force library in
+  let gates =
+    (* SSD_MC downsizes the run for smoke checks / CI, like SSD_CORNERS
+       does for the corners experiment *)
+    match Sys.getenv_opt "SSD_MC" with
+    | Some s -> (try max 300 (int_of_string s) with Failure _ -> 4_000)
+    | None -> 4_000
+  in
+  let layers = max 12 (gates / 400) in
+  let nl =
+    Ck.Decompose.to_primitive
+      (Ck.Generator.generate
+         {
+           Ck.Generator.default_params with
+           Ck.Generator.g_name = Printf.sprintf "mc%dk" (gates / 1000);
+           n_inputs = 96;
+           n_outputs = 48;
+           n_gates = gates;
+           locality = 256;
+           seed = 777L;
+           shape = Ck.Generator.Layered { layers };
+         })
+  in
+  note "%s" (Ck.Netlist.stats nl);
+  let samples = 256 and seed = 4242L and batch = 16 in
+  (* batched path first, single core, with an allocation probe: the
+     sweep itself is allocation-free, so the boxed words are the chunk
+     bookkeeping (spec slices, refits) plus the per-sample extraction *)
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let batched =
+    CS.monte_carlo
+      ~opts:(Ssd_sta.Run_opts.make ~mc_batch:batch ())
+      ~samples ~seed ~library:lib nl
+  in
+  let t_batched = Unix.gettimeofday () -. t0 in
+  let words_per_sample =
+    (Gc.minor_words () -. w0) /. float_of_int samples
+  in
+  let t1 = Unix.gettimeofday () in
+  let scalar =
+    CS.monte_carlo_scalar
+      ~opts:(Ssd_sta.Run_opts.make ~cache:true ())
+      ~samples ~seed ~library:lib nl
+  in
+  let t_scalar = Unix.gettimeofday () -. t1 in
+  (* bit-identity: every per-sample PO delay and circuit max, then the
+     quantiles derived from them, must match the scalar oracle exactly *)
+  let beq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b) in
+  Array.iteri
+    (fun pi d ->
+      Array.iteri
+        (fun s v ->
+          if not (beq v scalar.CS.mc_delays.(pi).(s)) then begin
+            Printf.eprintf
+              "mc: PO %d sample %d: batched differs from the scalar path\n"
+              pi s;
+            exit 1
+          end)
+        d)
+    batched.CS.mc_delays;
+  Array.iteri
+    (fun s v ->
+      if not (beq v scalar.CS.mc_max.(s)) then begin
+        Printf.eprintf
+          "mc: sample %d circuit max differs from the scalar path\n" s;
+        exit 1
+      end)
+    batched.CS.mc_max;
+  let qs = [ 0.05; 0.5; 0.95 ] in
+  List.iter2
+    (fun (q, a) (_, b) ->
+      if not (beq a b) then begin
+        Printf.eprintf "mc: q%.0f quantile differs between paths\n" (q *. 100.);
+        exit 1
+      end)
+    (CS.mc_max_quantiles batched qs)
+    (CS.mc_max_quantiles scalar qs);
+  let speedup = t_scalar /. t_batched in
+  let target = 3.0 in
+  let t = Texttab.create ~header:[ "metric"; "value" ] in
+  Texttab.add_row t [ "samples"; string_of_int samples ];
+  Texttab.add_row t [ "batch K"; string_of_int batch ];
+  Texttab.add_row t
+    [ "scalar engine path (s)"; Printf.sprintf "%.2f" t_scalar ];
+  Texttab.add_row t
+    [ "batched kernel path (s)"; Printf.sprintf "%.2f" t_batched ];
+  Texttab.add_row t
+    [ "speedup (one core)"; Printf.sprintf "%.2fx (>= %.1fx)" speedup target ];
+  Texttab.add_row t
+    [ "boxed words/sample (batched)"; Printf.sprintf "%.0f" words_per_sample ];
+  Texttab.print t;
+  let mt =
+    Texttab.create ~header:[ "quantity"; "q5 (ns)"; "median (ns)"; "q95 (ns)" ]
+  in
+  Texttab.add_row_f ~prec:3 mt "circuit max delay"
+    (List.map (fun (_, v) -> ns v) (CS.mc_max_quantiles batched qs));
+  Texttab.print mt;
+  note "every per-sample PO delay, circuit max and quantile is asserted";
+  note "bit-identical between the chunked batched-kernel sweep and the";
+  note "scalar resident-engine oracle before any speedup is reported.";
+  mc_metrics :=
+    [
+      ("gates", float_of_int (Ck.Netlist.gate_count nl));
+      ("samples", float_of_int samples);
+      ("batch", float_of_int batch);
+      ("scalar_s", t_scalar);
+      ("batched_s", t_batched);
+      ("speedup", speedup);
+      ("boxed_words_per_sample", words_per_sample);
+    ];
+  if speedup < target then begin
+    Printf.eprintf "mc: batched speedup %.2fx below the %.1fx target\n" speedup
+      target;
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel performance suite                                          *)
@@ -1205,6 +1332,7 @@ let experiments =
     ("faultsim", faultsim);
     ("eco", eco);
     ("corners", corners);
+    ("mc", mc);
     ("scale", scale);
     ("perf", perf);
   ]
@@ -1232,6 +1360,8 @@ let write_json path timings total =
           Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) !scale_metrics) );
         ( "corners",
           Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) !corner_metrics) );
+        ( "mc",
+          Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) !mc_metrics) );
         ( "counters",
           Json.Obj
             (List.map

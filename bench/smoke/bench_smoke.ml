@@ -245,6 +245,41 @@ let () =
         end
       done)
     [ 1; 4 ];
+  (* monte-carlo loop, downsized: the chunked batched-kernel sampler must
+     reproduce the scalar resident-engine oracle bit for bit, sequentially
+     and in parallel (samples=7 with batch=3 exercises a tail chunk) *)
+  let mc_samples = 7 and mc_seed = 4242L in
+  let mc_oracle =
+    CS.monte_carlo_scalar
+      ~opts:(Ssd_sta.Run_opts.make ~cache:true ())
+      ~samples:mc_samples ~seed:mc_seed ~library:lib scale_nl
+  in
+  List.iter
+    (fun jobs ->
+      let mc =
+        CS.monte_carlo
+          ~opts:(Ssd_sta.Run_opts.make ~jobs ~mc_batch:3 ())
+          ~samples:mc_samples ~seed:mc_seed ~library:lib scale_nl
+      in
+      let bad = ref false in
+      Array.iteri
+        (fun pi row ->
+          Array.iteri
+            (fun s d ->
+              if not (beq d mc_oracle.CS.mc_delays.(pi).(s)) then bad := true)
+            row)
+        mc.CS.mc_delays;
+      Array.iteri
+        (fun s m ->
+          if not (beq m mc_oracle.CS.mc_max.(s)) then bad := true)
+        mc.CS.mc_max;
+      if !bad then begin
+        Printf.eprintf
+          "bench smoke: monte-carlo jobs=%d differs from the scalar oracle\n"
+          jobs;
+        exit 1
+      end)
+    [ 1; 4 ];
   (* telemetry loop: run one instrumented --stats/--trace style pass,
      write the Chrome trace, parse it back, and check the span tree
      covers every STA level exactly once (one "sta.level.<l>" complete

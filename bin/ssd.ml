@@ -600,21 +600,65 @@ let mc_cmd =
   let seed_t =
     Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"Sampling seed.")
   in
-  let run common fine file samples seed =
+  let batch_t =
+    Arg.(value & opt int 16 & info [ "batch" ] ~docv:"K"
+           ~doc:"Samples fitted and swept together per batched-kernel pass \
+                 (clamped to the sample count; never changes results).")
+  in
+  let check_t =
+    Arg.(value & flag & info [ "check" ]
+         ~doc:"Replay the sweep through the scalar resident-engine path and \
+               verify every per-sample PO delay and circuit max is \
+               bit-identical (exit 1 on the first mismatch).")
+  in
+  let run common fine file samples seed batch check =
     let obs = setup_common common in
     if samples < 1 then begin
       Printf.eprintf "ssd: --samples must be at least 1\n";
       exit 2
     end;
+    if batch < 1 then begin
+      Printf.eprintf "ssd: --batch must be at least 1\n";
+      exit 2
+    end;
     let lib = library_of fine in
     let nl = Ck.Decompose.to_primitive (load_netlist file) in
-    (* the eval cache pays off here: every sample revisits the same
-       cells through the resident engine session *)
-    let opts = run_opts_of ~cache:true common obs in
+    let opts = Run_opts.make ~jobs:common.co_jobs ~obs ~mc_batch:batch () in
     let res =
       Corner_sta.monte_carlo ~opts ~samples ~seed:(Int64.of_int seed)
         ~library:lib nl
     in
+    if check then begin
+      (* scalar oracle: the eval cache pays off there, every sample
+         revisits the same cells through the resident engine session *)
+      let oracle =
+        Corner_sta.monte_carlo_scalar
+          ~opts:(run_opts_of ~cache:true common obs)
+          ~samples ~seed:(Int64.of_int seed) ~library:lib nl
+      in
+      let beq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b) in
+      let fail fmt = Printf.ksprintf (fun m ->
+          Printf.eprintf "ssd: %s\n" m; exit 1) fmt
+      in
+      Array.iteri
+        (fun pi d ->
+          Array.iteri
+            (fun s v ->
+              if not (beq v oracle.Corner_sta.mc_delays.(pi).(s)) then
+                fail "PO %d sample %d: batched %.17g <> scalar %.17g"
+                  res.Corner_sta.mc_pos.(pi) s v
+                  oracle.Corner_sta.mc_delays.(pi).(s))
+            d)
+        res.Corner_sta.mc_delays;
+      Array.iteri
+        (fun s v ->
+          if not (beq v oracle.Corner_sta.mc_max.(s)) then
+            fail "sample %d circuit max: batched %.17g <> scalar %.17g" s v
+              oracle.Corner_sta.mc_max.(s))
+        res.Corner_sta.mc_max;
+      Printf.printf
+        "check: %d sample(s) bit-identical to the scalar engine path\n" samples
+    end;
     let qs = [ 0.; 0.05; 0.5; 0.95; 1. ] in
     Printf.printf "%s: %d Monte-Carlo corner samples (seed %d)\n"
       (Ck.Netlist.stats nl) samples seed;
@@ -642,8 +686,9 @@ let mc_cmd =
   in
   Cmd.v
     (Cmd.info "mc"
-       ~doc:"Monte-Carlo corner sampling over a resident re-timing session")
-    Term.(const run $ common_t $ fine_t $ bench_file_t $ samples_t $ seed_t)
+       ~doc:"Monte-Carlo corner sampling through the batched corner kernel")
+    Term.(const run $ common_t $ fine_t $ bench_file_t $ samples_t $ seed_t
+          $ batch_t $ check_t)
 
 (* ---- delay ---- *)
 

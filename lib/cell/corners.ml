@@ -183,11 +183,15 @@ type coeffs =
   (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
 
 type table = {
-  t_specs : spec array;
+  t_specs : spec array;  (* elements overwritten in place by [refit] *)
   t_nominal : Charlib.t;
-  t_libs : Charlib.t array;
+  t_libs : Charlib.t option array;
+      (* per-corner derated libraries, materialized on first [library]
+         request and invalidated by [refit]: the batched kernel never
+         needs them, only the scalar oracle / remap paths do *)
   t_layouts : layout array;
   t_coeffs : coeffs;
+  t_cells : Charlib.cell array;  (* nominal cells, aligned with layouts *)
   t_index : (Sweep.gate_kind * int, int) Hashtbl.t;
 }
 
@@ -237,53 +241,73 @@ let layout_of_cell ~base (c : Charlib.cell) =
     l_surf_basis = surf_basis;
   }
 
-let put1 co ~off (f : Fit.fit1) ~range =
-  if f.Fit.range <> range then
-    invalid_arg "Corners.build: fit1 range differs from the cell range";
-  if Array.length f.Fit.k <> 3 then
-    invalid_arg "Corners.build: fit1 coefficient count <> 3";
-  Bigarray.Array1.set co off f.Fit.k.(0);
-  Bigarray.Array1.set co (off + 1) f.Fit.k.(1);
-  Bigarray.Array1.set co (off + 2) f.Fit.k.(2);
-  Bigarray.Array1.set co (off + 3)
-    (match f.Fit.peak with Some p -> p | None -> Float.nan)
+(* Coefficient fill writes the {e derated} values directly from the
+   nominal fits: [s *. c] per coefficient, exactly the float operations
+   {!scale1}/{!scale2} perform — so the packed block is bit-identical to
+   packing a [derate_cell] result, without materializing derated cell
+   records.  This is what makes {!refit} cheap enough to run once per
+   Monte-Carlo chunk. *)
 
-let put2 co ~off (f : Fit.fit2) ~range =
+let put1 co ~off ~s (f : Fit.fit1) ~range =
+  if f.Fit.range <> range then
+    invalid_arg "Corners: fit1 range differs from the cell range";
+  if Array.length f.Fit.k <> 3 then
+    invalid_arg "Corners: fit1 coefficient count <> 3";
+  let k0 = s *. f.Fit.k.(0) in
+  let k1 = s *. f.Fit.k.(1) in
+  Bigarray.Array1.set co off k0;
+  Bigarray.Array1.set co (off + 1) k1;
+  Bigarray.Array1.set co (off + 2) (s *. f.Fit.k.(2));
+  (* same interior-extremum rule as [scale1], from the scaled coefficients *)
+  let lo, hi = f.Fit.range in
+  let peak =
+    if k0 = 0. then Float.nan
+    else begin
+      let p = -.k1 /. (2. *. k0) in
+      if p > lo && p < hi then p else Float.nan
+    end
+  in
+  Bigarray.Array1.set co (off + 3) peak
+
+let put2 co ~off ~s (f : Fit.fit2) ~range =
   if f.Fit.range2 <> range then
-    invalid_arg "Corners.build: fit2 range differs from the cell pair range";
+    invalid_arg "Corners: fit2 range differs from the cell pair range";
   let nk = Array.length f.Fit.k2 in
-  if nk > fit2_floats then
-    invalid_arg "Corners.build: fit2 coefficient count > 10";
+  if nk > fit2_floats then invalid_arg "Corners: fit2 coefficient count > 10";
   for i = 0 to fit2_floats - 1 do
-    Bigarray.Array1.set co (off + i) (if i < nk then f.Fit.k2.(i) else 0.)
+    Bigarray.Array1.set co (off + i) (if i < nk then s *. f.Fit.k2.(i) else 0.)
   done
 
-let fill_corner co (l : layout) ~corner (c : Charlib.cell) =
+let fill_corner co (l : layout) ~corner spec (c : Charlib.cell) =
   let b = l.l_base + (corner * l.l_stride) in
+  let sd = spec.c_delay and st = spec.c_tt in
   let range = (l.l_t_lo, l.l_t_hi) in
   let edge ~group ~pos (e : Charlib.edge_char) =
-    put1 co ~off:(b + edge_off l ~group ~pos ~fit:fit_delay) e.Charlib.delay
-      ~range;
-    put1 co ~off:(b + edge_off l ~group ~pos ~fit:fit_tt) e.Charlib.out_tt
+    put1 co ~off:(b + edge_off l ~group ~pos ~fit:fit_delay) ~s:sd
+      e.Charlib.delay ~range;
+    put1 co ~off:(b + edge_off l ~group ~pos ~fit:fit_tt) ~s:st e.Charlib.out_tt
       ~range
   in
   Array.iteri (fun pos e -> edge ~group:group_ctl ~pos e) c.Charlib.to_ctl;
   Array.iteri (fun pos e -> edge ~group:group_non ~pos e) c.Charlib.to_non;
   Array.iteri (fun pos e -> edge ~group:group_tied ~pos e) c.Charlib.tied_ctl;
   let lo = b + loads_off l in
-  Bigarray.Array1.set co lo c.Charlib.load_d_ctl;
-  Bigarray.Array1.set co (lo + 1) c.Charlib.load_t_ctl;
-  Bigarray.Array1.set co (lo + 2) c.Charlib.load_d_non;
-  Bigarray.Array1.set co (lo + 3) c.Charlib.load_t_non;
+  Bigarray.Array1.set co lo (sd *. c.Charlib.load_d_ctl);
+  Bigarray.Array1.set co (lo + 1) (st *. c.Charlib.load_t_ctl);
+  Bigarray.Array1.set co (lo + 2) (sd *. c.Charlib.load_d_non);
+  Bigarray.Array1.set co (lo + 3) (st *. c.Charlib.load_t_non);
   let prange = (l.l_p_lo, l.l_p_hi) in
   List.iteri
     (fun slot (p : Charlib.pair_char) ->
-      let put surf f = put2 co ~off:(b + pair_off l ~slot ~surf) f ~range:prange in
-      put surf_d0 p.Charlib.d0;
-      put surf_sr p.Charlib.sr;
-      put surf_syr p.Charlib.syr;
-      put surf_tts p.Charlib.tt_min_skew;
-      put surf_ttm p.Charlib.tt_min)
+      let put surf s f =
+        put2 co ~off:(b + pair_off l ~slot ~surf) ~s f ~range:prange
+      in
+      put surf_d0 sd p.Charlib.d0;
+      (* skew-axis surfaces track the delay scale, as in [derate_cell] *)
+      put surf_sr sd p.Charlib.sr;
+      put surf_syr sd p.Charlib.syr;
+      put surf_tts sd p.Charlib.tt_min_skew;
+      put surf_ttm st p.Charlib.tt_min)
     c.Charlib.pairs
 
 let build ?specs (lib : Charlib.t) =
@@ -293,7 +317,6 @@ let build ?specs (lib : Charlib.t) =
   if Array.length specs = 0 then invalid_arg "Corners.build: no corner specs";
   Array.iter check_spec specs;
   let k = Array.length specs in
-  let libs = Array.map (fun s -> derate_library s lib) specs in
   let cells = Array.of_list lib.Charlib.cells in
   let base = ref 0 in
   let layouts =
@@ -310,8 +333,7 @@ let build ?specs (lib : Charlib.t) =
   Array.iteri
     (fun ci l ->
       for corner = 0 to k - 1 do
-        let dc = List.nth libs.(corner).Charlib.cells ci in
-        fill_corner coeffs l ~corner dc
+        fill_corner coeffs l ~corner specs.(corner) cells.(ci)
       done)
     layouts;
   let index = Hashtbl.create 16 in
@@ -323,16 +345,25 @@ let build ?specs (lib : Charlib.t) =
   {
     t_specs = specs;
     t_nominal = lib;
-    t_libs = libs;
+    t_libs = Array.make k None;
     t_layouts = layouts;
     t_coeffs = coeffs;
+    t_cells = cells;
     t_index = index;
   }
 
 let k t = Array.length t.t_specs
 let spec t i = t.t_specs.(i)
 let nominal t = t.t_nominal
-let library t i = t.t_libs.(i)
+
+let library t i =
+  match t.t_libs.(i) with
+  | Some lib -> lib
+  | None ->
+    let lib = derate_library t.t_specs.(i) t.t_nominal in
+    t.t_libs.(i) <- Some lib;
+    lib
+
 let coeffs t = t.t_coeffs
 let layouts t = t.t_layouts
 let layout t i = t.t_layouts.(i)
@@ -340,6 +371,24 @@ let layout t i = t.t_layouts.(i)
 let cell_slot t kind n = Hashtbl.find_opt t.t_index (kind, n)
 
 let remap t corner (cell : Charlib.cell) =
-  Charlib.find t.t_libs.(corner) cell.Charlib.kind cell.Charlib.n
+  Charlib.find (library t corner) cell.Charlib.kind cell.Charlib.n
+
+let refit t specs =
+  let n = Array.length specs in
+  let kk = k t in
+  if n < 1 || n > kk then
+    invalid_arg
+      (Printf.sprintf "Corners.refit: %d specs for a %d-corner table" n kk);
+  Array.iter check_spec specs;
+  for c = 0 to n - 1 do
+    t.t_specs.(c) <- specs.(c);
+    t.t_libs.(c) <- None
+  done;
+  Array.iteri
+    (fun ci l ->
+      for corner = 0 to n - 1 do
+        fill_corner t.t_coeffs l ~corner specs.(corner) t.t_cells.(ci)
+      done)
+    t.t_layouts
 
 let bytes t = 8 * Bigarray.Array1.dim t.t_coeffs

@@ -91,10 +91,22 @@ type coeffs =
 type table
 
 val build : ?specs:spec list -> Charlib.t -> table
-(** Derate the library once per corner ([default_specs 4] when omitted)
-    and pack all coefficient sets.  @raise Invalid_argument on an empty
-    spec list, a bad factor, or a library whose fits violate the uniform
-    per-cell range assumption. *)
+(** Lay out the library's cells once and pack the derated coefficient
+    set of every corner ([default_specs 4] when omitted) directly from
+    the nominal fits — bit-identical to packing {!derate_cell} results.
+    @raise Invalid_argument on an empty spec list, a bad factor, or a
+    library whose fits violate the uniform per-cell range assumption. *)
+
+val refit : table -> spec array -> unit
+(** [refit t specs] retargets corners [0 .. n-1] of the table to the
+    given [n] specs in place: the per-cell layout records, the index
+    and the coefficient storage are all reused, only the [n] corners'
+    coefficient blocks are rewritten (and their cached derated
+    libraries dropped).  Corners [>= n] keep their previous specs and
+    coefficients — the Monte-Carlo tail chunk refits fewer specs than
+    the table holds and sweeps only the refreshed planes.
+    @raise Invalid_argument when [n] is 0 or exceeds {!k}, or on a bad
+    factor. *)
 
 val k : table -> int
 (** Number of corners. *)
@@ -103,7 +115,8 @@ val spec : table -> int -> spec
 val nominal : table -> Charlib.t
 val library : table -> int -> Charlib.t
 (** The full derated library of one corner — drives the scalar oracle
-    path and {!remap}. *)
+    path and {!remap}.  Materialized on first request and cached until
+    the next {!refit}; the batched kernel itself never touches it. *)
 
 val coeffs : table -> coeffs
 val layouts : table -> layout array

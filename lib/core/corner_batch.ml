@@ -469,14 +469,20 @@ type t = {
   bt_k : int;
 }
 
+let refresh t =
+  let ba = Corners.coeffs t.bt_table in
+  let co = t.bt_co in
+  for i = 0 to Bigarray.Array1.dim ba - 1 do
+    Array.unsafe_set co i (Bigarray.Array1.unsafe_get ba i)
+  done
+
 let create table =
   let ba = Corners.coeffs table in
   let len = Bigarray.Array1.dim ba in
   let co = Array.make (max 1 len) 0. in
-  for i = 0 to len - 1 do
-    co.(i) <- Bigarray.Array1.unsafe_get ba i
-  done;
-  { bt_table = table; bt_co = co; bt_k = Corners.k table }
+  let t = { bt_table = table; bt_co = co; bt_k = Corners.k table } in
+  refresh t;
+  t
 
 let table t = t.bt_table
 let k t = t.bt_k

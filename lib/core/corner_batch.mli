@@ -19,6 +19,11 @@ type t
 val create : Ssd_cell.Corners.table -> t
 val table : t -> Ssd_cell.Corners.table
 
+val refresh : t -> unit
+(** Re-copy the bound table's coefficient store into the evaluator's
+    flat array — call after {!Ssd_cell.Corners.refit} rewrote the
+    table's coefficients in place (the Monte-Carlo chunk loop). *)
+
 val k : t -> int
 (** Corner count of the bound table. *)
 

@@ -42,21 +42,14 @@ let slot_of_gate table kind n_in =
             "gate type %s is not primitive; decompose the netlist first"
             (Gate.to_string kind)))
 
-let analyze ?(opts = Run_opts.default) ~table nl =
-  let k = Corners.k table in
-  if opts.Run_opts.corners <> 1 && opts.Run_opts.corners <> k then
-    invalid_arg
-      (Printf.sprintf
-         "Corner_sta.analyze: opts.corners = %d but the table has %d corners"
-         opts.Run_opts.corners k);
-  let cb = Corner_batch.create table in
+(* resolve every gate's table slot up front: one hash lookup per node
+   instead of one per (node × corner), and unsupported gates fail
+   before any work is done.  Slot indices depend only on the library's
+   cell order, so the array can be shared read-only across the lanes of
+   a Monte-Carlo fan-out whose tables were built from the same
+   library. *)
+let resolve_slots table nl =
   let n = Netlist.size nl in
-  let w = Windows.create ~planes:k n in
-  let data = Windows.data w in
-  let pi_win = Sta.pi_window opts.Run_opts.pi_spec in
-  (* resolve every gate's table slot up front: one hash lookup per node
-     instead of one per (node × corner), and unsupported gates fail
-     before any work is done *)
   let slots = Array.make n (-1) in
   let max_fanin = ref 1 in
   for i = 0 to n - 1 do
@@ -66,42 +59,86 @@ let analyze ?(opts = Run_opts.default) ~table nl =
       if m > !max_fanin then max_fanin := m
     end
   done;
-  let max_fanin = !max_fanin in
-  let nw = Windows.length w in
-  let eval_range ~inp ~out i c0 c1 =
-    if Netlist.is_pi nl i then
+  (slots, !max_fanin)
+
+(* one corner sweep's resolved state: everything [eval_range] touches
+   per node, bundled so the analyze and Monte-Carlo paths share the
+   same gather/kernel/scatter code (and hence the same float ops) *)
+type sweep = {
+  sw_nl : Netlist.t;
+  sw_cb : Corner_batch.t;
+  sw_w : Windows.t;
+  sw_data : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  sw_nw : int;
+  sw_slots : int array;
+  sw_pi_win : Types.win;
+}
+
+let make_sweep ~pi_spec ~slots ~planes ~cb nl =
+  let w = Windows.create ~planes (Netlist.size nl) in
+  {
+    sw_nl = nl;
+    sw_cb = cb;
+    sw_w = w;
+    sw_data = Windows.data w;
+    sw_nw = Windows.length w;
+    sw_slots = slots;
+    sw_pi_win = Sta.pi_window pi_spec;
+  }
+
+let eval_range sw ~inp ~out i c0 c1 =
+  let nl = sw.sw_nl in
+  if Netlist.is_pi nl i then
+    for c = c0 to c1 - 1 do
+      Windows.set_plane sw.sw_w ~plane:c i ~rise:sw.sw_pi_win
+        ~fall:sw.sw_pi_win
+    done
+  else begin
+    let data = sw.sw_data and nw = sw.sw_nw in
+    let m = Netlist.fanin_count nl i in
+    (* pin-major gather: the fanin lookup runs once per pin, not once
+       per (pin × corner), and the plane base is inlined arithmetic
+       ([Windows.base] = ((plane·n)+node)·8) *)
+    for p = 0 to m - 1 do
+      let j = Netlist.fanin_nth nl i p in
+      let d0 = p * 8 in
       for c = c0 to c1 - 1 do
-        Windows.set_plane w ~plane:c i ~rise:pi_win ~fall:pi_win
-      done
-    else begin
-      let m = Netlist.fanin_count nl i in
-      (* pin-major gather: the fanin lookup runs once per pin, not once
-         per (pin × corner), and the plane base is inlined arithmetic
-         ([Windows.base] = ((plane·n)+node)·8) *)
-      for p = 0 to m - 1 do
-        let j = Netlist.fanin_nth nl i p in
-        let d0 = p * 8 in
-        for c = c0 to c1 - 1 do
-          let src = ((c * nw) + j) * 8 in
-          let dst = ((c - c0) * m * 8) + d0 in
-          for f = 0 to 7 do
-            Array.unsafe_set inp (dst + f)
-              (Bigarray.Array1.unsafe_get data (src + f))
-          done
-        done
-      done;
-      Corner_batch.eval_node cb ~slot:slots.(i) ~fanout:(Netlist.load_of nl i)
-        ~m ~c0 ~c1 ~inputs:inp ~outputs:out;
-      for c = c0 to c1 - 1 do
-        let dst = ((c * nw) + i) * 8 in
-        let ob = (c - c0) * 8 in
+        let src = ((c * nw) + j) * 8 in
+        let dst = ((c - c0) * m * 8) + d0 in
         for f = 0 to 7 do
-          Bigarray.Array1.unsafe_set data (dst + f)
-            (Array.unsafe_get out (ob + f))
+          Array.unsafe_set inp (dst + f)
+            (Bigarray.Array1.unsafe_get data (src + f))
         done
       done
-    end
-  in
+    done;
+    Corner_batch.eval_node sw.sw_cb ~slot:sw.sw_slots.(i)
+      ~fanout:(Netlist.load_of nl i) ~m ~c0 ~c1 ~inputs:inp ~outputs:out;
+    for c = c0 to c1 - 1 do
+      let dst = ((c * nw) + i) * 8 in
+      let ob = (c - c0) * 8 in
+      for f = 0 to 7 do
+        Bigarray.Array1.unsafe_set data (dst + f) (Array.unsafe_get out (ob + f))
+      done
+    done
+  end
+
+(* one streaming topological pass over corners [0, planes) *)
+let sweep_planes sw ~inp ~out planes =
+  Array.iter
+    (fun i -> eval_range sw ~inp ~out i 0 planes)
+    (Netlist.topo_order sw.sw_nl)
+
+let analyze ?(opts = Run_opts.default) ~table nl =
+  let k = Corners.k table in
+  if opts.Run_opts.corners <> 1 && opts.Run_opts.corners <> k then
+    invalid_arg
+      (Printf.sprintf
+         "Corner_sta.analyze: opts.corners = %d but the table has %d corners"
+         opts.Run_opts.corners k);
+  let cb = Corner_batch.create table in
+  let slots, max_fanin = resolve_slots table nl in
+  let sw = make_sweep ~pi_spec:opts.Run_opts.pi_spec ~slots ~planes:k ~cb nl in
+  let w = sw.sw_w in
   let jobs =
     if opts.Run_opts.jobs <= 0 then Par.default_jobs () else opts.Run_opts.jobs
   in
@@ -109,7 +146,7 @@ let analyze ?(opts = Run_opts.default) ~table nl =
     (* one streaming pass over all K corners per node *)
     let inp = Array.make (k * max_fanin * 8) 0. in
     let out = Array.make (k * 8) 0. in
-    Array.iter (fun i -> eval_range ~inp ~out i 0 k) (Netlist.topo_order nl)
+    sweep_planes sw ~inp ~out k
   end
   else begin
     (* the pool parallelizes over (level slot × corner chunk): a level
@@ -129,7 +166,7 @@ let analyze ?(opts = Run_opts.default) ~table nl =
               let c0 = tsk mod nchunks * corner_chunk in
               let c1 = min k (c0 + corner_chunk) in
               let inp, out = Domain.DLS.get scratch in
-              eval_range ~inp ~out i c0 c1)
+              eval_range sw ~inp ~out i c0 c1)
         done)
   end;
   { ct_netlist = nl; ct_table = table; ct_timing = w }
@@ -177,7 +214,7 @@ let summary t =
   done;
   Buffer.contents buf
 
-(* ----- Monte-Carlo parameter sampling over a resident session ---------- *)
+(* ----- Monte-Carlo parameter sampling ---------------------------------- *)
 
 type mc_result = {
   mc_specs : Corners.spec array;
@@ -187,8 +224,10 @@ type mc_result = {
   mc_max : float array;  (* [sample]: circuit max delay *)
 }
 
-let monte_carlo ?(opts = Run_opts.default) ?(samples = 64) ~seed ~library nl =
-  if samples < 1 then invalid_arg "Corner_sta.monte_carlo: samples < 1";
+let monte_carlo_scalar ?(opts = Run_opts.default) ?(samples = 64) ~seed
+    ~library nl =
+  if samples < 1 then
+    invalid_arg "Corner_sta.monte_carlo_scalar: samples < 1";
   let specs = Array.of_list (Corners.sample_specs ~seed samples) in
   let pos = Array.of_list (Netlist.outputs nl) in
   let delays = Array.map (fun _ -> Array.make samples 0.) pos in
@@ -220,6 +259,115 @@ let monte_carlo ?(opts = Run_opts.default) ?(samples = 64) ~seed ~library nl =
             pos;
           mc_max.(s) <- Engine.max_delay eng)
         specs);
+  { mc_specs = specs; mc_pos = pos; mc_delays = delays; mc_max }
+
+(* per-lane batched-kernel state: one K-corner table whose layouts are
+   fitted once and then only re-coefficiented per chunk, the evaluator
+   bound to it, a K-plane scratch window store, and the gather/scatter
+   scratch.  Lanes never share mutable state, so sample chunks can fan
+   out across the domain pool without contention. *)
+type mc_lane = {
+  mc_sw : sweep;
+  mc_table : Corners.table;
+  mc_inp : float array;
+  mc_out : float array;
+  mutable mc_used : bool;  (* has this lane's table served a chunk yet? *)
+}
+
+let monte_carlo ?(opts = Run_opts.default) ?(samples = 64) ~seed ~library nl =
+  if samples < 1 then invalid_arg "Corner_sta.monte_carlo: samples < 1";
+  if opts.Run_opts.mc_batch < 1 then
+    invalid_arg "Corner_sta.monte_carlo: opts.mc_batch < 1";
+  let pos = Array.of_list (Netlist.outputs nl) in
+  let npos = Array.length pos in
+  if npos = 0 then invalid_arg "Corner_sta.monte_carlo: netlist has no outputs";
+  (* all samples are drawn from one splitmix stream up front, so the
+     spec sequence is invariant under the chunking that follows *)
+  let specs = Array.of_list (Corners.sample_specs ~seed samples) in
+  let batch = min opts.Run_opts.mc_batch samples in
+  let nchunks = (samples + batch - 1) / batch in
+  let delays = Array.init npos (fun _ -> Array.make samples 0.) in
+  let mc_max = Array.make samples 0. in
+  let obs = opts.Run_opts.obs in
+  (* counter handles created before any domain is spawned: creation
+     takes the registry lock, increments are sharded and lock-free *)
+  let c_chunks = Obs.counter obs "mc.chunks" in
+  let c_built = Obs.counter obs "mc.tables_built" in
+  let c_hits = Obs.counter obs "mc.fit_cache_hits" in
+  let c_planes = Obs.counter obs "mc.planes" in
+  let proto_specs = Array.to_list (Array.sub specs 0 batch) in
+  let lane_of ~slots ~max_fanin table =
+    Obs.incr c_built;
+    let cb = Corner_batch.create table in
+    {
+      mc_sw =
+        make_sweep ~pi_spec:opts.Run_opts.pi_spec ~slots ~planes:batch ~cb nl;
+      mc_table = table;
+      mc_inp = Array.make (batch * max_fanin * 8) 0.;
+      mc_out = Array.make (batch * 8) 0.;
+      mc_used = false;
+    }
+  in
+  let new_lane ~slots ~max_fanin () =
+    lane_of ~slots ~max_fanin (Corners.build ~specs:proto_specs library)
+  in
+  let run_chunk lane chunk =
+    let s0 = chunk * batch in
+    let r = min batch (samples - s0) in
+    Obs.incr c_chunks;
+    if lane.mc_used then Obs.incr c_hits else lane.mc_used <- true;
+    Obs.add c_planes r;
+    (* retarget the lane's resident table: layouts, index and storage
+       are reused, only r corners' coefficient blocks are rewritten *)
+    Corners.refit lane.mc_table (Array.sub specs s0 r);
+    Corner_batch.refresh lane.mc_sw.sw_cb;
+    sweep_planes lane.mc_sw ~inp:lane.mc_inp ~out:lane.mc_out r;
+    (* stream the per-PO delays and circuit max out of the finished
+       planes; the window store is scratch reused by the next chunk.
+       Both extractions replicate the scalar path's float expressions
+       ([Engine.timing] + Float.max / the [po_window] hull fold), so
+       bit-identical windows give bit-identical results.  Writes land
+       at disjoint sample indices, hence are safe across lanes. *)
+    let w = lane.mc_sw.sw_w in
+    for c = 0 to r - 1 do
+      let s = s0 + c in
+      let win_of po =
+        Interval.hull
+          (Windows.rise_plane w ~plane:c po).Types.w_arr
+          (Windows.fall_plane w ~plane:c po).Types.w_arr
+      in
+      let acc = ref (win_of pos.(0)) in
+      for pi = 0 to npos - 1 do
+        let po = pos.(pi) in
+        delays.(pi).(s) <-
+          Float.max
+            (Interval.hi (Windows.rise_plane w ~plane:c po).Types.w_arr)
+            (Interval.hi (Windows.fall_plane w ~plane:c po).Types.w_arr);
+        if pi > 0 then acc := Interval.hull !acc (win_of po)
+      done;
+      mc_max.(s) <- Interval.hi !acc
+    done
+  in
+  (* the prototype lane also resolves the gate → table-slot mapping,
+     shared read-only by every other lane *)
+  let table0 = Corners.build ~specs:proto_specs library in
+  let slots, max_fanin = resolve_slots table0 nl in
+  let lane0 = lane_of ~slots ~max_fanin table0 in
+  let jobs =
+    if opts.Run_opts.jobs <= 0 then Par.default_jobs () else opts.Run_opts.jobs
+  in
+  if jobs <= 1 || nchunks = 1 then
+    for chunk = 0 to nchunks - 1 do
+      run_chunk lane0 chunk
+    done
+  else begin
+    let lane = Domain.DLS.new_key (new_lane ~slots ~max_fanin) in
+    (* the caller participates as a pool lane; hand it the prototype *)
+    Domain.DLS.set lane lane0;
+    Par.with_pool ~obs ~jobs (fun pool ->
+        Par.parallel_for pool ~chunk:1 ~label:"mc.chunk" ~n:nchunks
+          (fun chunk -> run_chunk (Domain.DLS.get lane) chunk))
+  end;
   { mc_specs = specs; mc_pos = pos; mc_delays = delays; mc_max }
 
 let mc_po_quantiles res qs =

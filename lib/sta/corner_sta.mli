@@ -11,11 +11,14 @@
     {!Sta.analyze_with} over that corner's derated library
     ({!plane_matches} is the check the corners bench asserts).
 
-    {!monte_carlo} samples random corners and retargets one resident
-    {!Engine} session per sample ([Set_model] with cell remapping),
-    amortizing netlist preprocessing, pool spawn and eval-cache warmup
-    across the whole sweep; {!mc_po_quantiles} reports per-PO delay
-    distributions. *)
+    {!monte_carlo} routes statistical sampling through the same batched
+    kernel: sampled derating specs are fitted in chunks of K into a
+    per-lane resident corner table ({!Ssd_cell.Corners.refit} rewrites
+    coefficients only, reusing the fitted layouts) and swept K planes
+    at a time, with independent sample chunks fanned across the {!Par}
+    domain pool.  The pre-existing scalar resident-{!Engine} path
+    remains as {!monte_carlo_scalar}, the bit-identity oracle;
+    {!mc_po_quantiles} reports per-PO delay distributions. *)
 
 type t
 (** A completed K-corner analysis. *)
@@ -71,7 +74,31 @@ val monte_carlo :
   Ssd_circuit.Netlist.t ->
   mc_result
 (** Sample [samples] (default 64) Gaussian corners
-    ({!Ssd_cell.Corners.sample_specs}) and analyze each by retargeting
+    ({!Ssd_cell.Corners.sample_specs}) and evaluate them through the
+    batched kernel, [opts.mc_batch] planes per sweep (clamped to the
+    sample count; the tail chunk refits and sweeps only the remaining
+    specs).  Each lane of the [opts.jobs]-wide pool owns a resident
+    corner table — fitted once, retargeted per chunk by
+    {!Ssd_cell.Corners.refit} — plus its own scratch {!Windows} planes;
+    per-PO delays and circuit max stream out of each finished chunk, so
+    memory stays O(lanes × K × nodes), never O(samples).  All specs are
+    drawn before chunking, so results are bit-identical to
+    {!monte_carlo_scalar} for every ([opts.jobs], [opts.mc_batch])
+    setting.  Telemetry ([opts.obs]): [mc.chunks], [mc.tables_built],
+    [mc.fit_cache_hits] (chunks served by an already-fitted lane
+    table), [mc.planes].  [opts.corners] and [opts.cache] are ignored.
+    @raise Invalid_argument on [samples < 1], [opts.mc_batch < 1] or a
+    netlist without outputs. *)
+
+val monte_carlo_scalar :
+  ?opts:Run_opts.t ->
+  ?samples:int ->
+  seed:int64 ->
+  library:Ssd_cell.Charlib.t ->
+  Ssd_circuit.Netlist.t ->
+  mc_result
+(** The pre-batching Monte-Carlo path, kept as the bit-identity oracle
+    behind [ssd mc --check]: analyze each sampled corner by retargeting
     one resident {!Engine} session via [Set_model] +
     {!Ssd_core.Delay_model.remap_cells}; the history is committed after
     every sample so journal memory stays bounded.  [opts.jobs] sets the

@@ -15,6 +15,7 @@ type t = {
   obs : Obs.t;
   pi_spec : pi_spec;
   corners : int;
+  mc_batch : int;
 }
 
 let default =
@@ -24,9 +25,11 @@ let default =
     obs = Obs.disabled;
     pi_spec = default_pi_spec;
     corners = 1;
+    mc_batch = 16;
   }
 
 let make ?(jobs = 1) ?(cache = false) ?(obs = Obs.disabled)
-    ?(pi_spec = default_pi_spec) ?(corners = 1) () =
+    ?(pi_spec = default_pi_spec) ?(corners = 1) ?(mc_batch = 16) () =
   if corners < 1 then invalid_arg "Run_opts.make: corners < 1";
-  { jobs; cache; obs; pi_spec; corners }
+  if mc_batch < 1 then invalid_arg "Run_opts.make: mc_batch < 1";
+  { jobs; cache; obs; pi_spec; corners; mc_batch }

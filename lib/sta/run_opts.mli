@@ -29,11 +29,15 @@ type t = {
           through the scalar path; [> 1] the batched corner sweep
           ({!Corner_sta}), which requires it to match the corner
           table's count *)
+  mc_batch : int;
+      (** Monte-Carlo chunk size K: samples fitted and swept together
+          per batched-kernel pass ({!Corner_sta.monte_carlo}); clamped
+          to the sample count, never changes results *)
 }
 
 val default : t
 (** [jobs = 1], [cache = false], disabled telemetry,
-    {!default_pi_spec}, [corners = 1]. *)
+    {!default_pi_spec}, [corners = 1], [mc_batch = 16]. *)
 
 val make :
   ?jobs:int ->
@@ -41,7 +45,8 @@ val make :
   ?obs:Ssd_obs.Obs.t ->
   ?pi_spec:pi_spec ->
   ?corners:int ->
+  ?mc_batch:int ->
   unit ->
   t
 (** {!default} with the given fields replaced.
-    @raise Invalid_argument on [corners < 1]. *)
+    @raise Invalid_argument on [corners < 1] or [mc_batch < 1]. *)

@@ -125,7 +125,7 @@ let eval_node ?cache ~windowing ~library nl timing ~pi_win ~extra i =
 
 let analyze_with ?(extra_delay = fun _ -> 0.) ?(pi_override = fun _ -> None)
     (opts : Run_opts.t) ~library ~model nl =
-  let { Run_opts.jobs; cache; obs; pi_spec; corners } = opts in
+  let { Run_opts.jobs; cache; obs; pi_spec; corners; mc_batch = _ } = opts in
   if corners <> 1 then
     invalid_arg
       "Sta.analyze_with: corners > 1 is the batched sweep (Corner_sta.analyze)";

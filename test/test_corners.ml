@@ -225,6 +225,158 @@ let test_mc_deterministic () =
   Alcotest.(check int) "one quantile list per PO"
     (Array.length a.CS.mc_pos) (Array.length per_po)
 
+(* ----- batched Monte-Carlo ------------------------------------------- *)
+
+let spec_eq (a : Corners.spec) (b : Corners.spec) =
+  String.equal a.Corners.c_name b.Corners.c_name
+  && beq a.Corners.c_delay b.Corners.c_delay
+  && beq a.Corners.c_tt b.Corners.c_tt
+
+let mc_eq ~what a b =
+  if Array.length a.CS.mc_specs <> Array.length b.CS.mc_specs then
+    Alcotest.failf "%s: sample counts differ" what;
+  Array.iteri
+    (fun s sa ->
+      if not (spec_eq sa b.CS.mc_specs.(s)) then
+        Alcotest.failf "%s: spec %d differs" what s)
+    a.CS.mc_specs;
+  Array.iteri
+    (fun pi d ->
+      Array.iteri
+        (fun s v ->
+          if not (beq v b.CS.mc_delays.(pi).(s)) then
+            Alcotest.failf "%s: PO delay (%d, %d) differs" what pi s)
+        d)
+    a.CS.mc_delays;
+  Array.iteri
+    (fun s v ->
+      if not (beq v b.CS.mc_max.(s)) then
+        Alcotest.failf "%s: circuit max at sample %d differs" what s)
+    a.CS.mc_max
+
+(* the tentpole contract: the chunked batched-kernel Monte-Carlo is
+   bit-identical to the scalar resident-engine oracle for every (jobs,
+   batch) combination — including batch 1 (a chunk per sample), a
+   samples-not-divisible-by-K tail chunk (10 = 3+3+3+1) and a batch
+   larger than the sample count (clamped) *)
+let prop_mc_batched_matches_scalar =
+  QCheck.Test.make
+    ~name:"batched monte_carlo == scalar oracle (jobs {1,4} x K {1,3,16})"
+    ~count:2
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let nl = mid_prim ~gates:400 seed in
+      let lib = Lazy.force lib in
+      let samples = 10 and mc_seed = Int64.of_int (seed + 99) in
+      let oracle =
+        CS.monte_carlo_scalar ~opts:(RO.make ~cache:true ()) ~samples
+          ~seed:mc_seed ~library:lib nl
+      in
+      List.iter
+        (fun jobs ->
+          List.iter
+            (fun k ->
+              let res =
+                CS.monte_carlo
+                  ~opts:(RO.make ~jobs ~mc_batch:k ())
+                  ~samples ~seed:mc_seed ~library:lib nl
+              in
+              mc_eq ~what:(Printf.sprintf "jobs %d batch %d" jobs k) res
+                oracle)
+            [ 1; 3; 16 ])
+        [ 1; 4 ];
+      true)
+
+(* chunking invariance of the sampled spec stream: all specs are drawn
+   from one splitmix stream before any chunking, so the batch size can
+   never perturb them *)
+let prop_mc_chunking_invariant_specs =
+  QCheck.Test.make
+    ~name:"sampled spec stream is invariant under batch K {1,4,7,64}"
+    ~count:4
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let nl = mid_prim ~gates:200 1 in
+      let lib = Lazy.force lib in
+      let samples = 13 and mc_seed = Int64.of_int seed in
+      let direct = Array.of_list (Corners.sample_specs ~seed:mc_seed samples) in
+      List.for_all
+        (fun k ->
+          let res =
+            CS.monte_carlo
+              ~opts:(RO.make ~mc_batch:k ())
+              ~samples ~seed:mc_seed ~library:lib nl
+          in
+          Array.length res.CS.mc_specs = samples
+          && Array.for_all2 spec_eq res.CS.mc_specs direct)
+        [ 1; 4; 7; 64 ])
+
+let test_mc_batch_validation () =
+  let nl = mid_prim ~gates:200 3 in
+  let lib = Lazy.force lib in
+  Alcotest.check_raises "Run_opts.make rejects mc_batch < 1"
+    (Invalid_argument "Run_opts.make: mc_batch < 1") (fun () ->
+      ignore (RO.make ~mc_batch:0 ()));
+  Alcotest.check_raises "monte_carlo rejects a hand-built mc_batch < 1"
+    (Invalid_argument "Corner_sta.monte_carlo: opts.mc_batch < 1") (fun () ->
+      ignore
+        (CS.monte_carlo
+           ~opts:{ RO.default with RO.mc_batch = 0 }
+           ~samples:2 ~seed:1L ~library:lib nl));
+  (* a batch wider than the sample count is clamped, not an error *)
+  let a =
+    CS.monte_carlo ~opts:(RO.make ~mc_batch:64 ()) ~samples:5 ~seed:5L
+      ~library:lib nl
+  in
+  let b =
+    CS.monte_carlo ~opts:(RO.make ~mc_batch:5 ()) ~samples:5 ~seed:5L
+      ~library:lib nl
+  in
+  Alcotest.(check int) "clamped run samples" 5 (Array.length a.CS.mc_max);
+  mc_eq ~what:"batch 64 clamped to 5" a b
+
+(* refit retargets a table in place: coefficients, specs and the lazily
+   rebuilt derated libraries must all match a fresh build *)
+let test_refit_matches_fresh_build () =
+  let lib = Lazy.force lib in
+  let coeffs_eq what (a : Corners.table) (b : Corners.table) =
+    let ca = Corners.coeffs a and cb = Corners.coeffs b in
+    let n = Bigarray.Array1.dim ca in
+    if n <> Bigarray.Array1.dim cb then Alcotest.failf "%s: sizes differ" what;
+    for i = 0 to n - 1 do
+      if not (beq (Bigarray.Array1.get ca i) (Bigarray.Array1.get cb i)) then
+        Alcotest.failf "%s: coefficient %d differs" what i
+    done
+  in
+  let sa = Array.of_list (Corners.default_specs 3) in
+  let sb = Array.of_list (Corners.sample_specs ~seed:77L 3) in
+  let t = Corners.build ~specs:(Array.to_list sa) lib in
+  let fresh_b = Corners.build ~specs:(Array.to_list sb) lib in
+  Corners.refit t sb;
+  coeffs_eq "full refit" t fresh_b;
+  Alcotest.(check string) "spec renamed" (sb.(1)).Corners.c_name
+    (Corners.spec t 1).Corners.c_name;
+  (* the derated-library cache was invalidated: corner 1's library now
+     derives from the refitted spec *)
+  let dlib = Corners.library t 1 in
+  Alcotest.(check string) "library tag tracks the refitted spec"
+    (lib.Charlib.tag ^ "@" ^ (sb.(1)).Corners.c_name)
+    dlib.Charlib.tag;
+  (* partial refit: only the leading corners move, the tail keeps its
+     previous coefficients (the Monte-Carlo tail-chunk case) *)
+  let sc = Array.of_list (Corners.sample_specs ~seed:88L 2) in
+  Corners.refit t sc;
+  let fresh_c =
+    Corners.build ~specs:[ sc.(0); sc.(1); sb.(2) ] lib
+  in
+  coeffs_eq "partial refit" t fresh_c;
+  Alcotest.check_raises "refit rejects more specs than corners"
+    (Invalid_argument "Corners.refit: 4 specs for a 3-corner table")
+    (fun () -> Corners.refit t (Array.of_list (Corners.default_specs 4)));
+  Alcotest.check_raises "refit rejects zero specs"
+    (Invalid_argument "Corners.refit: 0 specs for a 3-corner table")
+    (fun () -> Corners.refit t [||])
+
 let test_corner_count_mismatch () =
   let nl = mid_prim ~gates:200 1 in
   let table = Corners.build ~specs:(Corners.default_specs 3) (Lazy.force lib) in
@@ -240,13 +392,22 @@ let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 let suites =
   [
     qsuite "corners.prop"
-      [ prop_batched_matches_scalar; prop_retarget_through_edits ];
+      [
+        prop_batched_matches_scalar;
+        prop_retarget_through_edits;
+        prop_mc_batched_matches_scalar;
+        prop_mc_chunking_invariant_specs;
+      ];
     ( "corners.unit",
       [
         Alcotest.test_case "cache across model retargets" `Quick
           test_cache_across_retargets;
         Alcotest.test_case "monte-carlo determinism + oracle" `Quick
           test_mc_deterministic;
+        Alcotest.test_case "batch validation and clamping" `Quick
+          test_mc_batch_validation;
+        Alcotest.test_case "refit matches a fresh build" `Quick
+          test_refit_matches_fresh_build;
         Alcotest.test_case "corner-count validation" `Quick
           test_corner_count_mismatch;
       ] );

@@ -20,6 +20,12 @@ SSD_FAST=1 SSD_SCALE_GATES=5000 dune exec bench/main.exe -- scale
 # batched-speedup floor, and runs the 64-sample Monte-Carlo sweep.
 SSD_FAST=1 SSD_CORNERS=4000 dune exec bench/main.exe -- corners
 
+# Downsized Monte-Carlo run: 256 sampled corners through the chunked
+# batched kernel vs the scalar resident-engine oracle — still asserts
+# per-sample bit-identity, quantile identity and the one-core speedup
+# floor.
+SSD_MC=600 dune exec bench/main.exe -- mc
+
 if command -v odoc >/dev/null 2>&1; then
   dune build @doc @doc-private
 else
