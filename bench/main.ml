@@ -1341,58 +1341,210 @@ let experiments =
    { "experiments": [ {"name": ..., "wall_s": ...}, ... ], ... } so the
    perf trajectory of successive PRs can be compared mechanically
    (conventionally BENCH_results.json).  The aggregated telemetry
-   counters and timers of the instrumented identity-check passes ride
-   along, and the file is written atomically (sibling temp + rename) so
-   a concurrent reader never sees a truncated report. *)
-let write_json path timings total =
-  let json =
-    Json.Obj
-      [
-        ( "experiments",
-          Json.List
-            (List.map
-               (fun (name, wall) ->
+   counters, timers (with self time) and histogram shapes of the
+   instrumented identity-check passes ride along, and the file is
+   written atomically (sibling temp + rename) so a concurrent reader
+   never sees a truncated report. *)
+let report_json timings total =
+  let sn = Obs.snapshot bench_obs in
+  Json.Obj
+    [
+      ( "experiments",
+        Json.List
+          (List.map
+             (fun (name, wall) ->
+               Json.Obj
+                 [ ("name", Json.Str name); ("wall_s", Json.Num wall) ])
+             timings) );
+      ("total_wall_s", Json.Num total);
+      ( "scale",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) !scale_metrics) );
+      ( "corners",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) !corner_metrics) );
+      ( "mc",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) !mc_metrics) );
+      ( "counters",
+        Json.Obj
+          (List.map
+             (fun (n, v) -> (n, Json.Num (float_of_int v)))
+             sn.Obs.sn_counters) );
+      ( "timers",
+        Json.Obj
+          (List.map
+             (fun (n, st) ->
+               ( n,
                  Json.Obj
-                   [ ("name", Json.Str name); ("wall_s", Json.Num wall) ])
-               timings) );
-        ("total_wall_s", Json.Num total);
-        ( "scale",
-          Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) !scale_metrics) );
-        ( "corners",
-          Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) !corner_metrics) );
-        ( "mc",
-          Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) !mc_metrics) );
-        ( "counters",
-          Json.Obj
-            (List.map
-               (fun (n, v) -> (n, Json.Num (float_of_int v)))
-               (Obs.counters bench_obs)) );
-        ( "timers",
-          Json.Obj
-            (List.map
-               (fun (n, calls, secs) ->
-                 ( n,
-                   Json.Obj
-                     [
-                       ("calls", Json.Num (float_of_int calls));
-                       ("total_s", Json.Num secs);
-                     ] ))
-               (Obs.timers bench_obs)) );
-      ]
+                   [
+                     ("calls", Json.Num (float_of_int st.Obs.st_calls));
+                     ("total_s", Json.Num st.Obs.st_total_s);
+                     ("self_s", Json.Num st.Obs.st_self_s);
+                   ] ))
+             sn.Obs.sn_timers) );
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (n, hs) ->
+               ( n,
+                 Json.Obj
+                   [
+                     ("count", Json.Num (float_of_int hs.Obs.hs_count));
+                     ("sum", Json.Num hs.Obs.hs_sum);
+                     ( "rows",
+                       Json.List
+                         (List.map
+                            (fun (lo, hi, c) ->
+                              Json.List
+                                [
+                                  Json.Num lo;
+                                  Json.Num hi;
+                                  Json.Num (float_of_int c);
+                                ])
+                            hs.Obs.hs_rows) );
+                   ] ))
+             sn.Obs.sn_histograms) );
+    ]
+
+(* ---- bench-regression harness: --baseline FILE [--gate PCT] ----
+
+   A report is flattened to dotted-path numeric leaves; metrics present
+   in BOTH reports are compared.  Only the performance groups
+   (experiments / total_wall_s / scale / corners / mc) are gated, and
+   only when the leaf name classifies a direction (per_sec / speedup =
+   higher is better; seconds / wall / bytes / words = lower is better);
+   counters, timers and histogram shapes are informational — they shift
+   legitimately whenever instrumentation is added.  Sub-10ms timings
+   are never gated (pure scheduler noise at that scale). *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let ends_with suffix s =
+  let ns = String.length s and nx = String.length suffix in
+  ns >= nx && String.sub s (ns - nx) nx = suffix
+
+let flatten_report json =
+  let out = ref [] in
+  let rec go prefix j =
+    let sub k = if prefix = "" then k else prefix ^ "." ^ k in
+    match j with
+    | Json.Num v -> out := (prefix, v) :: !out
+    | Json.Obj kvs -> List.iter (fun (k, v) -> go (sub k) v) kvs
+    | Json.List xs ->
+      List.iteri
+        (fun i x ->
+          match x with
+          | Json.Obj kvs when List.mem_assoc "name" kvs -> (
+            match List.assoc "name" kvs with
+            | Json.Str n ->
+              List.iter
+                (fun (k, v) -> if k <> "name" then go (sub (n ^ "." ^ k)) v)
+                kvs
+            | _ -> go (sub (string_of_int i)) x)
+          | _ -> go (sub (string_of_int i)) x)
+        xs
+    | _ -> ()
   in
-  Obs.write_file_atomic path ~contents:(Json.to_string json ^ "\n");
-  Printf.printf "wrote %s\n" path
+  go "" json;
+  List.rev !out
+
+type direction = Higher_better | Lower_better | Info_only
+
+let metric_direction path =
+  let gated =
+    List.exists
+      (fun g -> starts_with g path)
+      [ "experiments."; "total_wall_s"; "scale."; "corners."; "mc." ]
+  in
+  if not gated then Info_only
+  else if contains path "per_sec" || contains path "speedup" then
+    Higher_better
+  else if
+    ends_with "_s" path || contains path "wall" || contains path "bytes"
+    || contains path "words"
+  then Lower_better
+  else Info_only
+
+let compare_reports ~gate ~baseline current =
+  let b = flatten_report baseline and c = flatten_report current in
+  let tb =
+    Texttab.create
+      ~header:[ "metric"; "baseline"; "current"; "delta"; "status" ]
+  in
+  let regressions = ref 0 in
+  let compared = ref 0 in
+  let fmt v = Printf.sprintf "%.6g" v in
+  List.iter
+    (fun (path, bv) ->
+      match List.assoc_opt path c with
+      | None -> ()
+      | Some cv ->
+        incr compared;
+        let delta_pct =
+          if bv = 0. then if cv = 0. then 0. else Float.infinity
+          else (cv -. bv) /. Float.abs bv *. 100.
+        in
+        let dir = metric_direction path in
+        let timing_noise =
+          (* anything that measures seconds below 10 ms is noise *)
+          (ends_with "_s" path || contains path "wall")
+          && Float.abs bv < 1e-2 && Float.abs cv < 1e-2
+        in
+        let status =
+          match dir with
+          | Info_only -> "info"
+          | _ when timing_noise -> "ok (noise)"
+          | Higher_better when delta_pct < -.gate ->
+            incr regressions;
+            "REGRESSION"
+          | Lower_better when delta_pct > gate ->
+            incr regressions;
+            "REGRESSION"
+          | _ -> "ok"
+        in
+        Texttab.add_row tb
+          [ path; fmt bv; fmt cv;
+            (if Float.is_finite delta_pct then
+               Printf.sprintf "%+.1f%%" delta_pct
+             else "new");
+            status ])
+    b;
+  Texttab.print tb;
+  note "compared %d metric(s) against baseline (gate %.0f%%), %d regression(s)"
+    !compared gate !regressions;
+  !regressions
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 let () =
-  let rec split_json acc = function
-    | [] -> (None, List.rev acc)
-    | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
-    | "--json" :: [] ->
-      prerr_endline "bench: --json requires a file argument";
+  let rec parse_opts json baseline gate acc = function
+    | [] -> (json, baseline, gate, List.rev acc)
+    | "--json" :: path :: rest -> parse_opts (Some path) baseline gate acc rest
+    | "--baseline" :: path :: rest ->
+      parse_opts json (Some path) gate acc rest
+    | "--gate" :: pct :: rest -> (
+      match float_of_string_opt pct with
+      | Some g when g >= 0. -> parse_opts json baseline g acc rest
+      | _ ->
+        prerr_endline "bench: --gate requires a non-negative percentage";
+        exit 2)
+    | [ ("--json" | "--baseline" | "--gate") ] ->
+      prerr_endline "bench: --json/--baseline/--gate require an argument";
       exit 2
-    | a :: rest -> split_json (a :: acc) rest
+    | a :: rest -> parse_opts json baseline gate (a :: acc) rest
   in
-  let json_path, args = split_json [] (List.tl (Array.to_list Sys.argv)) in
+  let json_path, baseline_path, gate, args =
+    parse_opts None None 50. [] (List.tl (Array.to_list Sys.argv))
+  in
   let requested =
     match args with
     | [] -> List.map fst experiments
@@ -1418,5 +1570,21 @@ let () =
       requested
   in
   let total = Unix.gettimeofday () -. t0 in
-  Option.iter (fun path -> write_json path timings total) json_path;
-  Printf.printf "\ntotal wall time: %.1f s\n" total
+  let report = report_json timings total in
+  Option.iter
+    (fun path ->
+      Obs.write_file_atomic path ~contents:(Json.to_string report ^ "\n");
+      Printf.printf "wrote %s\n" path)
+    json_path;
+  Printf.printf "\ntotal wall time: %.1f s\n" total;
+  match baseline_path with
+  | None -> ()
+  | Some path -> (
+    match Json.parse (read_file path) with
+    | Error msg ->
+      Printf.eprintf "bench: cannot parse baseline %s: %s\n" path msg;
+      exit 2
+    | Ok baseline ->
+      header (Printf.sprintf "regression check vs %s" path);
+      let regressions = compare_reports ~gate ~baseline report in
+      if regressions > 0 then exit 1)

@@ -342,4 +342,27 @@ let () =
             exit 1
           end
         done);
+  (* snapshot surface: the same instrumented run exports a typed
+     snapshot with a span forest, whose JSON serialisation parses back
+     and whose Prometheus exposition names the gate counter *)
+  let sn = Obs.snapshot obs in
+  if sn.Obs.sn_spans = [] then begin
+    Printf.eprintf "bench smoke: snapshot has no span forest\n";
+    exit 1
+  end;
+  (match Json.parse (Json.to_string (Obs.snapshot_to_json sn)) with
+  | Error msg ->
+    Printf.eprintf "bench smoke: snapshot JSON does not parse: %s\n" msg;
+    exit 1
+  | Ok _ -> ());
+  let prom = Obs.to_prometheus sn in
+  let contains r s =
+    let nr = String.length r and ns = String.length s in
+    let rec go i = i + ns <= nr && (String.sub r i ns = s || go (i + 1)) in
+    go 0
+  in
+  if not (contains prom "ssd_sta_gates_total") then begin
+    Printf.eprintf "bench smoke: exposition lacks ssd_sta_gates_total\n";
+    exit 1
+  end;
   print_endline "bench smoke: ok"

@@ -90,41 +90,69 @@ let trace_t =
                  (load in Perfetto or chrome://tracing); one track per \
                  execution lane.")
 
+let stats_json_t =
+  Arg.(value & opt (some string) None
+       & info [ "stats-json" ] ~docv:"FILE"
+           ~doc:"Write the full telemetry snapshot as JSON: counters, \
+                 gauges, timers (total and self seconds), histogram rows \
+                 and the hierarchical span tree with per-span GC \
+                 allocation deltas.  This is the /stats payload shape.")
+
+let metrics_t =
+  Arg.(value & flag & info [ "metrics" ]
+       ~doc:"Print the telemetry snapshot in Prometheus text exposition \
+             format after the run.")
+
 (* one sink per invocation: enabled only when the user asked for output,
-   so the default path keeps the no-op sink's near-zero overhead *)
-let make_obs ~stats ~trace =
-  if stats || trace <> None then Obs.create ~trace:(trace <> None) ()
+   so the default path keeps the no-op sink's near-zero overhead.  A
+   snapshot request turns span recording on too — the span tree (and its
+   GC attribution) is part of the snapshot. *)
+let make_obs ~stats ~trace ~stats_json ~metrics =
+  let tracing = trace <> None || stats_json <> None in
+  if stats || metrics || tracing then Obs.create ~trace:tracing ()
   else Obs.disabled
 
-let emit_obs obs ~stats ~trace =
+let emit_obs obs ~stats ~trace ~stats_json ~metrics =
   (match trace with
   | Some path ->
     Obs.write_trace obs path;
     Printf.printf "wrote trace to %s\n" path
   | None -> ());
+  (match stats_json with
+  | Some path ->
+    Obs.write_snapshot obs path;
+    Printf.printf "wrote stats to %s\n" path
+  | None -> ());
+  if metrics then print_string (Obs.to_prometheus (Obs.snapshot obs));
   if stats then print_string (Obs.report obs)
 
 (* The common option block every worker subcommand shares.  Parsed once
-   here so --jobs / --stats / --trace keep identical names, docs and
-   semantics across sta, atpg, gen and eco. *)
+   here so --jobs / --stats / --trace / --stats-json / --metrics keep
+   identical names, docs and semantics across sta, atpg, gen and eco. *)
 type common = {
   co_verbose : bool;
   co_jobs : int;
   co_stats : bool;
   co_trace : string option;
+  co_stats_json : string option;
+  co_metrics : bool;
 }
 
 let common_t =
-  let mk co_verbose co_jobs co_stats co_trace =
-    { co_verbose; co_jobs; co_stats; co_trace }
+  let mk co_verbose co_jobs co_stats co_trace co_stats_json co_metrics =
+    { co_verbose; co_jobs; co_stats; co_trace; co_stats_json; co_metrics }
   in
-  Term.(const mk $ verbose_t $ jobs_t $ stats_t $ trace_t)
+  Term.(const mk $ verbose_t $ jobs_t $ stats_t $ trace_t $ stats_json_t
+        $ metrics_t)
 
 let setup_common c =
   setup_logs c.co_verbose;
-  make_obs ~stats:c.co_stats ~trace:c.co_trace
+  make_obs ~stats:c.co_stats ~trace:c.co_trace ~stats_json:c.co_stats_json
+    ~metrics:c.co_metrics
 
-let finish_common c obs = emit_obs obs ~stats:c.co_stats ~trace:c.co_trace
+let finish_common c obs =
+  emit_obs obs ~stats:c.co_stats ~trace:c.co_trace
+    ~stats_json:c.co_stats_json ~metrics:c.co_metrics
 
 let run_opts_of ?(cache = false) c obs =
   Run_opts.make ~jobs:c.co_jobs ~cache ~obs ()
@@ -519,7 +547,7 @@ let gen_cmd =
   let run common gates inputs outputs seed out =
     let obs = setup_common common in
     let nl =
-      Ck.Generator.generate
+      Ck.Generator.generate ~obs
         {
           Ck.Generator.default_params with
           Ck.Generator.g_name = "synth";

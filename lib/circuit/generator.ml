@@ -1,4 +1,5 @@
 module Rng = Ssd_util.Rng
+module Obs = Ssd_obs.Obs
 
 type shape = Organic | Layered of { layers : int }
 
@@ -146,7 +147,7 @@ let name_of p id =
   if id < p.n_inputs then Printf.sprintf "pi%d" id
   else Printf.sprintf "g%d" id
 
-let generate_organic p =
+let generate_organic ~c_redraw p =
   let rng = Rng.create p.seed in
   let total = p.n_inputs + p.n_gates in
   let signals = ref [] in
@@ -213,10 +214,14 @@ let generate_organic p =
       if not (is_constant s) then (kind, fanin, s)
       else if k >= 20 then begin
         (* a NOT of a non-constant node is never constant *)
+        Obs.incr c_redraw;
         let src = pick_fanin rng id in
         (Gate.Not, [ src ], signature sigs Gate.Not [ src ])
       end
-      else attempt (k + 1)
+      else begin
+        Obs.incr c_redraw;
+        attempt (k + 1)
+      end
     in
     let kind, fanin, s = attempt 0 in
     sigs.(id) <- s;
@@ -239,7 +244,7 @@ let generate_organic p =
    parallel schedule with realistic (wide, shallow) circuits at 100k+
    gates, where the organic preferential growth would produce a long
    thin tail instead. *)
-let generate_layered p ~layers =
+let generate_layered ~c_redraw p ~layers =
   let rng = Rng.create p.seed in
   let total = p.n_inputs + p.n_gates in
   let layers = min layers p.n_gates in
@@ -303,10 +308,14 @@ let generate_layered p ~layers =
         else if k >= 20 then begin
           (* a NOT of a non-constant previous-layer node is never
              constant, and keeps the gate at level l + 1 *)
+          Obs.incr c_redraw;
           let src = pick_prev () in
           (Gate.Not, [ src ], signature sigs Gate.Not [ src ])
         end
-        else attempt (k + 1)
+        else begin
+          Obs.incr c_redraw;
+          attempt (k + 1)
+        end
       in
       let kind, fanin, s = attempt 0 in
       sigs.(id) <- s;
@@ -321,8 +330,16 @@ let generate_layered p ~layers =
   Netlist.build ~name:p.g_name ~signals
     ~outputs:(List.map (name_of p) outputs)
 
-let generate p =
+let generate ?(obs = Obs.disabled) p =
   check_params p;
-  match p.shape with
-  | Organic -> generate_organic p
-  | Layered { layers } -> generate_layered p ~layers
+  let c_redraw = Obs.counter obs "gen.redraws" in
+  Obs.span obs (Obs.timer obs "gen.build") (fun () ->
+      let nl =
+        match p.shape with
+        | Organic -> generate_organic ~c_redraw p
+        | Layered { layers } -> generate_layered ~c_redraw p ~layers
+      in
+      Obs.add (Obs.counter obs "gen.gates") p.n_gates;
+      Obs.add (Obs.counter obs "gen.pis") p.n_inputs;
+      Obs.add (Obs.counter obs "gen.pos") p.n_outputs;
+      nl)

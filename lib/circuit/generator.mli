@@ -32,10 +32,14 @@ type params = {
 
 val default_params : params
 
-val generate : params -> Netlist.t
+val generate : ?obs:Ssd_obs.Obs.t -> params -> Netlist.t
 (** Every PI reaches some gate and every gate transitively feeds some PO
     (dead nodes are re-wired into the PO selection); the PO count is
     exactly [n_outputs], topped up from the deepest gates when the
     circuit has fewer sinks than requested outputs.
+
+    [obs] (default disabled) counts the build: [gen.gates] / [gen.pis] /
+    [gen.pos] totals, [gen.redraws] constant-signature redraw attempts,
+    and a [gen.build] span/timer around the whole construction.
     @raise Invalid_argument on non-positive counts, [max_fanin < 2],
     [n_outputs > n_gates] or [Layered] with [layers < 1]. *)

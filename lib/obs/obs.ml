@@ -11,15 +11,26 @@ let shard_count = 64
 
 let shard_index () = (Domain.self () :> int) land (shard_count - 1)
 
+(* ---- monotonic clock ---- *)
+
+external monotonic_ns : unit -> (int64[@unboxed])
+  = "ssd_obs_monotonic_ns" "ssd_obs_monotonic_ns_unboxed"
+[@@noalloc]
+
+let now () = Int64.to_float (monotonic_ns ()) *. 1e-9
+
 type counter =
   | C_off
   | C_on of { c_name : string; c_shards : int Atomic.t array }
+
+type gauge = G_off | G_on of { g_name : string; g_cell : float Atomic.t }
 
 type timer =
   | T_off
   | T_on of {
       t_name : string;
       t_ns : int Atomic.t array;
+      t_self_ns : int Atomic.t array;
       t_calls : int Atomic.t array;
     }
 
@@ -35,13 +46,33 @@ type histogram =
 
 type event = {
   ev_name : string;
+  ev_id : int;
+  ev_parent : int;
   ev_tid : int;
   ev_ts : float;
   ev_dur : float;
+  ev_self : float;
+  ev_minor_words : float;
+  ev_self_minor_words : float;
+  ev_promoted_words : float;
+}
+
+(* An open span.  Frames live on the recording domain's stack, so only
+   that domain ever reads or writes them — no atomics needed. *)
+type frame = {
+  fr_id : int;
+  fr_parent : int;  (* -1 for a root span *)
+  fr_name : string;
+  mutable fr_t0 : float;
+  mutable fr_minor0 : float;
+  mutable fr_promoted0 : float;
+  mutable fr_child_ns : int;
+  mutable fr_child_minor : float;
 }
 
 type metric =
   | Counter of counter
+  | Gauge of gauge
   | Timer of timer
   | Histogram of histogram
 
@@ -52,6 +83,11 @@ type state = {
   mutable s_metrics : (string * metric) list;  (* creation order *)
   mutable s_tracks : (int * string) list;
   s_events : event list Atomic.t;
+  s_next_span : int Atomic.t;
+  s_stack : frame list ref Domain.DLS.key;
+      (* open-span stack, per domain (DLS, not the shard array: shards
+         may collide mod [shard_count], which is harmless for atomic
+         counters but would race the stack) *)
 }
 
 type t = Off | On of state
@@ -61,18 +97,18 @@ let disabled = Off
 let create ?(trace = false) () =
   On
     {
-      s_epoch = Unix.gettimeofday ();
+      s_epoch = now ();
       s_trace = trace;
       s_mutex = Mutex.create ();
       s_metrics = [];
       s_tracks = [];
       s_events = Atomic.make [];
+      s_next_span = Atomic.make 0;
+      s_stack = Domain.DLS.new_key (fun () -> ref []);
     }
 
 let enabled = function Off -> false | On _ -> true
 let tracing = function Off -> false | On s -> s.s_trace
-
-let now () = Unix.gettimeofday ()
 
 let atomic_shards () = Array.init shard_count (fun _ -> Atomic.make 0)
 
@@ -116,6 +152,24 @@ let counter_value = function
   | C_off -> 0
   | C_on c -> Array.fold_left (fun acc a -> acc + Atomic.get a) 0 c.c_shards
 
+(* ---- gauges ---- *)
+
+let gauge t name =
+  match t with
+  | Off -> G_off
+  | On s -> (
+    match
+      register s name (fun () ->
+          Gauge (G_on { g_name = name; g_cell = Atomic.make 0. }))
+    with
+    | Gauge g -> g
+    | _ -> invalid_arg ("Obs.gauge: " ^ name ^ " is not a gauge"))
+
+let set_gauge g v =
+  match g with G_off -> () | G_on g -> Atomic.set g.g_cell v
+
+let gauge_value = function G_off -> 0. | G_on g -> Atomic.get g.g_cell
+
 (* ---- timers ---- *)
 
 let timer t name =
@@ -129,22 +183,35 @@ let timer t name =
                {
                  t_name = name;
                  t_ns = atomic_shards ();
+                 t_self_ns = atomic_shards ();
                  t_calls = atomic_shards ();
                }))
     with
     | Timer tm -> tm
     | _ -> invalid_arg ("Obs.timer: " ^ name ^ " is not a timer"))
 
+(* A direct credit is all self time; spans split total vs self below. *)
 let add_ns tm ns =
   match tm with
   | T_off -> ()
   | T_on t ->
     let i = shard_index () in
     ignore (Atomic.fetch_and_add t.t_ns.(i) ns);
+    ignore (Atomic.fetch_and_add t.t_self_ns.(i) ns);
+    Atomic.incr t.t_calls.(i)
+
+let credit_span tm ~total_ns ~self_ns =
+  match tm with
+  | T_off -> ()
+  | T_on t ->
+    let i = shard_index () in
+    ignore (Atomic.fetch_and_add t.t_ns.(i) total_ns);
+    ignore (Atomic.fetch_and_add t.t_self_ns.(i) self_ns);
     Atomic.incr t.t_calls.(i)
 
 let sum_shards a = Array.fold_left (fun acc x -> acc + Atomic.get x) 0 a
 let timer_ns = function T_off -> 0 | T_on t -> sum_shards t.t_ns
+let timer_self_ns = function T_off -> 0 | T_on t -> sum_shards t.t_self_ns
 let timer_calls = function T_off -> 0 | T_on t -> sum_shards t.t_calls
 
 let ns_of_s dt = int_of_float (dt *. 1e9)
@@ -209,22 +276,77 @@ let rec push_event a ev =
 
 let timer_name = function T_off -> "" | T_on t -> t.t_name
 
+(* The span stack runs whenever the sink is enabled — self-time in the
+   timers needs the parent/child links even when tracing (event
+   recording) is off.  Gc counters are read after the frame is pushed
+   and re-read before any event allocation, so the span's own
+   bookkeeping words are excluded from its GC delta. *)
 let span t ?event tm f =
   match t with
   | Off -> f ()
   | On s ->
-    let t0 = now () in
+    let stack = Domain.DLS.get s.s_stack in
+    let parent_id = match !stack with [] -> -1 | p :: _ -> p.fr_id in
+    let name = match event with Some e -> e | None -> timer_name tm in
+    let fr =
+      {
+        fr_id = Atomic.fetch_and_add s.s_next_span 1;
+        fr_parent = parent_id;
+        fr_name = name;
+        fr_t0 = 0.;
+        fr_minor0 = 0.;
+        fr_promoted0 = 0.;
+        fr_child_ns = 0;
+        fr_child_minor = 0.;
+      }
+    in
+    stack := fr :: !stack;
+    (* Gc.minor_words, not Gc.counters: on OCaml 5.x the latter reads
+       per-domain counters that are only refreshed at GC events and so
+       misses allocation since the last collection.  Promoted words only
+       advance at minor collections, so the quick_stat value is exact. *)
+    fr.fr_minor0 <- Gc.minor_words ();
+    fr.fr_promoted0 <- (Gc.quick_stat ()).Gc.promoted_words;
+    fr.fr_t0 <- now ();
     let finish () =
       let t1 = now () in
-      add_ns tm (ns_of_s (t1 -. t0));
+      let minor1 = Gc.minor_words () in
+      let promoted1 = (Gc.quick_stat ()).Gc.promoted_words in
+      (match !stack with
+      | top :: rest when top == fr -> stack := rest
+      | other ->
+        (* unbalanced close (an inner finish was skipped); drop to fr *)
+        let rec drop = function
+          | top :: rest when top == fr -> rest
+          | _ :: rest -> drop rest
+          | [] -> []
+        in
+        stack := drop other);
+      let dur = t1 -. fr.fr_t0 in
+      let dur_ns = ns_of_s dur in
+      let self_ns = if fr.fr_child_ns > dur_ns then 0 else dur_ns - fr.fr_child_ns in
+      let minor = minor1 -. fr.fr_minor0 in
+      let promoted = promoted1 -. fr.fr_promoted0 in
+      let self_minor = Float.max 0. (minor -. fr.fr_child_minor) in
+      credit_span tm ~total_ns:dur_ns ~self_ns;
+      (match !stack with
+      | p :: _ when p.fr_id = fr.fr_parent ->
+        p.fr_child_ns <- p.fr_child_ns + dur_ns;
+        p.fr_child_minor <- p.fr_child_minor +. minor
+      | _ -> ());
       if s.s_trace then
         push_event s.s_events
           {
-            ev_name =
-              (match event with Some e -> e | None -> timer_name tm);
+            ev_name = name;
+            ev_id = fr.fr_id;
+            ev_parent = fr.fr_parent;
             ev_tid = (Domain.self () :> int);
-            ev_ts = t0 -. s.s_epoch;
-            ev_dur = t1 -. t0;
+            ev_ts = fr.fr_t0 -. s.s_epoch;
+            ev_dur = dur;
+            ev_self = float_of_int self_ns *. 1e-9;
+            ev_minor_words = minor;
+            ev_self_minor_words = self_minor;
+            ev_promoted_words = promoted;
           }
     in
     Fun.protect ~finally:finish f
@@ -261,13 +383,279 @@ let counters t =
       | _ -> None)
     (metrics t)
 
+let gauges t =
+  List.filter_map
+    (function name, Gauge g -> Some (name, gauge_value g) | _ -> None)
+    (metrics t)
+
 let timers t =
   List.filter_map
     (function
       | name, Timer tm ->
-        Some (name, timer_calls tm, float_of_int (timer_ns tm) *. 1e-9)
+        Some
+          ( name,
+            timer_calls tm,
+            float_of_int (timer_ns tm) *. 1e-9,
+            float_of_int (timer_self_ns tm) *. 1e-9 )
       | _ -> None)
     (metrics t)
+
+(* ---- typed snapshot ---- *)
+
+type timer_stat = { st_calls : int; st_total_s : float; st_self_s : float }
+
+type hist_stat = {
+  hs_count : int;
+  hs_sum : float;
+  hs_rows : (float * float * int) list;
+}
+
+type span_node = {
+  sp_name : string;
+  sp_tid : int;
+  sp_start_s : float;
+  sp_total_s : float;
+  sp_self_s : float;
+  sp_minor_words : float;
+  sp_self_minor_words : float;
+  sp_promoted_words : float;
+  sp_children : span_node list;
+}
+
+type snapshot = {
+  sn_counters : (string * int) list;
+  sn_gauges : (string * float) list;
+  sn_timers : (string * timer_stat) list;
+  sn_histograms : (string * hist_stat) list;
+  sn_spans : span_node list;
+}
+
+let empty_snapshot =
+  {
+    sn_counters = [];
+    sn_gauges = [];
+    sn_timers = [];
+    sn_histograms = [];
+    sn_spans = [];
+  }
+
+(* Rebuild the span forest from the flat event list via parent ids.  An
+   event whose parent was still open (or from another sink) when the
+   snapshot was taken becomes a root. *)
+let span_tree events =
+  let ids = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace ids e.ev_id ()) events;
+  let by_parent = Hashtbl.create 64 in
+  let key e =
+    if e.ev_parent >= 0 && Hashtbl.mem ids e.ev_parent then e.ev_parent
+    else -1
+  in
+  List.iter (fun e -> Hashtbl.add by_parent (key e) e) events;
+  (* find_all returns most-recently-added first; events arrive sorted by
+     (tid, ts), so reversing restores that order per parent *)
+  let rec node e =
+    {
+      sp_name = e.ev_name;
+      sp_tid = e.ev_tid;
+      sp_start_s = e.ev_ts;
+      sp_total_s = e.ev_dur;
+      sp_self_s = e.ev_self;
+      sp_minor_words = e.ev_minor_words;
+      sp_self_minor_words = e.ev_self_minor_words;
+      sp_promoted_words = e.ev_promoted_words;
+      sp_children = List.rev_map node (Hashtbl.find_all by_parent e.ev_id);
+    }
+  in
+  List.rev_map node (Hashtbl.find_all by_parent (-1))
+
+let snapshot t =
+  match t with
+  | Off -> empty_snapshot
+  | On _ ->
+    let ms = metrics t in
+    {
+      sn_counters =
+        List.filter_map
+          (function n, Counter c -> Some (n, counter_value c) | _ -> None)
+          ms;
+      sn_gauges =
+        List.filter_map
+          (function n, Gauge g -> Some (n, gauge_value g) | _ -> None)
+          ms;
+      sn_timers =
+        List.filter_map
+          (function
+            | n, Timer tm ->
+              Some
+                ( n,
+                  {
+                    st_calls = timer_calls tm;
+                    st_total_s = float_of_int (timer_ns tm) *. 1e-9;
+                    st_self_s = float_of_int (timer_self_ns tm) *. 1e-9;
+                  } )
+            | _ -> None)
+          ms;
+      sn_histograms =
+        List.filter_map
+          (function
+            | n, Histogram h ->
+              let xs = samples h in
+              Some
+                ( n,
+                  {
+                    hs_count = List.length xs;
+                    hs_sum = List.fold_left ( +. ) 0. xs;
+                    hs_rows = histogram_rows h;
+                  } )
+            | _ -> None)
+          ms;
+      sn_spans = span_tree (trace_events t);
+    }
+
+let rec span_node_json n =
+  Json.Obj
+    [
+      ("name", Json.Str n.sp_name);
+      ("tid", Json.Num (float_of_int n.sp_tid));
+      ("start_s", Json.Num n.sp_start_s);
+      ("total_s", Json.Num n.sp_total_s);
+      ("self_s", Json.Num n.sp_self_s);
+      ("minor_words", Json.Num n.sp_minor_words);
+      ("self_minor_words", Json.Num n.sp_self_minor_words);
+      ("promoted_words", Json.Num n.sp_promoted_words);
+      ("children", Json.List (List.map span_node_json n.sp_children));
+    ]
+
+let snapshot_to_json sn =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (List.map
+             (fun (n, v) -> (n, Json.Num (float_of_int v)))
+             sn.sn_counters) );
+      ( "gauges",
+        Json.Obj (List.map (fun (n, v) -> (n, Json.Num v)) sn.sn_gauges) );
+      ( "timers",
+        Json.Obj
+          (List.map
+             (fun (n, st) ->
+               ( n,
+                 Json.Obj
+                   [
+                     ("calls", Json.Num (float_of_int st.st_calls));
+                     ("total_s", Json.Num st.st_total_s);
+                     ("self_s", Json.Num st.st_self_s);
+                   ] ))
+             sn.sn_timers) );
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (n, hs) ->
+               ( n,
+                 Json.Obj
+                   [
+                     ("count", Json.Num (float_of_int hs.hs_count));
+                     ("sum", Json.Num hs.hs_sum);
+                     ( "rows",
+                       Json.List
+                         (List.map
+                            (fun (lo, hi, c) ->
+                              Json.List
+                                [
+                                  Json.Num lo;
+                                  Json.Num hi;
+                                  Json.Num (float_of_int c);
+                                ])
+                            hs.hs_rows) );
+                   ] ))
+             sn.sn_histograms) );
+      ("spans", Json.List (List.map span_node_json sn.sn_spans));
+    ]
+
+(* ---- Prometheus text exposition ---- *)
+
+let prom_name name =
+  let b = Buffer.create (String.length name + 4) in
+  Buffer.add_string b "ssd_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let prom_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let prom_num v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let to_prometheus sn =
+  let b = Buffer.create 1024 in
+  let header name kind help =
+    Buffer.add_string b
+      (Printf.sprintf "# HELP %s %s\n# TYPE %s %s\n" name (prom_escape help)
+         name kind)
+  in
+  List.iter
+    (fun (n, v) ->
+      let m = prom_name n ^ "_total" in
+      header m "counter" ("counter " ^ n);
+      Buffer.add_string b (Printf.sprintf "%s %d\n" m v))
+    sn.sn_counters;
+  List.iter
+    (fun (n, v) ->
+      let m = prom_name n in
+      header m "gauge" ("gauge " ^ n);
+      Buffer.add_string b (Printf.sprintf "%s %s\n" m (prom_num v)))
+    sn.sn_gauges;
+  List.iter
+    (fun (n, st) ->
+      let base = prom_name n in
+      let calls = base ^ "_calls_total" in
+      header calls "counter" ("timer " ^ n ^ " calls");
+      Buffer.add_string b (Printf.sprintf "%s %d\n" calls st.st_calls);
+      let total = base ^ "_seconds_total" in
+      header total "counter" ("timer " ^ n ^ " total seconds");
+      Buffer.add_string b
+        (Printf.sprintf "%s %s\n" total (prom_num st.st_total_s));
+      let self = base ^ "_self_seconds_total" in
+      header self "counter" ("timer " ^ n ^ " self seconds");
+      Buffer.add_string b
+        (Printf.sprintf "%s %s\n" self (prom_num st.st_self_s)))
+    sn.sn_timers;
+  List.iter
+    (fun (n, hs) ->
+      let base = prom_name n in
+      header base "histogram" ("histogram " ^ n);
+      let cum = ref 0 in
+      List.iter
+        (fun (_, hi, c) ->
+          cum := !cum + c;
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" base (prom_num hi)
+               !cum))
+        hs.hs_rows;
+      Buffer.add_string b
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" base hs.hs_count);
+      Buffer.add_string b
+        (Printf.sprintf "%s_sum %s\n" base (prom_num hs.hs_sum));
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" base hs.hs_count))
+    sn.sn_histograms;
+  Buffer.contents b
+
+(* ---- human-readable report ---- *)
 
 let report t =
   match t with
@@ -289,22 +677,38 @@ let report t =
       Buffer.add_string buf (Texttab.render tb);
       Buffer.add_char buf '\n'
     end;
+    let gs =
+      List.filter_map (function n, Gauge g -> Some (n, g) | _ -> None) ms
+    in
+    if gs <> [] then begin
+      let tb = Texttab.create ~header:[ "gauge"; "value" ] in
+      List.iter
+        (fun (n, g) ->
+          Texttab.add_row tb [ n; Printf.sprintf "%.6g" (gauge_value g) ])
+        gs;
+      Buffer.add_string buf (Texttab.render tb);
+      Buffer.add_char buf '\n'
+    end;
     let ts =
       List.filter_map (function n, Timer tm -> Some (n, tm) | _ -> None) ms
     in
     if ts <> [] then begin
       let tb =
         Texttab.create
-          ~header:[ "timer"; "calls"; "total (ms)"; "mean (us)" ]
+          ~header:
+            [ "timer"; "calls"; "total (ms)"; "self (ms)"; "mean (us)" ]
       in
       List.iter
         (fun (n, tm) ->
-          let calls = timer_calls tm and ns = timer_ns tm in
+          let calls = timer_calls tm
+          and ns = timer_ns tm
+          and self = timer_self_ns tm in
           Texttab.add_row tb
             [
               n;
               string_of_int calls;
               Printf.sprintf "%.3f" (float_of_int ns *. 1e-6);
+              Printf.sprintf "%.3f" (float_of_int self *. 1e-6);
               (if calls = 0 then "-"
                else
                  Printf.sprintf "%.2f"
@@ -385,6 +789,16 @@ let trace_json t =
             ("dur", Json.Num (ev.ev_dur *. 1e6));
             ("pid", Json.Num 1.);
             ("tid", Json.Num (float_of_int ev.ev_tid));
+            ( "args",
+              Json.Obj
+                [
+                  ("id", Json.Num (float_of_int ev.ev_id));
+                  ("parent", Json.Num (float_of_int ev.ev_parent));
+                  ("self_us", Json.Num (ev.ev_self *. 1e6));
+                  ("minor_words", Json.Num ev.ev_minor_words);
+                  ("self_minor_words", Json.Num ev.ev_self_minor_words);
+                  ("promoted_words", Json.Num ev.ev_promoted_words);
+                ] );
           ])
       (trace_events t)
   in
@@ -411,3 +825,7 @@ let write_file_atomic path ~contents =
 
 let write_trace t path =
   write_file_atomic path ~contents:(trace_json t ^ "\n")
+
+let write_snapshot t path =
+  write_file_atomic path
+    ~contents:(Json.to_string (snapshot_to_json (snapshot t)) ^ "\n")

@@ -1,5 +1,6 @@
-(** Low-overhead telemetry: counters, timers, histograms and span
-    tracing for the STA / fault-simulation / ATPG engines.
+(** Low-overhead telemetry: counters, gauges, timers, histograms and
+    hierarchical span tracing for the STA / fault-simulation / ATPG
+    engines, with typed snapshots and JSON / Prometheus exports.
 
     {2 Design}
 
@@ -11,24 +12,35 @@
     so instrumented code inside the {!Ssd_sta.Par} pool never takes a
     lock on the hot path and never perturbs the engines' bit-identical
     results.  Aggregation happens on read ({!counter_value},
-    {!report}, …), which sums the shards; atomic updates make the
-    aggregate exact for any lane count.
+    {!report}, {!snapshot}, …), which sums the shards; atomic updates
+    make the aggregate exact for any lane count.
 
-    Span bookkeeping (per STA level, per pool job, per ATPG fault — not
-    per gate) records into a pre-created timer and, when tracing is on,
-    pushes one event onto a lock-free list; instrument {e creation}
-    takes a registry mutex and belongs in setup code, not inner loops.
+    {2 Spans}
 
-    {2 Tracing}
+    Span bookkeeping (per STA level, per pool job, per MC chunk — not
+    per gate) maintains a per-domain stack of open spans: each span
+    knows its parent, splits its duration into total vs self (total
+    minus directly-enclosed child spans), and carries GC allocation
+    deltas ([Gc.counters] minor/promoted words) so allocation is
+    attributed to the phase that caused it.  Self time feeds the span's
+    timer ({!timer_self_ns}); when the sink is tracing, one event per
+    span lands on a lock-free list.  Instrument {e creation} takes a
+    registry mutex and belongs in setup code, not inner loops.
+
+    All clock reads use a monotonic source ({!now}, backed by
+    [clock_gettime(CLOCK_MONOTONIC)]), so durations are non-negative
+    and per-track timestamps monotone even across NTP steps; exported
+    timestamps stay relative to the sink's creation epoch.
+
+    {2 Exports}
 
     {!trace_json} renders the recorded spans as Chrome trace-event JSON
     (the [traceEvents] format), loadable in Perfetto or
-    [chrome://tracing].  Each event lands on the track of the domain
-    that recorded it — one track per pool lane — and tracks are named
-    via {!set_track_name} (the {!Ssd_sta.Par} pool names its lanes on
-    creation).  Timestamps come from one wall clock read per span edge;
-    within a track they are monotone because a single domain records
-    its events sequentially. *)
+    [chrome://tracing]; span hierarchy and GC deltas ride in each
+    event's [args].  {!snapshot} captures every instrument plus the
+    reconstructed span forest as one typed value, serializable with
+    {!snapshot_to_json} (the future [/stats] payload) or
+    {!to_prometheus} (text exposition format). *)
 
 type t
 (** A telemetry sink. *)
@@ -38,11 +50,18 @@ val disabled : t
 
 val create : ?trace:bool -> unit -> t
 (** A fresh enabled sink.  [trace] (default [false]) additionally
-    records span events for {!trace_json} / {!write_trace}; metric
-    aggregation is always on for an enabled sink. *)
+    records span events for {!trace_json} / {!write_trace} /
+    {!snapshot}; metric aggregation (including span self-time) is
+    always on for an enabled sink. *)
 
 val enabled : t -> bool
 val tracing : t -> bool
+
+val now : unit -> float
+(** Monotonic clock in seconds (arbitrary epoch — differences only). *)
+
+val monotonic_ns : unit -> int64
+(** The raw monotonic clock in nanoseconds. *)
 
 (** {2 Counters} *)
 
@@ -58,6 +77,17 @@ val add : counter -> int -> unit
 val counter_value : counter -> int
 (** Sum over all shards: exact, since every update is atomic. *)
 
+(** {2 Gauges} *)
+
+type gauge
+
+val gauge : t -> string -> gauge
+(** A last-write-wins instantaneous value (lane utilization, resident
+    table sizes, …).  Find-or-create by name, like {!counter}. *)
+
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
 (** {2 Timers} *)
 
 type timer
@@ -65,12 +95,17 @@ type timer
 val timer : t -> string -> timer
 
 val add_ns : timer -> int -> unit
-(** Credit a duration (nanoseconds) and one call. *)
+(** Credit a duration (nanoseconds) and one call; a direct credit
+    counts entirely as self time. *)
 
 val time : timer -> (unit -> 'a) -> 'a
-(** Run the thunk, crediting its duration (also on exception). *)
+(** Run the thunk, crediting its duration (also on exception).  Unlike
+    {!span} this does not touch the span stack. *)
 
 val timer_ns : timer -> int
+val timer_self_ns : timer -> int
+(** Total minus time spent in directly-enclosed child spans. *)
+
 val timer_calls : timer -> int
 
 (** {2 Histograms} *)
@@ -93,16 +128,24 @@ val histogram_rows : histogram -> (float * float * int) list
 (** {2 Spans} *)
 
 val span : t -> ?event:string -> timer -> (unit -> 'a) -> 'a
-(** Run the thunk as a span: its duration is credited to the timer,
-    and when the sink is tracing an event named [event] (default: the
-    timer's name) is recorded on the current domain's track.  On the
-    disabled sink this is exactly [f ()]. *)
+(** Run the thunk as a span: it is pushed on the current domain's span
+    stack (so nested spans know their parent), its total duration and
+    self time are credited to the timer, its GC allocation delta is
+    measured, and when the sink is tracing an event named [event]
+    (default: the timer's name) is recorded on the current domain's
+    track.  On the disabled sink this is exactly [f ()]. *)
 
 type event = {
   ev_name : string;
+  ev_id : int;  (** unique per sink *)
+  ev_parent : int;  (** enclosing span's id, [-1] for a root span *)
   ev_tid : int;  (** recording domain's id = trace track *)
   ev_ts : float;  (** start, seconds since the sink was created *)
   ev_dur : float;  (** duration in seconds *)
+  ev_self : float;  (** duration minus directly-enclosed child spans *)
+  ev_minor_words : float;  (** minor-heap words allocated in the span *)
+  ev_self_minor_words : float;  (** minus words allocated in children *)
+  ev_promoted_words : float;  (** words promoted to the major heap *)
 }
 
 val trace_events : t -> event list
@@ -117,17 +160,73 @@ val set_track_name : t -> tid:int -> string -> unit
 val counters : t -> (string * int) list
 (** Registered counters in creation order with their aggregate value. *)
 
-val timers : t -> (string * int * float) list
-(** [(name, calls, total seconds)] in creation order. *)
+val gauges : t -> (string * float) list
+
+val timers : t -> (string * int * float * float) list
+(** [(name, calls, total seconds, self seconds)] in creation order. *)
 
 val report : t -> string
 (** Human-readable {!Ssd_util.Texttab} summary of every registered
-    counter, timer and histogram; [""] for a disabled sink. *)
+    counter, gauge, timer (total and self) and histogram; [""] for a
+    disabled sink. *)
+
+(** {2 Typed snapshot} *)
+
+type timer_stat = { st_calls : int; st_total_s : float; st_self_s : float }
+
+type hist_stat = {
+  hs_count : int;
+  hs_sum : float;
+  hs_rows : (float * float * int) list;
+}
+
+type span_node = {
+  sp_name : string;
+  sp_tid : int;
+  sp_start_s : float;
+  sp_total_s : float;
+  sp_self_s : float;
+  sp_minor_words : float;
+  sp_self_minor_words : float;
+  sp_promoted_words : float;
+  sp_children : span_node list;  (** in start-time order *)
+}
+
+type snapshot = {
+  sn_counters : (string * int) list;
+  sn_gauges : (string * float) list;
+  sn_timers : (string * timer_stat) list;
+  sn_histograms : (string * hist_stat) list;
+  sn_spans : span_node list;  (** span forest, roots by (track, start) *)
+}
+
+val snapshot : t -> snapshot
+(** Capture every registered instrument plus the span forest (rebuilt
+    from recorded events via parent ids; empty unless tracing).  On the
+    disabled sink returns a shared empty snapshot without allocating. *)
+
+val snapshot_to_json : snapshot -> Ssd_util.Json.t
+(** Stable JSON shape: [{counters:{}, gauges:{}, timers:{name:{calls,
+    total_s, self_s}}, histograms:{name:{count, sum, rows:[[lo,hi,n]]}},
+    spans:[{name, tid, start_s, total_s, self_s, minor_words,
+    self_minor_words, promoted_words, children:[…]}]}]. *)
+
+val to_prometheus : snapshot -> string
+(** Prometheus text exposition: metric names are prefixed [ssd_] and
+    sanitized to [[a-zA-Z0-9_:]]; counters become [_total], timers
+    [_calls_total] / [_seconds_total] / [_self_seconds_total], gauges
+    bare, histograms cumulative [_bucket{le=…}] / [_sum] / [_count]. *)
+
+val write_snapshot : t -> string -> unit
+(** {!snapshot_to_json} written atomically (temp file + rename). *)
+
+(** {2 Exports} *)
 
 val trace_json : t -> string
 (** Chrome trace-event JSON: an object with a [traceEvents] array of
     complete ("ph":"X") events plus thread-name metadata, timestamps in
-    microseconds. *)
+    microseconds; each event's [args] carries [id] / [parent] /
+    [self_us] and the GC word deltas. *)
 
 val write_trace : t -> string -> unit
 (** {!trace_json} written atomically (temp file + rename). *)

@@ -1,0 +1,24 @@
+/* Monotonic clock for Obs spans and timers.
+ *
+ * CLOCK_MONOTONIC never steps (NTP slews it at most), so span durations
+ * are non-negative and per-track trace timestamps are monotone even if
+ * the wall clock jumps mid-run.  Exposed unboxed + noalloc so a clock
+ * read from the hot path costs a C call and nothing else.
+ */
+#include <time.h>
+#include <stdint.h>
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+int64_t ssd_obs_monotonic_ns_unboxed(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+}
+
+value ssd_obs_monotonic_ns(value unit)
+{
+  return caml_copy_int64(ssd_obs_monotonic_ns_unboxed(unit));
+}

@@ -142,11 +142,13 @@ let analyze ?(opts = Run_opts.default) ~table nl =
   let jobs =
     if opts.Run_opts.jobs <= 0 then Par.default_jobs () else opts.Run_opts.jobs
   in
+  let obs = opts.Run_opts.obs in
+  let tm_sweep = Obs.timer obs "corners.sweep" in
   if jobs <= 1 then begin
     (* one streaming pass over all K corners per node *)
     let inp = Array.make (k * max_fanin * 8) 0. in
     let out = Array.make (k * 8) 0. in
-    sweep_planes sw ~inp ~out k
+    Obs.span obs tm_sweep (fun () -> sweep_planes sw ~inp ~out k)
   end
   else begin
     (* the pool parallelizes over (level slot × corner chunk): a level
@@ -158,16 +160,19 @@ let analyze ?(opts = Run_opts.default) ~table nl =
           ( Array.make (corner_chunk * max_fanin * 8) 0.,
             Array.make (corner_chunk * 8) 0. ))
     in
-    Par.with_pool ~obs:opts.Run_opts.obs ~jobs (fun pool ->
-        for l = 0 to Netlist.level_count nl - 1 do
-          Par.parallel_for pool ~n:(Netlist.level_width nl l * nchunks)
-            (fun tsk ->
-              let i = Netlist.level_node nl l (tsk / nchunks) in
-              let c0 = tsk mod nchunks * corner_chunk in
-              let c1 = min k (c0 + corner_chunk) in
-              let inp, out = Domain.DLS.get scratch in
-              eval_range sw ~inp ~out i c0 c1)
-        done)
+    Par.with_pool ~obs ~jobs (fun pool ->
+        Obs.span obs tm_sweep (fun () ->
+            for l = 0 to Netlist.level_count nl - 1 do
+              Par.parallel_for pool
+                ~label:(Printf.sprintf "L%d" l)
+                ~n:(Netlist.level_width nl l * nchunks)
+                (fun tsk ->
+                  let i = Netlist.level_node nl l (tsk / nchunks) in
+                  let c0 = tsk mod nchunks * corner_chunk in
+                  let c1 = min k (c0 + corner_chunk) in
+                  let inp, out = Domain.DLS.get scratch in
+                  eval_range sw ~inp ~out i c0 c1)
+            done))
   end;
   { ct_netlist = nl; ct_table = table; ct_timing = w }
 
@@ -295,6 +300,12 @@ let monte_carlo ?(opts = Run_opts.default) ?(samples = 64) ~seed ~library nl =
   let c_built = Obs.counter obs "mc.tables_built" in
   let c_hits = Obs.counter obs "mc.fit_cache_hits" in
   let c_planes = Obs.counter obs "mc.planes" in
+  (* timer handles likewise; the spans nest (chunk > refit/refresh/
+     sweep), so each timer's self time isolates its own phase *)
+  let tm_chunk = Obs.timer obs "mc.chunk" in
+  let tm_refit = Obs.timer obs "corners.refit" in
+  let tm_refresh = Obs.timer obs "corner_batch.refresh" in
+  let tm_sweep = Obs.timer obs "mc.sweep" in
   let proto_specs = Array.to_list (Array.sub specs 0 batch) in
   let lane_of ~slots ~max_fanin table =
     Obs.incr c_built;
@@ -312,6 +323,7 @@ let monte_carlo ?(opts = Run_opts.default) ?(samples = 64) ~seed ~library nl =
     lane_of ~slots ~max_fanin (Corners.build ~specs:proto_specs library)
   in
   let run_chunk lane chunk =
+    Obs.span obs tm_chunk (fun () ->
     let s0 = chunk * batch in
     let r = min batch (samples - s0) in
     Obs.incr c_chunks;
@@ -319,9 +331,12 @@ let monte_carlo ?(opts = Run_opts.default) ?(samples = 64) ~seed ~library nl =
     Obs.add c_planes r;
     (* retarget the lane's resident table: layouts, index and storage
        are reused, only r corners' coefficient blocks are rewritten *)
-    Corners.refit lane.mc_table (Array.sub specs s0 r);
-    Corner_batch.refresh lane.mc_sw.sw_cb;
-    sweep_planes lane.mc_sw ~inp:lane.mc_inp ~out:lane.mc_out r;
+    Obs.span obs tm_refit (fun () ->
+        Corners.refit lane.mc_table (Array.sub specs s0 r));
+    Obs.span obs tm_refresh (fun () ->
+        Corner_batch.refresh lane.mc_sw.sw_cb);
+    Obs.span obs tm_sweep (fun () ->
+        sweep_planes lane.mc_sw ~inp:lane.mc_inp ~out:lane.mc_out r);
     (* stream the per-PO delays and circuit max out of the finished
        planes; the window store is scratch reused by the next chunk.
        Both extractions replicate the scalar path's float expressions
@@ -346,7 +361,7 @@ let monte_carlo ?(opts = Run_opts.default) ?(samples = 64) ~seed ~library nl =
         if pi > 0 then acc := Interval.hull !acc (win_of po)
       done;
       mc_max.(s) <- Interval.hi !acc
-    done
+    done)
   in
   (* the prototype lane also resolves the gate → table-slot mapping,
      shared read-only by every other lane *)
@@ -356,7 +371,12 @@ let monte_carlo ?(opts = Run_opts.default) ?(samples = 64) ~seed ~library nl =
   let jobs =
     if opts.Run_opts.jobs <= 0 then Par.default_jobs () else opts.Run_opts.jobs
   in
-  if jobs <= 1 || nchunks = 1 then
+  (* an instrumented run always goes through the pool, even single-lane
+     or single-chunk, so the par.lane<i> utilization probes exist: a
+     1-lane pool executes the chunks in ascending order on the caller
+     against the same prototype lane as the plain loop, so results stay
+     bit-identical whether telemetry is on or off *)
+  if (jobs <= 1 || nchunks = 1) && not (Obs.enabled obs) then
     for chunk = 0 to nchunks - 1 do
       run_chunk lane0 chunk
     done

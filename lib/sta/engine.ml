@@ -65,6 +65,8 @@ type t = {
   c_cutoffs : Obs.counter;
   c_cone : Obs.counter;
   tm_edit : Obs.timer;
+  h_cone : Obs.histogram;     (* dirty-cone sizes, in nodes *)
+  h_edit_us : Obs.histogram;  (* per-edit latency, in us *)
 }
 
 let check_open t ctx =
@@ -215,6 +217,7 @@ let propagate t ~is_root ~root_eval ~nodes ~frame =
 let propagate_cone t ~root_eval ~root ~frame =
   let cone = Netlist.fanout_cone t.e_netlist root in
   Obs.add t.c_cone (Array.length cone.Netlist.cone_nodes);
+  Obs.observe t.h_cone (float_of_int (Array.length cone.Netlist.cone_nodes));
   propagate t ~is_root:(fun i -> i = root) ~root_eval
     ~nodes:cone.Netlist.cone_nodes ~frame
 
@@ -265,6 +268,15 @@ let create ?(opts = Run_opts.default) ~library ~model nl =
       c_cutoffs = Obs.counter obs "engine.cutoffs";
       c_cone = Obs.counter obs "engine.cone_nodes";
       tm_edit = Obs.timer obs "engine.edit";
+      (* fixed edges so observations from parallel edits merge bin-wise;
+         cone sizes are bounded by the netlist, latencies clip into the
+         top bin beyond 10 ms *)
+      h_cone =
+        Obs.histogram ~bins:20 ~lo:0.
+          ~hi:(float_of_int (max 16 n))
+          obs "engine.cone_size";
+      h_edit_us =
+        Obs.histogram ~bins:20 ~lo:0. ~hi:10_000. obs "engine.edit_us";
     }
   in
   (* initial full forward pass: a plain sequential topological walk (the
@@ -367,10 +379,14 @@ let apply t edit =
           ~frame
   in
   let frame = ref [] in
-  Obs.span t.e_opts.Run_opts.obs
+  let obs = t.e_opts.Run_opts.obs in
+  let t0 = if Obs.enabled obs then Obs.now () else 0. in
+  Obs.span obs
     ~event:("engine.edit." ^ edit_name edit)
     t.tm_edit
     (fun () -> run frame);
+  if Obs.enabled obs then
+    Obs.observe t.h_edit_us ((Obs.now () -. t0) *. 1e6);
   t.e_journal <- !frame :: t.e_journal;
   t.e_depth <- t.e_depth + 1;
   Obs.incr t.c_edits;

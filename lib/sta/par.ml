@@ -46,6 +46,7 @@ type t = {
   c_jobs : Obs.counter;
   lane_tasks : int array;       (* slot i written only by lane i *)
   lane_chunks : int array;
+  lane_busy_ns : int array;     (* wall time lane i spent inside jobs *)
   mutable published : bool;
 }
 
@@ -78,10 +79,20 @@ let run_chunks t ~lane job =
   t.lane_tasks.(lane) <- t.lane_tasks.(lane) + !tasks;
   t.lane_chunks.(lane) <- t.lane_chunks.(lane) + !chunks
 
-(* a lane's participation in one job, as a span on its own track *)
+(* a lane's participation in one job, as a span on its own track; the
+   busy-time slot is written only by lane [lane]'s domain, like the
+   task/chunk slots, and surfaces as a [par.lane<i>.busy_ns] gauge *)
 let participate t ~lane job =
-  if Obs.enabled t.obs then
-    Obs.span t.obs ?event:job.label t.busy (fun () -> run_chunks t ~lane job)
+  if Obs.enabled t.obs then begin
+    let t0 = Obs.now () in
+    Fun.protect
+      ~finally:(fun () ->
+        t.lane_busy_ns.(lane) <-
+          t.lane_busy_ns.(lane) + int_of_float ((Obs.now () -. t0) *. 1e9))
+      (fun () ->
+        Obs.span t.obs ?event:job.label t.busy (fun () ->
+            run_chunks t ~lane job))
+  end
   else run_chunks t ~lane job
 
 let rec worker t ~lane my_epoch =
@@ -122,6 +133,7 @@ let create ?(obs = Obs.disabled) ~jobs () =
       c_jobs = Obs.counter obs "par.jobs";
       lane_tasks = Array.make lanes 0;
       lane_chunks = Array.make lanes 0;
+      lane_busy_ns = Array.make lanes 0;
       published = false;
     }
   in
@@ -155,7 +167,10 @@ let publish_stats t =
         t.lane_tasks.(i);
       Obs.add
         (Obs.counter t.obs (Printf.sprintf "par.lane%d.chunks" i))
-        t.lane_chunks.(i)
+        t.lane_chunks.(i);
+      Obs.set_gauge
+        (Obs.gauge t.obs (Printf.sprintf "par.lane%d.busy_ns" i))
+        (float_of_int t.lane_busy_ns.(i))
     done
   end
 
@@ -224,9 +239,9 @@ let parallel_for t ?chunk ?label ~n fn =
       in
       let failure =
         if Obs.enabled t.obs then begin
-          let t0 = Unix.gettimeofday () in
+          let t0 = Obs.now () in
           let r = wait () in
-          let dt = Unix.gettimeofday () -. t0 in
+          let dt = Obs.now () -. t0 in
           Obs.add_ns t.barrier (int_of_float (dt *. 1e9));
           Obs.observe t.barrier_hist (dt *. 1e6);
           r

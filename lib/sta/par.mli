@@ -24,8 +24,10 @@ val create : ?obs:Ssd_obs.Obs.t -> jobs:int -> unit -> t
     means {!default_jobs}.  Call {!shutdown} when done.
 
     [obs] (default disabled) instruments the pool: each lane counts the
-    tasks and chunks it executes (surfaced as [par.lane<i>.tasks] /
-    [.chunks] counters at {!shutdown} — the lane-utilization picture),
+    tasks and chunks it executes and the wall time it spends inside
+    jobs (surfaced as [par.lane<i>.tasks] / [.chunks] counters and a
+    [par.lane<i>.busy_ns] gauge at {!shutdown} — the lane-utilization
+    picture),
     lanes record their per-job participation as spans on their own
     trace track (named [lane <i>] via {!Ssd_obs.Obs.set_track_name}),
     and the caller's barrier waits feed the [par.barrier_wait] timer

@@ -269,6 +269,278 @@ let test_fault_sim_instrumented_identical () =
     (List.length sites)
     (cv "faultsim.detected" + cv "faultsim.undetected")
 
+(* ---------- monotonic clock ---------- *)
+
+let test_monotonic_now () =
+  let prev = ref (Obs.now ()) in
+  for _ = 1 to 1_000 do
+    let t = Obs.now () in
+    Alcotest.(check bool) "now non-decreasing" true (t >= !prev);
+    prev := t
+  done;
+  let n0 = Obs.monotonic_ns () in
+  let n1 = Obs.monotonic_ns () in
+  Alcotest.(check bool) "ns non-decreasing" true (Int64.compare n1 n0 >= 0)
+
+(* ---------- gauges ---------- *)
+
+let test_gauge_basics () =
+  let obs = Obs.create () in
+  let g = Obs.gauge obs "g" in
+  Alcotest.(check (float 0.)) "initial" 0. (Obs.gauge_value g);
+  Obs.set_gauge g 4.5;
+  Obs.set_gauge g 2.5;
+  Alcotest.(check (float 0.)) "last write wins" 2.5 (Obs.gauge_value g);
+  Alcotest.(check bool) "same handle" true (Obs.gauge obs "g" == g);
+  Alcotest.(check (list (pair string (float 0.)))) "listing" [ ("g", 2.5) ]
+    (Obs.gauges obs);
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument "Obs.counter: g is not a counter") (fun () ->
+      ignore (Obs.counter obs "g"))
+
+let test_disabled_gauge_and_snapshot_free () =
+  let obs = Obs.disabled in
+  let g = Obs.gauge obs "x" in
+  Alcotest.(check bool) "gauge shared" true (g == Obs.gauge obs "other");
+  (* the empty snapshot of the disabled sink is one shared value *)
+  Alcotest.(check bool) "snapshot shared" true
+    (Obs.snapshot obs == Obs.snapshot obs);
+  let m0 = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    Obs.set_gauge g 1.;
+    ignore (Sys.opaque_identity (Obs.snapshot obs))
+  done;
+  let dm = Gc.minor_words () -. m0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "no allocation on disabled path (%.0f words)" dm)
+    true (dm < 256.);
+  Alcotest.(check (float 0.)) "gauge stays 0" 0. (Obs.gauge_value g)
+
+(* ---------- spans: hierarchy, self time, GC attribution ---------- *)
+
+let test_span_hierarchy () =
+  let obs = Obs.create ~trace:true () in
+  let tm = Obs.timer obs "outer" in
+  let tmi = Obs.timer obs "inner" in
+  Obs.span obs tm (fun () ->
+      Obs.span obs ~event:"a" tmi (fun () ->
+          (* 129 words: comfortably a minor-heap allocation *)
+          ignore (Sys.opaque_identity (Array.make 128 0.)));
+      Obs.span obs ~event:"b" tmi (fun () -> ()));
+  let sn = Obs.snapshot obs in
+  match sn.Obs.sn_spans with
+  | [ root ] ->
+    Alcotest.(check string) "root name" "outer" root.Obs.sp_name;
+    Alcotest.(check (list string))
+      "children in start order" [ "a"; "b" ]
+      (List.map (fun n -> n.Obs.sp_name) root.Obs.sp_children);
+    List.iter
+      (fun c ->
+        Alcotest.(check bool) "child interval within parent" true
+          (c.Obs.sp_start_s >= root.Obs.sp_start_s -. 1e-9
+          && c.Obs.sp_start_s +. c.Obs.sp_total_s
+             <= root.Obs.sp_start_s +. root.Obs.sp_total_s +. 1e-9))
+      root.Obs.sp_children;
+    let child_total =
+      List.fold_left
+        (fun acc c -> acc +. c.Obs.sp_total_s)
+        0. root.Obs.sp_children
+    in
+    Alcotest.(check bool) "self = total - children" true
+      (Float.abs (root.Obs.sp_self_s -. (root.Obs.sp_total_s -. child_total))
+      < 1e-6);
+    (* the array allocated inside span "a" is attributed to it, not to
+       the enclosing span's self allocation *)
+    let a = List.hd root.Obs.sp_children in
+    Alcotest.(check bool) "child allocation attributed" true
+      (a.Obs.sp_minor_words >= 129.);
+    Alcotest.(check bool) "parent self excludes child allocation" true
+      (root.Obs.sp_self_minor_words
+      <= root.Obs.sp_minor_words -. a.Obs.sp_minor_words);
+    Alcotest.(check bool) "timer self <= total" true
+      (Obs.timer_self_ns tm <= Obs.timer_ns tm)
+  | l -> Alcotest.failf "want 1 root span, got %d roots" (List.length l)
+
+(* span forests produced under the worker pool are structurally valid
+   at every lane count: intervals nest, tracks agree, self and child
+   times decompose the total, GC attribution is non-negative *)
+let rec nest obs tm depth =
+  if depth > 0 then
+    Obs.span obs ~event:(Printf.sprintf "d%d" depth) tm (fun () ->
+        ignore (Sys.opaque_identity (ref 0));
+        nest obs tm (depth - 1))
+
+let rec valid_node ?parent (n : Obs.span_node) =
+  let ok_parent =
+    match parent with
+    | None -> true
+    | Some (p : Obs.span_node) ->
+      n.Obs.sp_tid = p.Obs.sp_tid
+      && n.Obs.sp_start_s >= p.Obs.sp_start_s -. 1e-9
+      && n.Obs.sp_start_s +. n.Obs.sp_total_s
+         <= p.Obs.sp_start_s +. p.Obs.sp_total_s +. 1e-9
+  in
+  let child_total =
+    List.fold_left (fun a c -> a +. c.Obs.sp_total_s) 0. n.Obs.sp_children
+  in
+  ok_parent
+  && n.Obs.sp_total_s >= 0.
+  && n.Obs.sp_self_s >= 0.
+  && n.Obs.sp_self_s <= n.Obs.sp_total_s +. 1e-9
+  && child_total <= n.Obs.sp_total_s +. 1e-6
+  && n.Obs.sp_minor_words >= 0.
+  && n.Obs.sp_self_minor_words >= 0.
+  && n.Obs.sp_promoted_words >= 0.
+  && List.for_all (fun c -> valid_node ~parent:n c) n.Obs.sp_children
+
+let prop_span_forest_valid_under_pool =
+  QCheck.Test.make ~name:"span forest valid under pool (jobs 1 and 4)"
+    ~count:15
+    QCheck.(small_list (int_range 0 3))
+    (fun depths ->
+      List.for_all
+        (fun jobs ->
+          let obs = Obs.create ~trace:true () in
+          let tm = Obs.timer obs "nest" in
+          let d = Array.of_list depths in
+          Par.with_pool ~obs ~jobs (fun pool ->
+              Par.parallel_for pool ~n:(Array.length d) (fun i ->
+                  nest obs tm d.(i)));
+          let sn = Obs.snapshot obs in
+          let rec count_nest (n : Obs.span_node) =
+            (if String.length n.Obs.sp_name > 0 && n.Obs.sp_name.[0] = 'd'
+             then 1
+             else 0)
+            + List.fold_left (fun a c -> a + count_nest c) 0 n.Obs.sp_children
+          in
+          let got =
+            List.fold_left (fun a r -> a + count_nest r) 0 sn.Obs.sn_spans
+          in
+          got = List.fold_left ( + ) 0 depths
+          && List.for_all (fun r -> valid_node r) sn.Obs.sn_spans)
+        [ 1; 4 ])
+
+(* ---------- snapshot export ---------- *)
+
+let test_prometheus_golden () =
+  let sn =
+    {
+      Obs.sn_counters = [ ("mc.chunks", 3); ("a\\b", 1) ];
+      sn_gauges = [ ("par.lane0.busy_ns", 12.) ];
+      sn_timers =
+        [ ("engine.edit",
+           { Obs.st_calls = 2; st_total_s = 0.5; st_self_s = 0.25 }) ];
+      sn_histograms =
+        [ ("h-x",
+           { Obs.hs_count = 3;
+             hs_sum = 3.5;
+             hs_rows = [ (0., 1., 1); (1., 2., 2) ];
+           }) ];
+      sn_spans = [];
+    }
+  in
+  let expected =
+    String.concat "\n"
+      [
+        "# HELP ssd_mc_chunks_total counter mc.chunks";
+        "# TYPE ssd_mc_chunks_total counter";
+        "ssd_mc_chunks_total 3";
+        "# HELP ssd_a_b_total counter a\\\\b";
+        "# TYPE ssd_a_b_total counter";
+        "ssd_a_b_total 1";
+        "# HELP ssd_par_lane0_busy_ns gauge par.lane0.busy_ns";
+        "# TYPE ssd_par_lane0_busy_ns gauge";
+        "ssd_par_lane0_busy_ns 12";
+        "# HELP ssd_engine_edit_calls_total timer engine.edit calls";
+        "# TYPE ssd_engine_edit_calls_total counter";
+        "ssd_engine_edit_calls_total 2";
+        "# HELP ssd_engine_edit_seconds_total timer engine.edit total seconds";
+        "# TYPE ssd_engine_edit_seconds_total counter";
+        "ssd_engine_edit_seconds_total 0.5";
+        "# HELP ssd_engine_edit_self_seconds_total timer engine.edit self \
+         seconds";
+        "# TYPE ssd_engine_edit_self_seconds_total counter";
+        "ssd_engine_edit_self_seconds_total 0.25";
+        "# HELP ssd_h_x histogram h-x";
+        "# TYPE ssd_h_x histogram";
+        "ssd_h_x_bucket{le=\"1\"} 1";
+        "ssd_h_x_bucket{le=\"2\"} 3";
+        "ssd_h_x_bucket{le=\"+Inf\"} 3";
+        "ssd_h_x_sum 3.5";
+        "ssd_h_x_count 3";
+        "";
+      ]
+  in
+  Alcotest.(check string) "exposition" expected (Obs.to_prometheus sn)
+
+let test_snapshot_json_roundtrip () =
+  let obs = Obs.create ~trace:true () in
+  let c = Obs.counter obs "c" in
+  Obs.add c 5;
+  let g = Obs.gauge obs "g" in
+  Obs.set_gauge g 1.25;
+  let tm = Obs.timer obs "t" in
+  Obs.span obs tm (fun () -> Obs.span obs ~event:"inner" tm (fun () -> ()));
+  let h = Obs.histogram ~bins:2 ~lo:0. ~hi:2. obs "h" in
+  Obs.observe h 0.5;
+  Obs.observe h 1.5;
+  let j = Obs.snapshot_to_json (Obs.snapshot obs) in
+  match Json.parse (Json.to_string j) with
+  | Error e -> Alcotest.failf "snapshot JSON does not parse: %s" e
+  | Ok j' ->
+    Alcotest.(check bool) "round-trips structurally" true (j = j');
+    let counters = Option.get (Json.member "counters" j') in
+    Alcotest.(check (option (float 0.))) "counter value" (Some 5.)
+      (Option.bind (Json.member "c" counters) Json.number_value);
+    let spans = Json.to_list (Option.get (Json.member "spans" j')) in
+    Alcotest.(check int) "one root span" 1 (List.length spans);
+    let kids =
+      Json.to_list (Option.get (Json.member "children" (List.hd spans)))
+    in
+    Alcotest.(check int) "one child span" 1 (List.length kids)
+
+(* ---------- instrumented Monte-Carlo stays bit-identical ---------- *)
+
+module CS = Ssd_sta.Corner_sta
+module RO = Ssd_sta.Run_opts
+
+let test_mc_instrumented_identical () =
+  let library = Lazy.force lib in
+  let nl = Ck.Decompose.to_primitive (Ck.Benchmarks.c17 ()) in
+  let run ~jobs ~obs =
+    CS.monte_carlo
+      ~opts:(RO.make ~jobs ~obs ~mc_batch:2 ())
+      ~samples:6 ~seed:7L ~library nl
+  in
+  let base = run ~jobs:1 ~obs:Obs.disabled in
+  List.iter
+    (fun jobs ->
+      let obs = Obs.create ~trace:true () in
+      let r = run ~jobs ~obs in
+      Alcotest.(check bool)
+        (Printf.sprintf "mc_max identical at jobs=%d" jobs)
+        true
+        (Array.for_all2 beq base.CS.mc_max r.CS.mc_max);
+      Alcotest.(check bool)
+        (Printf.sprintf "mc_delays identical at jobs=%d" jobs)
+        true
+        (Array.for_all2
+           (fun a b -> Array.for_all2 beq a b)
+           base.CS.mc_delays r.CS.mc_delays);
+      (* instrumented runs go through the pool: lane-0 busy gauge exists *)
+      Alcotest.(check bool)
+        (Printf.sprintf "lane0 busy gauge at jobs=%d" jobs)
+        true
+        (List.exists
+           (fun (n, v) -> n = "par.lane0.busy_ns" && v > 0.)
+           (Obs.gauges obs));
+      (* chunk spans landed: ceil (6 / 2) chunks *)
+      Alcotest.(check int)
+        (Printf.sprintf "chunk spans at jobs=%d" jobs)
+        3
+        (Obs.timer_calls (Obs.timer obs "mc.chunk")))
+    [ 1; 4 ]
+
 let suites =
   [
     ( "obs.metrics",
@@ -280,9 +552,27 @@ let suites =
           test_timer_and_histogram;
         Alcotest.test_case "parallel histogram" `Quick
           test_histogram_parallel;
+        Alcotest.test_case "monotonic clock" `Quick test_monotonic_now;
+        Alcotest.test_case "gauge basics" `Quick test_gauge_basics;
       ] );
     ( "obs.disabled",
-      [ Alcotest.test_case "near-zero cost" `Quick test_disabled_sink_free ] );
+      [
+        Alcotest.test_case "near-zero cost" `Quick test_disabled_sink_free;
+        Alcotest.test_case "gauge and snapshot free" `Quick
+          test_disabled_gauge_and_snapshot_free;
+      ] );
+    ( "obs.spans",
+      [
+        Alcotest.test_case "hierarchy, self time, GC attribution" `Quick
+          test_span_hierarchy;
+        QCheck_alcotest.to_alcotest prop_span_forest_valid_under_pool;
+      ] );
+    ( "obs.snapshot",
+      [
+        Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden;
+        Alcotest.test_case "snapshot JSON round-trip" `Quick
+          test_snapshot_json_roundtrip;
+      ] );
     ( "obs.trace",
       [
         Alcotest.test_case "valid JSON, monotone tracks" `Quick
@@ -295,5 +585,7 @@ let suites =
           test_sta_instrumented_identical;
         Alcotest.test_case "instrumented fault-sim bit-identical" `Quick
           test_fault_sim_instrumented_identical;
+        Alcotest.test_case "instrumented Monte-Carlo bit-identical" `Quick
+          test_mc_instrumented_identical;
       ] );
   ]

@@ -1,0 +1,86 @@
+(* Validate a Chrome trace-event JSON file produced by `ssd ... --trace`:
+   the document must parse, every complete ("X") event needs a
+   non-negative duration and a monotone start time within its track, and
+   the span hierarchy carried in args (id / parent) must form a forest —
+   every non-root parent id resolves to a recorded span.
+
+     dune exec tools/trace_check.exe -- trace.json
+
+   Exits 0 when the trace is well-formed, 1 with a diagnostic when not,
+   2 on usage errors.  Used by tools/verify.sh. *)
+
+module Json = Ssd_util.Json
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("trace_check: " ^ s); exit 1) fmt
+
+let num field ev =
+  match Json.member field ev with
+  | Some j -> (
+    match Json.number_value j with
+    | Some v -> v
+    | None -> fail "event field %S is not a number" field)
+  | None -> fail "event lacks field %S" field
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; p |] -> p
+    | _ ->
+      prerr_endline "usage: trace_check FILE";
+      exit 2
+  in
+  let contents =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let doc =
+    match Json.parse contents with
+    | Ok d -> d
+    | Error msg -> fail "%s does not parse as JSON: %s" path msg
+  in
+  let events =
+    match Json.member "traceEvents" doc with
+    | Some (Json.List l) -> l
+    | _ -> fail "%s has no traceEvents array" path
+  in
+  let xs =
+    List.filter
+      (fun ev -> Json.member "ph" ev = Some (Json.Str "X"))
+      events
+  in
+  if xs = [] then fail "%s records no complete (ph:X) events" path;
+  let last_ts = Hashtbl.create 8 in
+  let ids = Hashtbl.create 64 in
+  let parents = ref [] in
+  List.iter
+    (fun ev ->
+      let ts = num "ts" ev and dur = num "dur" ev in
+      let tid = int_of_float (num "tid" ev) in
+      if dur < 0. then fail "negative duration %g us on track %d" dur tid;
+      (match Hashtbl.find_opt last_ts tid with
+      | Some prev when ts < prev ->
+        fail "track %d time goes backwards: %g us after %g us" tid ts prev
+      | _ -> ());
+      Hashtbl.replace last_ts tid ts;
+      match Json.member "args" ev with
+      | Some args ->
+        let id = int_of_float (num "id" args) in
+        let parent = int_of_float (num "parent" args) in
+        let self = num "self_us" args in
+        if self < -1e-9 then fail "span %d has negative self time" id;
+        if self > dur +. 1e-6 then
+          fail "span %d self time %g us exceeds duration %g us" id self dur;
+        if Hashtbl.mem ids id then fail "duplicate span id %d" id;
+        Hashtbl.replace ids id ();
+        if parent >= 0 then parents := (id, parent) :: !parents
+      | None -> fail "event on track %d lacks args" tid)
+    xs;
+  List.iter
+    (fun (id, parent) ->
+      if not (Hashtbl.mem ids parent) then
+        fail "span %d names unknown parent %d" id parent)
+    !parents;
+  Printf.printf "trace_check: %s ok (%d spans, %d tracks)\n" path
+    (List.length xs) (Hashtbl.length last_ts)
