@@ -1130,6 +1130,124 @@ let mc () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Serve: request throughput of the timing daemon, in-process          *)
+(* ------------------------------------------------------------------ *)
+
+(* metrics exported into the --json report (request rate) *)
+let serve_metrics : (string * float) list ref = ref []
+
+let serve () =
+  header "Serve — session-daemon request throughput (in-process dispatch)";
+  let module Server = Ssd_serve.Server in
+  let module P = Ssd_serve.Protocol in
+  let lib = Lazy.force library in
+  let total =
+    (* SSD_SERVE_REQS downsizes the run for smoke checks / CI *)
+    match Sys.getenv_opt "SSD_SERVE_REQS" with
+    | Some s -> (try max 1_000 (int_of_string s) with Failure _ -> 20_000)
+    | None -> 20_000
+  in
+  (* default config: one dispatch lane — the acceptance number is a
+     single-core figure; --jobs only buys cross-session parallelism *)
+  let sv = Server.create (Server.default_config ~library:lib) in
+  Fun.protect ~finally:(fun () -> Server.close sv) @@ fun () ->
+  let check tag resp =
+    match Json.parse resp with
+    | Ok j when P.response_ok j -> ()
+    | _ ->
+      Printf.eprintf "serve: %s request failed: %s\n" tag resp;
+      exit 1
+  in
+  check "open"
+    (Server.dispatch sv
+       {|{"v":1,"id":0,"op":"open","session":"s","circuit":"c880s"}|});
+  (* the measured workload is what the reader hands the dispatcher on
+     stdio traffic: drained batches of cached po_window queries against
+     a resident engine — each request costs one parse, one window read
+     and one render, no re-timing *)
+  let frame i =
+    Printf.sprintf
+      {|{"v":1,"id":%d,"op":"query","session":"s","what":"po_window"}|} i
+  in
+  let batch = 256 in
+  let batches = (total + batch - 1) / batch in
+  let reqs =
+    Array.init batches (fun b ->
+        List.init
+          (min batch (total - (b * batch)))
+          (fun k -> frame ((b * batch) + k)))
+  in
+  List.iter (check "warm-up query") (Server.dispatch_batch sv reqs.(0));
+  let t0 = Unix.gettimeofday () in
+  let served = ref 0 in
+  let replies = ref [] in
+  Array.iter
+    (fun rs ->
+      let out = Server.dispatch_batch sv rs in
+      served := !served + List.length out;
+      replies := out :: !replies)
+    reqs;
+  let wall = Unix.gettimeofday () -. t0 in
+  List.iter (List.iter (check "query")) !replies;
+  let rate = float_of_int !served /. wall in
+  (* informational second workload: a full edit/revert re-timing cycle
+     per request pair — the expensive path, for scale context *)
+  let po =
+    let nl =
+      Ck.Decompose.to_primitive (Option.get (Ck.Benchmarks.by_name "c880s"))
+    in
+    Ck.Netlist.signal_name nl (List.hd (Ck.Netlist.outputs nl))
+  in
+  let edit_cycles = 200 in
+  check "checkpoint"
+    (Server.dispatch sv
+       {|{"v":1,"id":0,"op":"checkpoint","session":"s"}|});
+  let t1 = Unix.gettimeofday () in
+  for i = 0 to edit_cycles - 1 do
+    List.iter
+      (check "edit cycle")
+      (Server.dispatch_batch sv
+         [
+           Printf.sprintf
+             {|{"v":1,"id":%d,"op":"edit","session":"s","edits":[{"op":"extra","signal":"%s","delta":5e-12}]}|}
+             (2 * i) po;
+           Printf.sprintf
+             {|{"v":1,"id":%d,"op":"revert","checkpoint":1,"session":"s"}|}
+             ((2 * i) + 1);
+         ])
+  done;
+  let edit_rate =
+    float_of_int (2 * edit_cycles) /. (Unix.gettimeofday () -. t1)
+  in
+  let target = 10_000. in
+  let t = Texttab.create ~header:[ "metric"; "value" ] in
+  Texttab.add_row t [ "requests"; string_of_int !served ];
+  Texttab.add_row t [ "batch size"; string_of_int batch ];
+  Texttab.add_row t [ "wall (s)"; Printf.sprintf "%.3f" wall ];
+  Texttab.add_row t
+    [ "cached-query req/s (one core)";
+      Printf.sprintf "%.0f (>= %.0f)" rate target ];
+  Texttab.add_row t
+    [ "edit+revert req/s (re-timing)"; Printf.sprintf "%.0f" edit_rate ];
+  Texttab.print t;
+  note "every reply of the timed run is checked ok after the clock stops;";
+  note "the daemon transports (stdio/TCP) add only kernel I/O on top of";
+  note "this dispatch path — tools/verify.sh diffs a live stdio session";
+  note "against a golden transcript.";
+  serve_metrics :=
+    [
+      ("requests", float_of_int !served);
+      ("batch", float_of_int batch);
+      ("req_per_sec", rate);
+      ("edit_req_per_sec", edit_rate);
+    ];
+  if rate < target then begin
+    Printf.eprintf "serve: %.0f requests/sec below the %.0f target\n" rate
+      target;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel performance suite                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1334,6 +1452,7 @@ let experiments =
     ("corners", corners);
     ("mc", mc);
     ("scale", scale);
+    ("serve", serve);
     ("perf", perf);
   ]
 
@@ -1363,6 +1482,8 @@ let report_json timings total =
         Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) !corner_metrics) );
       ( "mc",
         Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) !mc_metrics) );
+      ( "serve",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) !serve_metrics) );
       ( "counters",
         Json.Obj
           (List.map
@@ -1459,7 +1580,8 @@ let metric_direction path =
   let gated =
     List.exists
       (fun g -> starts_with g path)
-      [ "experiments."; "total_wall_s"; "scale."; "corners."; "mc." ]
+      [ "experiments."; "total_wall_s"; "scale."; "corners."; "mc.";
+        "serve." ]
   in
   if not gated then Info_only
   else if contains path "per_sec" || contains path "speedup" then

@@ -365,4 +365,68 @@ let () =
     Printf.eprintf "bench smoke: exposition lacks ssd_sta_gates_total\n";
     exit 1
   end;
+  (* serve loop: the daemon dispatcher must produce byte-identical
+     response streams whether cross-session batches run on one lane or
+     four — the wiring contract behind `ssd serve --jobs` (the protocol
+     and session semantics themselves are covered by test_serve) *)
+  let module Server = Ssd_serve.Server in
+  let module P = Ssd_serve.Protocol in
+  let script =
+    [
+      {|{"v":1,"id":1,"op":"open","session":"a","circuit":"c17"}|};
+      {|{"v":1,"id":2,"op":"open","session":"b","circuit":"c17"}|};
+      {|{"v":1,"id":3,"op":"checkpoint","session":"a"}|};
+      {|{"v":1,"id":4,"op":"edit","session":"a","edits":[{"op":"extra","signal":"11","delta":3e-11}]}|};
+      {|{"v":1,"id":5,"op":"query","session":"b","what":"po_window"}|};
+      {|{"v":1,"id":6,"op":"query","session":"a","what":"po_window"}|};
+      {|{"v":1,"id":7,"op":"query","session":"a","what":"timing","signal":"22"}|};
+      {|{"v":1,"id":8,"op":"revert","checkpoint":1,"session":"a"}|};
+      {|{"v":1,"id":9,"op":"query","session":"a","what":"po_window"}|};
+      {|{"v":1,"id":10,"op":"ping"}|};
+    ]
+  in
+  let run_script jobs =
+    let sv =
+      Server.create
+        { (Server.default_config ~library:lib) with Server.sv_jobs = jobs }
+    in
+    Fun.protect
+      ~finally:(fun () -> Server.close sv)
+      (fun () -> Server.dispatch_batch sv script)
+  in
+  let serve_seq = run_script 1 and serve_par = run_script 4 in
+  if serve_seq <> serve_par then begin
+    Printf.eprintf
+      "bench smoke: serve responses differ between jobs 1 and jobs 4\n";
+    exit 1
+  end;
+  List.iter2
+    (fun req resp ->
+      match Json.parse resp with
+      | Ok j when P.response_ok j -> ()
+      | _ ->
+        Printf.eprintf "bench smoke: serve request failed: %s -> %s\n" req
+          resp;
+        exit 1)
+    script serve_seq;
+  (* the two sessions hold independent engines: a's edit must move a's
+     PO windows away from b's shared baseline, and a's revert must put
+     them back (ids differ, so compare the parsed ok bodies) *)
+  let ok_body i =
+    match Json.parse (List.nth serve_seq i) with
+    | Ok j -> Json.member "ok" j
+    | Error _ ->
+      Printf.eprintf "bench smoke: serve response %d does not parse\n" i;
+      exit 1
+  in
+  let b_base = ok_body 4 and a_edited = ok_body 5 and a_reverted = ok_body 8 in
+  if b_base = a_edited then begin
+    Printf.eprintf "bench smoke: serve edit did not move session a\n";
+    exit 1
+  end;
+  if a_reverted <> b_base then begin
+    Printf.eprintf
+      "bench smoke: serve revert did not restore the baseline windows\n";
+    exit 1
+  end;
   print_endline "bench smoke: ok"

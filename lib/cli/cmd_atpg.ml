@@ -1,0 +1,89 @@
+module Ck = Ssd_circuit
+module Sta = Ssd_sta.Sta
+module A = Ssd_atpg
+
+open Cmdliner
+open Cli_common
+
+let faults_t =
+  Arg.(value & opt int 16 & info [ "faults" ] ~docv:"N"
+         ~doc:"Number of crosstalk fault sites to target.")
+
+let no_itr_t =
+  Arg.(value & flag
+       & info [ "no-itr" ]
+           ~doc:"Disable incremental timing refinement pruning.")
+
+let budget_t =
+  Arg.(value & opt int 1000 & info [ "budget" ] ~docv:"N"
+         ~doc:"Search budget in decision-node expansions per fault.")
+
+let seed_t =
+  Arg.(value & opt int 99 & info [ "seed" ] ~docv:"N" ~doc:"Extraction seed.")
+
+let run common fine model file faults no_itr budget seed =
+  let obs = setup_common common in
+  let lib = library_of fine in
+  let nl = Ck.Decompose.to_primitive (load_netlist file) in
+  let opts = run_opts_of common obs in
+  let sta = Sta.analyze_with opts ~library:lib ~model nl in
+  let sites =
+    A.Fault.extract_screened ~count:faults ~seed:(Int64.of_int seed)
+      ~library:lib ~model nl
+  in
+  Printf.printf "%s: %d fault sites, clock %.3f ns, ITR %s\n%!"
+    (Ck.Netlist.name nl) (List.length sites)
+    (Sta.max_delay sta *. 1e9)
+    (if no_itr then "off" else "on");
+  let cfg =
+    { (A.Atpg.default_config ~clock_period:(Sta.max_delay sta)) with
+      A.Atpg.use_itr = not no_itr; max_expansions = budget }
+  in
+  let results, run_stats =
+    A.Atpg.run_with opts cfg ~library:lib ~model nl sites
+  in
+  List.iter
+    (fun r ->
+      Printf.printf "  %-50s %s (%d expansions)\n"
+        (A.Fault.describe nl r.A.Atpg.site)
+        (match r.A.Atpg.outcome with
+        | A.Atpg.Detected _ -> "DETECTED"
+        | A.Atpg.Undetectable -> "undetectable"
+        | A.Atpg.Aborted -> "aborted")
+        r.A.Atpg.expansions)
+    results;
+  Printf.printf
+    "detected %d, undetectable %d, aborted %d -> efficiency %.2f%%\n"
+    run_stats.A.Atpg.detected run_stats.A.Atpg.undetectable
+    run_stats.A.Atpg.aborted
+    (A.Atpg.efficiency run_stats);
+  (* fault-simulate the generated test set over the whole fault list:
+     [--jobs] threads through to the incremental fault simulator *)
+  let tests =
+    List.filter_map
+      (fun r ->
+        match r.A.Atpg.outcome with
+        | A.Atpg.Detected v -> Some v
+        | A.Atpg.Undetectable | A.Atpg.Aborted -> None)
+      results
+  in
+  (match tests with
+  | [] -> ()
+  | _ ->
+    let fs =
+      A.Fault_sim.simulate_with opts ~library:lib ~model
+        ~clock_period:(Sta.max_delay sta) nl sites tests
+    in
+    Printf.printf
+      "fault simulation of the %d generated test(s): %d/%d sites \
+       detected, coverage %.2f%%\n"
+      (List.length tests)
+      (List.length fs.A.Fault_sim.detected)
+      (List.length sites) fs.A.Fault_sim.coverage);
+  finish_common common obs;
+  0
+
+let cmd =
+  Cmd.v (Cmd.info "atpg" ~doc:"Crosstalk delay-fault test generation")
+    Term.(const run $ common_t $ fine_t $ model_t $ bench_file_t $ faults_t
+          $ no_itr_t $ budget_t $ seed_t)

@@ -1,0 +1,3 @@
+(** [ssd atpg]: crosstalk delay-fault test generation. *)
+
+val cmd : int Cmdliner.Cmd.t

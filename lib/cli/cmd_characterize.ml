@@ -1,0 +1,34 @@
+module Charlib = Ssd_cell.Charlib
+module Sweep = Ssd_cell.Sweep
+module Fit = Ssd_cell.Fit
+
+open Cmdliner
+open Cli_common
+
+let run verbose fine =
+  setup_logs verbose;
+  let lib = library_of fine in
+  List.iter
+    (fun cell ->
+      Format.printf "%a@." Charlib.pp_cell_summary cell;
+      let kname =
+        match cell.Charlib.kind with Sweep.Nand -> "NAND" | Sweep.Nor -> "NOR"
+      in
+      Array.iteri
+        (fun pos ec ->
+          let k = ec.Charlib.delay.Fit.k in
+          Printf.printf
+            "  %s%d pin %d to-ctl: DR(T) = %.3e T^2 + %.3e T + %.3e  \
+             (rms %.1f ps%s)\n"
+            kname cell.Charlib.n pos k.(0) k.(1) k.(2)
+            (ec.Charlib.delay.Fit.rms *. 1e12)
+            (match ec.Charlib.delay.Fit.peak with
+            | Some p -> Printf.sprintf ", peak at %.2f ns" (p *. 1e9)
+            | None -> ""))
+        cell.Charlib.to_ctl)
+    lib.Charlib.cells;
+  0
+
+let cmd =
+  Cmd.v (Cmd.info "characterize" ~doc:"Build and print the cell library")
+    Term.(const run $ verbose_t $ fine_t)

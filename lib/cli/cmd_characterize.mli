@@ -1,0 +1,3 @@
+(** [ssd characterize]: build and print the cell library. *)
+
+val cmd : int Cmdliner.Cmd.t

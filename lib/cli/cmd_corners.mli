@@ -1,0 +1,3 @@
+(** [ssd corners]: batched multi-corner timing analysis. *)
+
+val cmd : int Cmdliner.Cmd.t

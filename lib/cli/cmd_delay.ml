@@ -1,0 +1,54 @@
+module S = Ssd_spice
+module Charlib = Ssd_cell.Charlib
+module Sweep = Ssd_cell.Sweep
+module DM = Ssd_core.Delay_model
+module Types = Ssd_core.Types
+module Texttab = Ssd_util.Texttab
+
+open Cmdliner
+open Cli_common
+
+let skew_t =
+  Arg.(value & opt float 0.
+       & info [ "skew" ] ~docv:"PS" ~doc:"Skew A_Y − A_X in picoseconds.")
+
+let tx_t =
+  Arg.(value & opt float 0.5
+       & info [ "tx" ] ~docv:"NS" ~doc:"Transition time of input X in ns.")
+
+let ty_t =
+  Arg.(value & opt float 0.5
+       & info [ "ty" ] ~docv:"NS" ~doc:"Transition time of input Y in ns.")
+
+let run verbose fine skew_ps tx_ns ty_ns =
+  setup_logs verbose;
+  let lib = library_of fine in
+  let cell = Charlib.find lib Sweep.Nand 2 in
+  let a = { Types.pos = 0; arrival = 0.; t_tr = tx_ns *. 1e-9 } in
+  let b =
+    { Types.pos = 1; arrival = skew_ps *. 1e-12; t_tr = ty_ns *. 1e-9 }
+  in
+  let sim =
+    Sweep.pair S.Tech.default Sweep.Nand ~n:2 ~fanout:1 ~pos_a:0 ~pos_b:1
+      ~t_a:a.Types.t_tr ~t_b:b.Types.t_tr ~skew:b.Types.arrival
+  in
+  let t = Texttab.create ~header:[ "source"; "delay (ps)"; "out tt (ps)" ] in
+  Texttab.add_row_f ~prec:1 t "simulator"
+    [ sim.Sweep.m_delay *. 1e12; sim.Sweep.m_out_tt *. 1e12 ];
+  List.iter
+    (fun m ->
+      Texttab.add_row_f ~prec:1 t m.DM.name
+        [
+          m.DM.pair_delay cell ~fanout:1 ~a ~b *. 1e12;
+          m.DM.pair_out_tt cell ~fanout:1 ~a ~b *. 1e12;
+        ])
+    DM.all;
+  Texttab.print t;
+  0
+
+let cmd =
+  Cmd.v
+    (Cmd.info "delay"
+       ~doc:"Query the simultaneous-switching delay of a NAND2 for every \
+             model")
+    Term.(const run $ verbose_t $ fine_t $ skew_t $ tx_t $ ty_t)

@@ -1,0 +1,4 @@
+(** [ssd delay]: query every model's NAND2 simultaneous-switching
+    delay. *)
+
+val cmd : int Cmdliner.Cmd.t

@@ -1,0 +1,125 @@
+module Ck = Ssd_circuit
+module Sta = Ssd_sta.Sta
+module Engine = Ssd_sta.Engine
+module Interval = Ssd_util.Interval
+
+open Cmdliner
+open Cli_common
+
+(* Edit-script interpreter for the incremental {!Ssd_sta.Engine}.  The
+   line grammar lives with the engine ({!Engine.script_op_of_line}) —
+   the same serializable edits the serve protocol speaks — so this
+   command only sequences directives, checkpoints and bit-identity
+   checks. *)
+
+let script_t =
+  Arg.(required & pos 1 (some string) None
+       & info [] ~docv:"SCRIPT"
+           ~doc:"Edit script: one directive per line — $(b,extra SIG PS), \
+                 $(b,swap SIG KIND), $(b,pi SIG ALO AHI TLO THI) (ns), \
+                 $(b,model NAME), $(b,checkpoint), $(b,revert), \
+                 $(b,commit); '#' starts a comment.")
+
+let check_t =
+  Arg.(value & flag & info [ "check" ]
+       ~doc:"After every edit, re-analyze the edited circuit from scratch \
+             and verify the engine's PO window is bit-identical (exit 1 \
+             on the first mismatch).")
+
+let run common fine model file script check =
+  let obs = setup_common common in
+  let lib = library_of fine in
+  let nl = Ck.Decompose.to_primitive (load_netlist file) in
+  let opts = run_opts_of common obs in
+  let fail ln fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "ssd: %s:%d: %s\n" script ln msg;
+        exit 2)
+      fmt
+  in
+  let lines =
+    if not (Sys.file_exists script) then begin
+      Printf.eprintf "ssd: script %S does not exist\n" script;
+      exit 2
+    end
+    else begin
+      let ic = open_in script in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let rec go acc n =
+            match input_line ic with
+            | l -> go ((n, l) :: acc) (n + 1)
+            | exception End_of_file -> List.rev acc
+          in
+          go [] 1)
+    end
+  in
+  let eng = Engine.create ~opts ~library:lib ~model nl in
+  let marks = ref [] in
+  let beq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b) in
+  let nedits = ref 0 in
+  let show ln what =
+    let w = Engine.po_window eng in
+    Printf.printf "%4d  %-30s ->  PO [%.3f, %.3f] ns\n" ln what
+      (Interval.lo w *. 1e9) (Interval.hi w *. 1e9)
+  in
+  let apply ln edit =
+    (try Engine.apply eng edit with
+    | Invalid_argument msg | Sta.Unsupported_gate msg -> fail ln "%s" msg);
+    incr nedits;
+    show ln (Engine.describe_edit nl edit);
+    if check then begin
+      let reference = Engine.reanalyze eng in
+      let we = Engine.po_window eng and wr = Sta.po_window reference in
+      if
+        not
+          (beq (Interval.lo we) (Interval.lo wr)
+          && beq (Interval.hi we) (Interval.hi wr))
+      then begin
+        Printf.eprintf
+          "ssd: %s:%d: engine PO window [%.6f, %.6f] ns differs from full \
+           re-analysis [%.6f, %.6f] ns\n"
+          script ln
+          (Interval.lo we *. 1e9) (Interval.hi we *. 1e9)
+          (Interval.lo wr *. 1e9) (Interval.hi wr *. 1e9);
+        exit 1
+      end
+    end
+  in
+  List.iter
+    (fun (ln, raw) ->
+      match Engine.script_op_of_line nl raw with
+      | Error msg -> fail ln "%s" msg
+      | Ok None -> ()
+      | Ok (Some (Engine.S_edit edit)) -> apply ln edit
+      | Ok (Some Engine.S_checkpoint) ->
+        marks := Engine.checkpoint eng :: !marks;
+        Printf.printf "%4d  checkpoint (depth %d)\n" ln (Engine.depth eng)
+      | Ok (Some Engine.S_revert) -> (
+        match !marks with
+        | [] -> fail ln "revert without a preceding checkpoint"
+        | cp :: rest ->
+          Engine.revert eng cp;
+          marks := rest;
+          show ln "revert")
+      | Ok (Some Engine.S_commit) ->
+        Engine.commit eng;
+        marks := [];
+        Printf.printf "%4d  commit\n" ln)
+    lines;
+  print_endline (Engine.summary eng);
+  if check then
+    Printf.printf "check: %d edit(s) bit-identical to full re-analysis\n"
+      !nedits;
+  Engine.close eng;
+  finish_common common obs;
+  0
+
+let cmd =
+  Cmd.v
+    (Cmd.info "eco"
+       ~doc:"Replay an edit script through the incremental re-timing engine")
+    Term.(const run $ common_t $ fine_t $ model_t $ bench_file_t $ script_t
+          $ check_t)

@@ -1,0 +1,3 @@
+(** [ssd eco]: replay an edit script through the incremental engine. *)
+
+val cmd : int Cmdliner.Cmd.t

@@ -1,0 +1,50 @@
+module Ck = Ssd_circuit
+
+open Cmdliner
+open Cli_common
+
+let gates_t =
+  Arg.(required & opt (some int) None
+       & info [ "gates" ] ~docv:"N" ~doc:"Gate count.")
+
+let inputs_t =
+  Arg.(value & opt int 16 & info [ "inputs" ] ~docv:"N" ~doc:"PI count.")
+
+let outputs_t =
+  Arg.(value & opt int 8 & info [ "outputs" ] ~docv:"N" ~doc:"PO count.")
+
+let seed_t =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed.")
+
+let out_t =
+  Arg.(value & opt (some string) None
+       & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the netlist here (default: stdout).")
+
+(* generation is single-threaded; the common block is still accepted
+   so --jobs/--stats/--trace mean the same thing on every subcommand *)
+let run common gates inputs outputs seed out =
+  let obs = setup_common common in
+  let nl =
+    Ck.Generator.generate ~obs
+      {
+        Ck.Generator.default_params with
+        Ck.Generator.g_name = "synth";
+        n_inputs = inputs;
+        n_outputs = outputs;
+        n_gates = gates;
+        seed = Int64.of_int seed;
+      }
+  in
+  (match out with
+  | Some path ->
+    Ck.Bench_io.write_file nl path;
+    Printf.printf "wrote %s (%s)\n" path (Ck.Netlist.stats nl)
+  | None -> print_string (Ck.Bench_io.to_string nl));
+  finish_common common obs;
+  0
+
+let cmd =
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a synthetic benchmark netlist")
+    Term.(const run $ common_t $ gates_t $ inputs_t $ outputs_t $ seed_t
+          $ out_t)

@@ -1,0 +1,3 @@
+(** [ssd gen]: generate a synthetic benchmark netlist. *)
+
+val cmd : int Cmdliner.Cmd.t

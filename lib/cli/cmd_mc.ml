@@ -1,0 +1,111 @@
+module Ck = Ssd_circuit
+module Corner_sta = Ssd_sta.Corner_sta
+module Run_opts = Ssd_sta.Run_opts
+module Texttab = Ssd_util.Texttab
+
+open Cmdliner
+open Cli_common
+
+let samples_t =
+  Arg.(value & opt int 64 & info [ "samples" ] ~docv:"N"
+         ~doc:"Number of Monte-Carlo corner samples.")
+
+let seed_t =
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"Sampling seed.")
+
+let batch_t =
+  Arg.(value & opt int 16 & info [ "batch" ] ~docv:"K"
+         ~doc:"Samples fitted and swept together per batched-kernel pass \
+               (clamped to the sample count; never changes results).")
+
+let check_t =
+  Arg.(value & flag & info [ "check" ]
+       ~doc:"Replay the sweep through the scalar resident-engine path and \
+             verify every per-sample PO delay and circuit max is \
+             bit-identical (exit 1 on the first mismatch).")
+
+let run common fine file samples seed batch check =
+  let obs = setup_common common in
+  if samples < 1 then begin
+    Printf.eprintf "ssd: --samples must be at least 1\n";
+    exit 2
+  end;
+  if batch < 1 then begin
+    Printf.eprintf "ssd: --batch must be at least 1\n";
+    exit 2
+  end;
+  let lib = library_of fine in
+  let nl = Ck.Decompose.to_primitive (load_netlist file) in
+  let opts = Run_opts.make ~jobs:common.co_jobs ~obs ~mc_batch:batch () in
+  let res =
+    Corner_sta.monte_carlo ~opts ~samples ~seed:(Int64.of_int seed)
+      ~library:lib nl
+  in
+  if check then begin
+    (* scalar oracle: the eval cache pays off there, every sample
+       revisits the same cells through the resident engine session *)
+    let oracle =
+      Corner_sta.monte_carlo_scalar
+        ~opts:(run_opts_of ~cache:true common obs)
+        ~samples ~seed:(Int64.of_int seed) ~library:lib nl
+    in
+    let beq a b =
+      Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+    in
+    let fail fmt =
+      Printf.ksprintf
+        (fun m ->
+          Printf.eprintf "ssd: %s\n" m;
+          exit 1)
+        fmt
+    in
+    Array.iteri
+      (fun pi d ->
+        Array.iteri
+          (fun s v ->
+            if not (beq v oracle.Corner_sta.mc_delays.(pi).(s)) then
+              fail "PO %d sample %d: batched %.17g <> scalar %.17g"
+                res.Corner_sta.mc_pos.(pi) s v
+                oracle.Corner_sta.mc_delays.(pi).(s))
+          d)
+      res.Corner_sta.mc_delays;
+    Array.iteri
+      (fun s v ->
+        if not (beq v oracle.Corner_sta.mc_max.(s)) then
+          fail "sample %d circuit max: batched %.17g <> scalar %.17g" s v
+            oracle.Corner_sta.mc_max.(s))
+      res.Corner_sta.mc_max;
+    Printf.printf
+      "check: %d sample(s) bit-identical to the scalar engine path\n" samples
+  end;
+  let qs = [ 0.; 0.05; 0.5; 0.95; 1. ] in
+  Printf.printf "%s: %d Monte-Carlo corner samples (seed %d)\n"
+    (Ck.Netlist.stats nl) samples seed;
+  let table =
+    Texttab.create
+      ~header:[ "PO"; "min (ns)"; "q5"; "median"; "q95"; "max (ns)" ]
+  in
+  let per_po = Corner_sta.mc_po_quantiles res qs in
+  Array.iteri
+    (fun pi po ->
+      Texttab.add_row table
+        (Ck.Netlist.signal_name nl po
+        :: List.map
+             (fun (_, v) -> Printf.sprintf "%.3f" (v *. 1e9))
+             per_po.(pi)))
+    res.Corner_sta.mc_pos;
+  Texttab.print table;
+  print_string "circuit max delay: ";
+  List.iter
+    (fun (q, v) -> Printf.printf " q%02.0f %.3f ns" (q *. 100.) (v *. 1e9))
+    (Corner_sta.mc_max_quantiles res qs);
+  print_newline ();
+  finish_common common obs;
+  0
+
+let cmd =
+  Cmd.v
+    (Cmd.info "mc"
+       ~doc:"Monte-Carlo corner sampling through the batched corner kernel")
+    Term.(const run $ common_t $ fine_t $ bench_file_t $ samples_t $ seed_t
+          $ batch_t $ check_t)

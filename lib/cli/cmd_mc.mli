@@ -1,0 +1,3 @@
+(** [ssd mc]: Monte-Carlo corner sampling. *)
+
+val cmd : int Cmdliner.Cmd.t

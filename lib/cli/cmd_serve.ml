@@ -1,0 +1,107 @@
+module Server = Ssd_serve.Server
+module Run_opts = Ssd_sta.Run_opts
+
+open Cmdliner
+open Cli_common
+
+let port_t =
+  Arg.(value & opt int 7373 & info [ "port" ] ~docv:"PORT"
+         ~doc:"TCP port to listen on (0 picks a free port, printed on \
+               startup).")
+
+let host_t =
+  Arg.(value & opt string "127.0.0.1"
+       & info [ "host" ] ~docv:"HOST" ~doc:"Address to bind.")
+
+let stdio_t =
+  Arg.(value & flag & info [ "stdio" ]
+       ~doc:"Serve one client over stdin/stdout instead of TCP (the test \
+             and script transport).")
+
+let max_sessions_t =
+  Arg.(value & opt int 64 & info [ "max-sessions" ] ~docv:"N"
+         ~doc:"Admission control: maximum concurrently open sessions.")
+
+let max_frame_t =
+  Arg.(value & opt int (1 lsl 20) & info [ "max-frame-bytes" ] ~docv:"N"
+         ~doc:"Admission control: requests larger than this many bytes \
+               are rejected unparsed.")
+
+let record_t =
+  Arg.(value & opt (some string) None
+       & info [ "record" ] ~docv:"FILE"
+           ~doc:"Append every (request, response) pair to FILE as JSON \
+                 lines; $(b,ssd serve --replay) FILE feeds it back.")
+
+let replay_t =
+  Arg.(value & opt (some string) None
+       & info [ "replay" ] ~docv:"FILE"
+           ~doc:"Instead of serving a transport, replay a recorded \
+                 request log through a fresh server and exit.")
+
+let check_t =
+  Arg.(value & flag & info [ "check" ]
+       ~doc:"With $(b,--replay): verify every response is byte-identical \
+             to the recorded one (stats responses compare by status \
+             only); exit 1 on the first divergence.")
+
+let run common fine port host stdio max_sessions max_frame record replay
+    check =
+  let obs = setup_common common in
+  let lib = library_of fine in
+  (* the daemon's own counters must be visible through the `stats`
+     request even without --stats/--trace, so a disabled sink is
+     upgraded to a live one (sessions already always get their own) *)
+  let sv_obs =
+    if Ssd_obs.Obs.enabled obs then obs else Ssd_obs.Obs.create ()
+  in
+  let cfg =
+    {
+      (Server.default_config ~library:lib) with
+      (* engines stay sequential; --jobs buys cross-session batch lanes *)
+      Server.sv_engine_opts = Run_opts.default;
+      sv_jobs = common.co_jobs;
+      sv_max_sessions = max_sessions;
+      sv_max_frame_bytes = max_frame;
+      sv_record = (if replay = None then record else None);
+      sv_obs;
+    }
+  in
+  let sv = Server.create cfg in
+  let code =
+    Fun.protect
+      ~finally:(fun () -> Server.close sv)
+      (fun () ->
+        match replay with
+        | Some path -> (
+          match Server.replay sv ~path ~check with
+          | Error m ->
+            Printf.eprintf "ssd: replay: %s\n" m;
+            2
+          | Ok (n, []) ->
+            if check then
+              Printf.printf "replay: %d request(s) bit-identical\n" n
+            else Printf.printf "replay: %d request(s) served\n" n;
+            0
+          | Ok (n, ((line, expected, got) :: _ as mismatches)) ->
+            Printf.eprintf
+              "ssd: replay diverged at line %d\n  expected: %s\n  got:      \
+               %s\n(%d mismatch(es) in %d request(s))\n"
+              line expected got
+              (List.length mismatches)
+              n;
+            1)
+        | None ->
+          if stdio then Server.serve_stdio sv else Server.serve_tcp ~host sv ~port;
+          0)
+  in
+  finish_common common obs;
+  code
+
+let cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve persistent timing sessions over a line-delimited JSON \
+             protocol")
+    Term.(const run $ common_t $ fine_t $ port_t $ host_t $ stdio_t
+          $ max_sessions_t $ max_frame_t $ record_t $ replay_t $ check_t)

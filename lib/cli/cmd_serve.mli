@@ -1,0 +1,3 @@
+(** [ssd serve]: the timing-as-a-service daemon (and its replayer). *)
+
+val cmd : int Cmdliner.Cmd.t

@@ -1,0 +1,3 @@
+(** [ssd sta]: static timing analysis of a netlist. *)
+
+val cmd : int Cmdliner.Cmd.t

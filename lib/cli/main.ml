@@ -1,0 +1,20 @@
+open Cmdliner
+
+let main () =
+  let doc =
+    "simultaneous-switching gate delay model toolkit (DAC 2001 repro)"
+  in
+  let info = Cmd.info "ssd" ~version:"1.0.0" ~doc in
+  Cmd.eval'
+    (Cmd.group info
+       [
+         Cmd_characterize.cmd;
+         Cmd_sta.cmd;
+         Cmd_atpg.cmd;
+         Cmd_eco.cmd;
+         Cmd_gen.cmd;
+         Cmd_delay.cmd;
+         Cmd_corners.cmd;
+         Cmd_mc.cmd;
+         Cmd_serve.cmd;
+       ])

@@ -1,0 +1,4 @@
+(** The [ssd] command group. *)
+
+val main : unit -> int
+(** Evaluate the CLI; returns the process exit code. *)

@@ -512,6 +512,37 @@ let snapshot t =
       sn_spans = span_tree (trace_events t);
     }
 
+(* ---- snapshot scoping ----
+
+   The serve daemon gives every session its own sink (isolation: one
+   session's counters never mix with another's) and still wants one
+   global exposition; namespacing the per-session snapshots and
+   concatenating them is how the two views compose. *)
+
+let prefix_snapshot prefix sn =
+  let p n = prefix ^ "." ^ n in
+  let rec pspan s = { s with sp_name = p s.sp_name;
+                             sp_children = List.map pspan s.sp_children } in
+  {
+    sn_counters = List.map (fun (n, v) -> (p n, v)) sn.sn_counters;
+    sn_gauges = List.map (fun (n, v) -> (p n, v)) sn.sn_gauges;
+    sn_timers = List.map (fun (n, v) -> (p n, v)) sn.sn_timers;
+    sn_histograms = List.map (fun (n, v) -> (p n, v)) sn.sn_histograms;
+    sn_spans = List.map pspan sn.sn_spans;
+  }
+
+let merge_snapshots sns =
+  List.fold_right
+    (fun sn acc ->
+      {
+        sn_counters = sn.sn_counters @ acc.sn_counters;
+        sn_gauges = sn.sn_gauges @ acc.sn_gauges;
+        sn_timers = sn.sn_timers @ acc.sn_timers;
+        sn_histograms = sn.sn_histograms @ acc.sn_histograms;
+        sn_spans = sn.sn_spans @ acc.sn_spans;
+      })
+    sns empty_snapshot
+
 let rec span_node_json n =
   Json.Obj
     [

@@ -205,6 +205,16 @@ val snapshot : t -> snapshot
     from recorded events via parent ids; empty unless tracing).  On the
     disabled sink returns a shared empty snapshot without allocating. *)
 
+val prefix_snapshot : string -> snapshot -> snapshot
+(** Namespace every instrument and span name with [prefix ^ "."] —
+    how per-session sinks (one {!t} per serve session, so sessions
+    never share shards) compose into one global view. *)
+
+val merge_snapshots : snapshot list -> snapshot
+(** Concatenate snapshots field-wise, preserving order.  Callers keep
+    names disjoint (e.g. via {!prefix_snapshot}); duplicate names are
+    kept as-is, not summed. *)
+
 val snapshot_to_json : snapshot -> Ssd_util.Json.t
 (** Stable JSON shape: [{counters:{}, gauges:{}, timers:{name:{calls,
     total_s, self_s}}, histograms:{name:{count, sum, rows:[[lo,hi,n]]}},

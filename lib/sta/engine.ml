@@ -5,6 +5,7 @@ module Netlist = Ssd_circuit.Netlist
 module Gate = Ssd_circuit.Gate
 module Charlib = Ssd_cell.Charlib
 module Obs = Ssd_obs.Obs
+module Json = Ssd_util.Json
 
 type edit =
   | Set_pi_spec of { pi : int; spec : Run_opts.pi_spec }
@@ -304,6 +305,203 @@ let edit_name = function
   | Swap_gate _ -> "swap_gate"
   | Set_extra_delay _ -> "set_extra_delay"
   | Set_model _ -> "set_model"
+
+(* ---- serializable edit codec ----
+
+   One wire format shared by the eco script interpreter and the serve
+   protocol: signals travel by name (ids are a per-netlist artifact),
+   times in seconds, models by registry name.  [edit_of_json] only
+   resolves shape and names; semantic validation (PI vs gate, primitive
+   kind, finite delta) stays in {!apply}, so the two paths cannot
+   drift. *)
+
+let iv_json iv = Json.List [ Json.Num (Interval.lo iv); Json.Num (Interval.hi iv) ]
+
+let edit_to_json nl = function
+  | Set_pi_spec { pi; spec } ->
+    Json.Obj
+      [
+        ("op", Json.Str "pi");
+        ("signal", Json.Str (Netlist.signal_name nl pi));
+        ("arrival", iv_json spec.Run_opts.pi_arrival);
+        ("tt", iv_json spec.Run_opts.pi_tt);
+      ]
+  | Swap_gate { node; kind } ->
+    Json.Obj
+      [
+        ("op", Json.Str "swap");
+        ("signal", Json.Str (Netlist.signal_name nl node));
+        ("kind", Json.Str (String.lowercase_ascii (Gate.to_string kind)));
+      ]
+  | Set_extra_delay { line; delta } ->
+    Json.Obj
+      [
+        ("op", Json.Str "extra");
+        ("signal", Json.Str (Netlist.signal_name nl line));
+        ("delta", Json.Num delta);
+      ]
+  | Set_model m ->
+    Json.Obj [ ("op", Json.Str "model"); ("name", Json.Str m.Delay_model.name) ]
+
+let model_names () =
+  String.concat ", " (List.map (fun m -> m.Delay_model.name) Delay_model.all)
+
+let edit_of_json nl j =
+  let ( let* ) = Result.bind in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let signal () =
+    match Json.member_string "signal" j with
+    | None -> err "missing \"signal\""
+    | Some s -> (
+      match Netlist.find nl s with
+      | Some i -> Ok i
+      | None -> err "unknown signal %S" s)
+  in
+  let interval key =
+    match Json.member key j with
+    | Some (Json.List [ a; b ]) -> (
+      match (Json.number_value a, Json.number_value b) with
+      | Some lo, Some hi -> (
+        try Ok (Interval.make lo hi)
+        with Invalid_argument m -> Error m)
+      | _ -> err "%S must be a [lo, hi] number pair" key)
+    | _ -> err "missing or malformed %S (want [lo, hi])" key
+  in
+  match Json.member_string "op" j with
+  | Some "pi" ->
+    let* pi = signal () in
+    let* pi_arrival = interval "arrival" in
+    let* pi_tt = interval "tt" in
+    Ok (Set_pi_spec { pi; spec = { Run_opts.pi_arrival; pi_tt } })
+  | Some "swap" -> (
+    let* node = signal () in
+    match Json.member_string "kind" j with
+    | None -> err "missing \"kind\""
+    | Some k -> (
+      match Gate.of_string k with
+      | Some kind -> Ok (Swap_gate { node; kind })
+      | None -> err "unknown gate kind %S" k))
+  | Some "extra" -> (
+    let* line = signal () in
+    match Json.member_number "delta" j with
+    | Some delta -> Ok (Set_extra_delay { line; delta })
+    | None -> err "missing or non-numeric \"delta\"")
+  | Some "model" -> (
+    match Json.member_string "name" j with
+    | None -> err "missing \"name\""
+    | Some name -> (
+      match Delay_model.find name with
+      | Some m -> Ok (Set_model m)
+      | None -> err "unknown model %S (try: %s)" name (model_names ())))
+  | Some op -> err "unknown edit op %S" op
+  | None -> err "edit has no \"op\" field"
+
+let edit_equal a b =
+  let beq x y = Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y) in
+  let iv_eq x y =
+    beq (Interval.lo x) (Interval.lo y) && beq (Interval.hi x) (Interval.hi y)
+  in
+  match (a, b) with
+  | Set_pi_spec x, Set_pi_spec y ->
+    x.pi = y.pi
+    && iv_eq x.spec.Run_opts.pi_arrival y.spec.Run_opts.pi_arrival
+    && iv_eq x.spec.Run_opts.pi_tt y.spec.Run_opts.pi_tt
+  | Swap_gate x, Swap_gate y -> x.node = y.node && x.kind = y.kind
+  | Set_extra_delay x, Set_extra_delay y -> x.line = y.line && beq x.delta y.delta
+  | Set_model x, Set_model y ->
+    String.equal x.Delay_model.name y.Delay_model.name
+  | (Set_pi_spec _ | Swap_gate _ | Set_extra_delay _ | Set_model _), _ -> false
+
+let describe_edit nl = function
+  | Set_extra_delay { line; delta } ->
+    Printf.sprintf "extra %s %+g ps" (Netlist.signal_name nl line)
+      (delta *. 1e12)
+  | Swap_gate { node; kind } ->
+    Printf.sprintf "swap %s %s" (Netlist.signal_name nl node)
+      (Gate.to_string kind)
+  | Set_pi_spec { pi; spec } ->
+    Printf.sprintf "pi %s [%g, %g] tt [%g, %g] ns"
+      (Netlist.signal_name nl pi)
+      (Interval.lo spec.Run_opts.pi_arrival *. 1e9)
+      (Interval.hi spec.Run_opts.pi_arrival *. 1e9)
+      (Interval.lo spec.Run_opts.pi_tt *. 1e9)
+      (Interval.hi spec.Run_opts.pi_tt *. 1e9)
+  | Set_model m -> "model " ^ m.Delay_model.name
+
+(* ---- eco script directives ----
+
+   The text format `ssd eco` replays, one directive per line, in the
+   units engineers write (ps for coupling deltas, ns for PI windows);
+   the JSON codec above carries seconds.  Both produce the same [edit]
+   values, so `ssd eco` and the serve protocol drive {!apply}
+   identically. *)
+
+type script_op =
+  | S_edit of edit
+  | S_checkpoint
+  | S_revert
+  | S_commit
+
+let script_op_of_line nl raw =
+  let ( let* ) = Result.bind in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let line =
+    match String.index_opt raw '#' with
+    | Some i -> String.sub raw 0 i
+    | None -> raw
+  in
+  let toks =
+    String.split_on_char ' ' line
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+  in
+  let resolve name =
+    match Netlist.find nl name with
+    | Some i -> Ok i
+    | None -> err "unknown signal %S" name
+  in
+  let num s =
+    match float_of_string_opt s with
+    | Some f -> Ok f
+    | None -> err "not a number: %S" s
+  in
+  match toks with
+  | [] -> Ok None
+  | [ "extra"; sg; ps ] ->
+    let* line = resolve sg in
+    let* d = num ps in
+    Ok (Some (S_edit (Set_extra_delay { line; delta = d *. 1e-12 })))
+  | [ "swap"; sg; kind ] ->
+    let* node = resolve sg in
+    let* kind =
+      match String.lowercase_ascii kind with
+      | "nand" -> Ok Gate.Nand
+      | "nor" -> Ok Gate.Nor
+      | "not" -> Ok Gate.Not
+      | k -> err "unknown gate kind %S (nand, nor or not)" k
+    in
+    Ok (Some (S_edit (Swap_gate { node; kind })))
+  | [ "pi"; sg; alo; ahi; tlo; thi ] ->
+    let* pi = resolve sg in
+    let* alo = num alo in
+    let* ahi = num ahi in
+    let* tlo = num tlo in
+    let* thi = num thi in
+    let iv lo hi =
+      try Ok (Interval.make (lo *. 1e-9) (hi *. 1e-9))
+      with Invalid_argument m -> Error m
+    in
+    let* pi_arrival = iv alo ahi in
+    let* pi_tt = iv tlo thi in
+    Ok (Some (S_edit (Set_pi_spec { pi; spec = { Run_opts.pi_arrival; pi_tt } })))
+  | [ "model"; name ] -> (
+    match Delay_model.find name with
+    | Some m -> Ok (Some (S_edit (Set_model m)))
+    | None -> err "unknown model %S (try: %s)" name (model_names ()))
+  | [ "checkpoint" ] -> Ok (Some S_checkpoint)
+  | [ "revert" ] -> Ok (Some S_revert)
+  | [ "commit" ] -> Ok (Some S_commit)
+  | cmd :: _ -> err "unknown or malformed directive %S" cmd
 
 let apply t edit =
   check_open t "Engine.apply";

@@ -50,6 +50,49 @@ type edit =
       (** Retarget the delay model; recomputes every node (cutoffs still
           limit journal growth to windows that actually moved). *)
 
+(** {2 Edit codec}
+
+    One serializable form shared by the [ssd eco] script interpreter
+    and the serve protocol: signals by name, times in seconds, models
+    by registry name.  Decoding resolves names and shape only;
+    semantic validation stays in {!apply}. *)
+
+val edit_to_json : Ssd_circuit.Netlist.t -> edit -> Ssd_util.Json.t
+(** [{"op":"pi"|"swap"|"extra"|"model", ...}]; intervals as [[lo, hi]]
+    number pairs in seconds.  Inverse of {!edit_of_json} (a
+    {!Set_model} survives only when its name is in
+    {!Ssd_core.Delay_model.all}). *)
+
+val edit_of_json :
+  Ssd_circuit.Netlist.t -> Ssd_util.Json.t -> (edit, string) result
+(** Decode one edit against the given netlist's signal names.  [Error]
+    carries a human-readable reason (unknown signal/model/op, malformed
+    interval, missing field). *)
+
+val edit_equal : edit -> edit -> bool
+(** Structural equality with bitwise float comparison (models compare
+    by name) — the round-trip oracle for the codec property tests. *)
+
+val describe_edit : Ssd_circuit.Netlist.t -> edit -> string
+(** One-line human description in script units (ps/ns), as the eco
+    replay log prints. *)
+
+(** {2 Script directives}
+
+    The [ssd eco] text format: one directive per line ([extra SIG PS],
+    [swap SIG KIND], [pi SIG ALO AHI TLO THI] in ns, [model NAME],
+    [checkpoint], [revert], [commit]; ['#'] starts a comment). *)
+
+type script_op =
+  | S_edit of edit
+  | S_checkpoint
+  | S_revert
+  | S_commit
+
+val script_op_of_line :
+  Ssd_circuit.Netlist.t -> string -> (script_op option, string) result
+(** Parse one script line; [Ok None] for a blank or comment line. *)
+
 type checkpoint
 (** A history mark.  Only meaningful for the engine it was taken from. *)
 

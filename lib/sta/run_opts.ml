@@ -28,8 +28,32 @@ let default =
     mc_batch = 16;
   }
 
+(* ---- builder ----
+
+   New call sites grow a record from [default] through [with_*] and
+   funnel it through [validate]; the field checks live in exactly one
+   place, shared by [make] (which raises) and the serve daemon (which
+   turns the [Error] into a protocol error response). *)
+
+let with_jobs jobs t = { t with jobs }
+let with_cache cache t = { t with cache }
+let with_obs obs t = { t with obs }
+let with_pi_spec pi_spec t = { t with pi_spec }
+let with_corners corners t = { t with corners }
+let with_mc_batch mc_batch t = { t with mc_batch }
+
+let validate t =
+  let finite_iv iv = Float.is_finite (Interval.lo iv) && Float.is_finite (Interval.hi iv) in
+  if t.corners < 1 then Error "corners < 1"
+  else if t.mc_batch < 1 then Error "mc_batch < 1"
+  else if not (finite_iv t.pi_spec.pi_arrival && finite_iv t.pi_spec.pi_tt)
+  then Error "pi_spec windows must be finite"
+  else if Interval.lo t.pi_spec.pi_tt < 0. then
+    Error "pi_spec transition-time window must be non-negative"
+  else Ok t
+
 let make ?(jobs = 1) ?(cache = false) ?(obs = Obs.disabled)
     ?(pi_spec = default_pi_spec) ?(corners = 1) ?(mc_batch = 16) () =
-  if corners < 1 then invalid_arg "Run_opts.make: corners < 1";
-  if mc_batch < 1 then invalid_arg "Run_opts.make: mc_batch < 1";
-  { jobs; cache; obs; pi_spec; corners; mc_batch }
+  match validate { jobs; cache; obs; pi_spec; corners; mc_batch } with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Run_opts.make: " ^ msg)

@@ -39,6 +39,27 @@ val default : t
 (** [jobs = 1], [cache = false], disabled telemetry,
     {!default_pi_spec}, [corners = 1], [mc_batch = 16]. *)
 
+(** {2 Builder}
+
+    Grow a record from {!default} through the [with_*] functions and
+    finish with {!validate} (or {!make}, which validates and raises).
+    Constructing or updating the record field-by-field with literal
+    record syntax is deprecated: it bypasses the field checks and
+    breaks silently whenever a field is added.  New call sites should
+    read [Run_opts.(default |> with_jobs 4 |> with_cache true)]. *)
+
+val with_jobs : int -> t -> t
+val with_cache : bool -> t -> t
+val with_obs : Ssd_obs.Obs.t -> t -> t
+val with_pi_spec : pi_spec -> t -> t
+val with_corners : int -> t -> t
+val with_mc_batch : int -> t -> t
+
+val validate : t -> (t, string) result
+(** The single authority on field invariants: [corners >= 1],
+    [mc_batch >= 1], finite PI windows with a non-negative transition
+    floor.  [Ok] returns the record unchanged. *)
+
 val make :
   ?jobs:int ->
   ?cache:bool ->
@@ -48,5 +69,5 @@ val make :
   ?mc_batch:int ->
   unit ->
   t
-(** {!default} with the given fields replaced.
-    @raise Invalid_argument on [corners < 1] or [mc_batch < 1]. *)
+(** {!default} with the given fields replaced, passed through
+    {!validate}.  @raise Invalid_argument when validation fails. *)

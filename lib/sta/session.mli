@@ -1,0 +1,103 @@
+(** Named {!Engine} sessions for the timing server.
+
+    A manager owns up to [max_sessions] long-lived engine sessions, each
+    addressed by a client-chosen name and carrying its own telemetry
+    sink (so one session's counters never mix with another's — the
+    per-session scoping behind the serve protocol's [stats] request).
+
+    {2 Concurrency}
+
+    Per-session ordering is a mutex: every engine operation goes
+    through {!with_session}, which serializes requests against that
+    session.  Requests against {e different} sessions are independent —
+    {!run_batch} fans one thunk per session across the manager's
+    {!Par} domain pool, so a batch of requests naming distinct sessions
+    executes concurrently while each session still sees its own
+    requests in order.  Results are bit-identical for any lane count:
+    the engines guarantee it per session, and sessions share no mutable
+    state.
+
+    The manager itself must be driven from one orchestrating thread
+    (the dispatch loop); the name-table mutex only protects the session
+    table against the engines running inside {!run_batch}. *)
+
+type t
+(** A session manager. *)
+
+type session
+(** One named engine session. *)
+
+type error =
+  | Too_many_sessions of int  (** the admission cap that was hit *)
+  | Duplicate_session of string
+  | Unknown_session of string
+
+val error_message : error -> string
+
+val create :
+  ?max_sessions:int ->
+  ?jobs:int ->
+  ?opts:Run_opts.t ->
+  library:Ssd_cell.Charlib.t ->
+  unit ->
+  t
+(** [max_sessions] (default 64) caps concurrently open sessions
+    (admission control).  [jobs] (default 1) sets the lane count of the
+    batch pool {!run_batch} fans over.  [opts] (default
+    {!Run_opts.default}) is the template for per-session engines; each
+    session replaces its [obs] with a fresh private sink.
+    @raise Invalid_argument on [max_sessions < 1]. *)
+
+val max_sessions : t -> int
+val count : t -> int
+
+val names : t -> string list
+(** Open session names in creation order. *)
+
+val open_session :
+  t ->
+  name:string ->
+  ?model:Ssd_core.Delay_model.t ->
+  Ssd_circuit.Netlist.t ->
+  (session, error) result
+(** Create a session (one full {!Engine.create} forward pass) under the
+    manager's option template.  [model] defaults to
+    {!Ssd_core.Delay_model.proposed}.  @raise Sta.Unsupported_gate or
+    [Invalid_argument] as {!Engine.create}. *)
+
+val find : t -> string -> (session, error) result
+val close_session : t -> string -> (unit, error) result
+
+val close_all : t -> unit
+(** Close every session and the batch pool.  The manager stays usable
+    (new sessions re-create the pool on demand). *)
+
+val session_name : session -> string
+
+val obs : session -> Ssd_obs.Obs.t
+(** The session's private telemetry sink (engine counters, edit
+    latency histograms, ...). *)
+
+val with_session : session -> (Engine.t -> 'a) -> 'a
+(** Run under the session mutex — the only sanctioned engine access. *)
+
+(** {2 Checkpoints}
+
+    Wire-friendly checkpoint handles: dense integer ids, assigned in
+    order, so a recorded session replays to identical ids. *)
+
+val checkpoint : session -> int
+val revert : session -> int -> (unit, string) result
+(** Unknown, already-invalidated or pre-commit ids are [Error];
+    reverting drops the ids taken after the restored mark. *)
+
+val commit : session -> unit
+(** {!Engine.commit}; every outstanding checkpoint id is invalidated. *)
+
+val depth : session -> int
+
+val run_batch : t -> (unit -> unit) array -> unit
+(** Execute the thunks — one per distinct session — concurrently on the
+    manager's pool (sequentially on a 1-lane pool).  Thunks must touch
+    disjoint sessions; each should wrap its engine work in
+    {!with_session}. *)

@@ -247,3 +247,16 @@ let member key = function
 let to_list = function List xs -> xs | _ -> []
 let string_value = function Str s -> Some s | _ -> None
 let number_value = function Num x -> Some x | _ -> None
+let bool_value = function Bool b -> Some b | _ -> None
+
+let int_value = function
+  | Num x
+    when Float.is_integer x
+         && x >= Float.of_int min_int
+         && x <= Float.of_int max_int ->
+    Some (int_of_float x)
+  | _ -> None
+
+let member_string k j = Option.bind (member k j) string_value
+let member_int k j = Option.bind (member k j) int_value
+let member_number k j = Option.bind (member k j) number_value

@@ -32,3 +32,19 @@ val to_list : t -> t list
 
 val string_value : t -> string option
 val number_value : t -> float option
+
+val bool_value : t -> bool option
+
+val int_value : t -> int option
+(** [Some n] only for a [Num] that is finite, integral and inside the
+    native [int] range — the request-parsing accessor (counts, seeds,
+    ids), where [3.5] or [1e300] must be rejected rather than
+    truncated. *)
+
+val member_string : string -> t -> string option
+(** [member_string k j] = [member k j |> string_value] — field lookup
+    composed with the string accessor, the common protocol-decoding
+    step. *)
+
+val member_int : string -> t -> int option
+val member_number : string -> t -> float option

@@ -11,4 +11,4 @@ let () =
    @ Test_core.suites @ Test_circuit.suites @ Test_sta.suites
    @ Test_engine.suites @ Test_itr.suites @ Test_atpg.suites @ Test_obs.suites
    @ Test_extras.suites @ Test_regression.suites @ Test_scale.suites
-   @ Test_corners.suites)
+   @ Test_corners.suites @ Test_serve.suites)

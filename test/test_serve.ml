@@ -1,0 +1,448 @@
+(* The serve stack: wire-protocol golden behavior (framing, versioning,
+   admission control), the session manager's lifecycle and checkpoint
+   registry, cross-session batch determinism at different lane counts,
+   record/replay bit-identity over a randomized session script, the
+   Engine edit codec round-trip property and the Run_opts builder. *)
+
+module Ck = Ssd_circuit
+module Charlib = Ssd_cell.Charlib
+module DM = Ssd_core.Delay_model
+module E = Ssd_sta.Engine
+module RO = Ssd_sta.Run_opts
+module Session = Ssd_sta.Session
+module Interval = Ssd_util.Interval
+module Json = Ssd_util.Json
+module P = Ssd_serve.Protocol
+module Server = Ssd_serve.Server
+
+let lib = lazy (Charlib.default ~profile:Charlib.coarse ())
+let c17_prim () = Ck.Decompose.to_primitive (Ck.Benchmarks.c17 ())
+
+let mk_server ?(jobs = 1) ?max_frame ?record () =
+  let cfg = Server.default_config ~library:(Lazy.force lib) in
+  let cfg =
+    {
+      cfg with
+      Server.sv_jobs = jobs;
+      sv_record = record;
+      sv_max_frame_bytes =
+        Option.value ~default:cfg.Server.sv_max_frame_bytes max_frame;
+    }
+  in
+  Server.create cfg
+
+let with_server ?jobs ?max_frame ?record f =
+  let sv = mk_server ?jobs ?max_frame ?record () in
+  Fun.protect ~finally:(fun () -> Server.close sv) (fun () -> f sv)
+
+let code_of resp =
+  match Json.parse resp with
+  | Ok j -> P.response_error_code j
+  | Error _ -> None
+
+let is_ok resp =
+  match Json.parse resp with Ok j -> P.response_ok j | Error _ -> false
+
+(* ---- protocol golden behavior ---- *)
+
+let test_protocol_golden () =
+  with_server (fun sv ->
+      let d = Server.dispatch sv in
+      (* stable envelopes are pinned byte for byte *)
+      Alcotest.(check string)
+        "unknown version"
+        "{\"v\":1,\"id\":7,\"error\":{\"code\":\"bad-version\",\"message\":\
+         \"unsupported protocol version 9 (serve speaks 1)\"}}"
+        (d "{\"v\":9,\"id\":7,\"op\":\"ping\"}");
+      Alcotest.(check string)
+        "missing version"
+        "{\"v\":1,\"id\":null,\"error\":{\"code\":\"bad-version\",\
+         \"message\":\"request carries no \\\"v\\\" field\"}}"
+        (d "{\"op\":\"ping\"}");
+      Alcotest.(check string)
+        "missing op"
+        "{\"v\":1,\"id\":null,\"error\":{\"code\":\"bad-request\",\
+         \"message\":\"request carries no \\\"op\\\" string\"}}"
+        (d "{\"v\":1}");
+      Alcotest.(check string)
+        "non-object frame"
+        "{\"v\":1,\"id\":null,\"error\":{\"code\":\"bad-request\",\
+         \"message\":\"request is not a JSON object\"}}"
+        (d "[1,2]");
+      Alcotest.(check string)
+        "ping"
+        "{\"v\":1,\"id\":1,\"ok\":{\"pong\":true}}"
+        (d "{\"v\":1,\"id\":1,\"op\":\"ping\"}");
+      (* message text of parse errors belongs to the JSON parser; only
+         the code is contractual *)
+      Alcotest.(check (option string))
+        "malformed frame" (Some "bad-frame")
+        (code_of (d "{nope"));
+      Alcotest.(check (option string))
+        "unknown op" (Some "unknown-op")
+        (code_of (d "{\"v\":1,\"op\":\"frobnicate\"}"));
+      Alcotest.(check (option string))
+        "engine op without session" (Some "bad-request")
+        (code_of (d "{\"v\":1,\"op\":\"query\"}"));
+      Alcotest.(check (option string))
+        "engine op against unknown session" (Some "unknown-session")
+        (code_of (d "{\"v\":1,\"op\":\"query\",\"session\":\"ghost\"}")))
+
+let test_oversized_frame () =
+  with_server ~max_frame:64 (fun sv ->
+      let big =
+        Printf.sprintf "{\"v\":1,\"op\":\"ping\",\"pad\":%S}"
+          (String.make 100 'x')
+      in
+      Alcotest.(check (option string))
+        "oversized frame" (Some "frame-too-large")
+        (code_of (Server.dispatch sv big));
+      Alcotest.(check (option string))
+        "small frame still fine" None
+        (code_of (Server.dispatch sv "{\"v\":1,\"op\":\"ping\"}")))
+
+let test_code_round_trip () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (P.code_string c) true
+        (P.code_of_string (P.code_string c) = Some c))
+    [
+      P.Bad_frame; P.Bad_version; P.Bad_request; P.Unknown_op; P.Bad_params;
+      P.Unknown_session; P.Session_exists; P.Too_many_sessions;
+      P.Frame_too_large; P.Unknown_signal; P.Bad_edit; P.Bad_checkpoint;
+      P.Engine_error; P.Shutting_down;
+    ];
+  Alcotest.(check bool) "unknown spelling" true
+    (P.code_of_string "no-such-code" = None)
+
+let test_shutdown_drains () =
+  with_server (fun sv ->
+      let rs =
+        Server.dispatch_batch sv
+          [
+            "{\"v\":1,\"id\":1,\"op\":\"ping\"}";
+            "{\"v\":1,\"id\":2,\"op\":\"shutdown\"}";
+            "{\"v\":1,\"id\":3,\"op\":\"ping\"}";
+          ]
+      in
+      match rs with
+      | [ a; b; c ] ->
+        Alcotest.(check bool) "ping ok" true (is_ok a);
+        Alcotest.(check bool) "shutdown ok" true (is_ok b);
+        Alcotest.(check (option string))
+          "post-shutdown rejected" (Some "shutting-down") (code_of c);
+        Alcotest.(check bool) "flagged" true (Server.shutting_down sv)
+      | _ -> Alcotest.fail "expected 3 responses")
+
+(* ---- session lifecycle (open/edit/query/close through dispatch) ---- *)
+
+let test_session_lifecycle () =
+  with_server (fun sv ->
+      let d = Server.dispatch sv in
+      let r = d "{\"v\":1,\"id\":1,\"op\":\"open\",\"session\":\"s\",\"circuit\":\"c17\"}" in
+      Alcotest.(check bool) "open ok" true (is_ok r);
+      Alcotest.(check (option string))
+        "duplicate open" (Some "session-exists")
+        (code_of (d "{\"v\":1,\"op\":\"open\",\"session\":\"s\",\"circuit\":\"c17\"}"));
+      Alcotest.(check (option string))
+        "unknown circuit" (Some "bad-params")
+        (code_of (d "{\"v\":1,\"op\":\"open\",\"session\":\"t\",\"circuit\":\"nope\"}"));
+      let cp = d "{\"v\":1,\"op\":\"checkpoint\",\"session\":\"s\"}" in
+      Alcotest.(check bool) "checkpoint ok" true (is_ok cp);
+      let q0 = d "{\"v\":1,\"op\":\"query\",\"session\":\"s\"}" in
+      let e =
+        d "{\"v\":1,\"op\":\"edit\",\"session\":\"s\",\"edits\":[{\"op\":\"extra\",\"signal\":\"11\",\"delta\":5e-11}]}"
+      in
+      Alcotest.(check bool) "edit ok" true (is_ok e);
+      let q1 = d "{\"v\":1,\"op\":\"query\",\"session\":\"s\"}" in
+      Alcotest.(check bool) "edit moved the PO window" true (q0 <> q1);
+      (* a failing batch rolls back atomically *)
+      Alcotest.(check (option string))
+        "bad edit in batch" (Some "bad-edit")
+        (code_of
+           (d "{\"v\":1,\"op\":\"edit\",\"session\":\"s\",\"edits\":[{\"op\":\"extra\",\"signal\":\"11\",\"delta\":1e-11},{\"op\":\"swap\",\"signal\":\"zzz\",\"kind\":\"nor\"}]}"));
+      Alcotest.(check string) "rollback left timing unchanged" q1
+        (d "{\"v\":1,\"op\":\"query\",\"session\":\"s\"}");
+      let rv = d "{\"v\":1,\"op\":\"revert\",\"session\":\"s\",\"checkpoint\":1}" in
+      Alcotest.(check bool) "revert ok" true (is_ok rv);
+      Alcotest.(check string) "revert restored the pre-edit window" q0
+        (d "{\"v\":1,\"op\":\"query\",\"session\":\"s\"}");
+      Alcotest.(check (option string))
+        "stale checkpoint after commit" (Some "bad-checkpoint")
+        (code_of
+           (let _ = d "{\"v\":1,\"op\":\"commit\",\"session\":\"s\"}" in
+            d "{\"v\":1,\"op\":\"revert\",\"session\":\"s\",\"checkpoint\":1}"));
+      let st = d "{\"v\":1,\"op\":\"stats\",\"session\":\"s\"}" in
+      Alcotest.(check bool) "per-session stats ok" true (is_ok st);
+      Alcotest.(check bool) "stats carry engine counters" true
+        (let contains hay needle =
+           let lh = String.length hay and ln = String.length needle in
+           let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+           go 0
+         in
+         contains st "engine.edits");
+      Alcotest.(check bool) "close ok" true
+        (is_ok (d "{\"v\":1,\"op\":\"close\",\"session\":\"s\"}"));
+      Alcotest.(check (option string))
+        "query after close" (Some "unknown-session")
+        (code_of (d "{\"v\":1,\"op\":\"query\",\"session\":\"s\"}")))
+
+(* ---- session manager unit behavior ---- *)
+
+let test_session_manager () =
+  let mgr = Session.create ~max_sessions:2 ~library:(Lazy.force lib) () in
+  Fun.protect
+    ~finally:(fun () -> Session.close_all mgr)
+    (fun () ->
+      let nl = c17_prim () in
+      let ok = function Ok s -> s | Error e -> Alcotest.fail (Session.error_message e) in
+      let a = ok (Session.open_session mgr ~name:"a" nl) in
+      let _b = ok (Session.open_session mgr ~name:"b" nl) in
+      (match Session.open_session mgr ~name:"a" nl with
+      | Error (Session.Duplicate_session _) -> ()
+      | _ -> Alcotest.fail "duplicate admitted");
+      (match Session.open_session mgr ~name:"c" nl with
+      | Error (Session.Too_many_sessions 2) -> ()
+      | _ -> Alcotest.fail "cap not enforced");
+      Alcotest.(check (list string)) "names" [ "a"; "b" ] (Session.names mgr);
+      (* dense checkpoint ids; revert invalidates the ids above it *)
+      Alcotest.(check int) "cp1" 1 (Session.checkpoint a);
+      Session.with_session a (fun eng ->
+          E.apply eng (E.Set_extra_delay { line = 0; delta = 1e-12 }));
+      Alcotest.(check int) "cp2" 2 (Session.checkpoint a);
+      Alcotest.(check bool) "revert to 1" true (Session.revert a 1 = Ok ());
+      Alcotest.(check bool) "id 2 dropped" true
+        (match Session.revert a 2 with Error _ -> true | Ok () -> false);
+      Alcotest.(check bool) "unknown id" true
+        (match Session.revert a 99 with Error _ -> true | Ok () -> false);
+      Alcotest.(check bool) "close b" true
+        (Session.close_session mgr "b" = Ok ());
+      (match Session.find mgr "b" with
+      | Error (Session.Unknown_session _) -> ()
+      | _ -> Alcotest.fail "closed session still found");
+      (* slot freed: a new session is admitted again *)
+      let _c = ok (Session.open_session mgr ~name:"c" nl) in
+      Alcotest.(check int) "count" 2 (Session.count mgr))
+
+(* ---- cross-session batch determinism ---- *)
+
+(* one batch interleaving two sessions: lifecycle barriers, grouped
+   engine runs, checkpoints and a rollback.  The full response list must
+   be byte-identical whatever the lane count. *)
+let interleaved_script =
+  [
+    "{\"v\":1,\"id\":1,\"op\":\"open\",\"session\":\"a\",\"gen\":{\"gates\":30,\"seed\":5}}";
+    "{\"v\":1,\"id\":2,\"op\":\"open\",\"session\":\"b\",\"circuit\":\"c17\"}";
+    "{\"v\":1,\"id\":3,\"op\":\"checkpoint\",\"session\":\"a\"}";
+    "{\"v\":1,\"id\":4,\"op\":\"query\",\"session\":\"b\",\"what\":\"po_delays\"}";
+    "{\"v\":1,\"id\":5,\"op\":\"edit\",\"session\":\"a\",\"edits\":[{\"op\":\"extra\",\"signal\":\"g29\",\"delta\":2e-11}]}";
+    "{\"v\":1,\"id\":6,\"op\":\"edit\",\"session\":\"b\",\"edits\":[{\"op\":\"swap\",\"signal\":\"10\",\"kind\":\"nor\"}]}";
+    "{\"v\":1,\"id\":7,\"op\":\"query\",\"session\":\"a\"}";
+    "{\"v\":1,\"id\":8,\"op\":\"query\",\"session\":\"b\"}";
+    "{\"v\":1,\"id\":9,\"op\":\"revert\",\"session\":\"a\",\"checkpoint\":1}";
+    "{\"v\":1,\"id\":10,\"op\":\"query\",\"session\":\"a\",\"what\":\"path\",\"k\":2}";
+    "{\"v\":1,\"id\":11,\"op\":\"query\",\"session\":\"b\",\"what\":\"timing\",\"signal\":\"22\"}";
+    "{\"v\":1,\"id\":12,\"op\":\"close\",\"session\":\"a\"}";
+    "{\"v\":1,\"id\":13,\"op\":\"close\",\"session\":\"b\"}";
+  ]
+
+let run_script ~jobs frames =
+  with_server ~jobs (fun sv -> Server.dispatch_batch sv frames)
+
+let test_batch_determinism () =
+  let seq = run_script ~jobs:1 interleaved_script in
+  let par = run_script ~jobs:4 interleaved_script in
+  Alcotest.(check (list string)) "jobs 1 = jobs 4" seq par;
+  List.iter
+    (fun r -> Alcotest.(check bool) ("ok: " ^ r) true (is_ok r))
+    seq
+
+(* ---- record/replay bit-identity over a random session script ---- *)
+
+let random_frame rng =
+  let sess = [ "x"; "y"; "z" ] in
+  let s () = List.nth sess (Random.State.int rng 3) in
+  let signal () =
+    [ "1"; "2"; "3"; "6"; "7"; "10"; "11"; "16"; "19"; "22"; "23" ]
+    |> fun l -> List.nth l (Random.State.int rng (List.length l))
+  in
+  match Random.State.int rng 10 with
+  | 0 ->
+    Printf.sprintf
+      "{\"v\":1,\"op\":\"open\",\"session\":%S,\"circuit\":\"c17\"}" (s ())
+  | 1 ->
+    Printf.sprintf
+      "{\"v\":1,\"op\":\"edit\",\"session\":%S,\"edits\":[{\"op\":\"extra\",\"signal\":%S,\"delta\":%de-12}]}"
+      (s ()) (signal ())
+      (1 + Random.State.int rng 100)
+  | 2 ->
+    Printf.sprintf
+      "{\"v\":1,\"op\":\"edit\",\"session\":%S,\"edits\":[{\"op\":\"swap\",\"signal\":%S,\"kind\":\"nor\"}]}"
+      (s ()) (signal ())
+  | 3 -> Printf.sprintf "{\"v\":1,\"op\":\"checkpoint\",\"session\":%S}" (s ())
+  | 4 ->
+    Printf.sprintf
+      "{\"v\":1,\"op\":\"revert\",\"session\":%S,\"checkpoint\":%d}" (s ())
+      (1 + Random.State.int rng 3)
+  | 5 -> Printf.sprintf "{\"v\":1,\"op\":\"query\",\"session\":%S}" (s ())
+  | 6 ->
+    Printf.sprintf
+      "{\"v\":1,\"op\":\"query\",\"session\":%S,\"what\":\"timing\",\"signal\":%S}"
+      (s ()) (signal ())
+  | 7 -> Printf.sprintf "{\"v\":1,\"op\":\"close\",\"session\":%S}" (s ())
+  | 8 -> "{\"v\":1,\"op\":\"stats\"}"
+  | _ -> "{\"v\":1,\"op\":\"ping\"}"
+
+let test_record_replay () =
+  let rng = Random.State.make [| 0xC0FFEE |] in
+  let frames = List.init 60 (fun _ -> random_frame rng) in
+  let log = Filename.temp_file "serve_test" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove log with Sys_error _ -> ())
+    (fun () ->
+      with_server ~record:log (fun sv ->
+          List.iter (fun f -> ignore (Server.dispatch sv f)) frames);
+      with_server (fun sv ->
+          match Server.replay sv ~path:log ~check:true with
+          | Error m -> Alcotest.fail m
+          | Ok (n, mismatches) ->
+            Alcotest.(check int) "all requests replayed" 60 n;
+            (match mismatches with
+            | [] -> ()
+            | (line, expected, got) :: _ ->
+              Alcotest.failf "line %d diverged:\n  %s\n  %s" line expected
+                got)))
+
+(* ---- Engine edit codec round-trip (qcheck property) ---- *)
+
+let edit_gen nl =
+  let open QCheck.Gen in
+  let n = Ck.Netlist.size nl in
+  let node = int_bound (n - 1) in
+  let iv =
+    map2
+      (fun lo w -> Interval.make (lo *. 1e-9) ((lo +. w) *. 1e-9))
+      (float_range 0. 2.) (float_range 0. 3.)
+  in
+  oneof
+    [
+      map2
+        (fun line d -> E.Set_extra_delay { line; delta = d *. 1e-12 })
+        node (float_range (-50.) 300.);
+      map2
+        (fun nd k ->
+          E.Swap_gate
+            {
+              node = nd;
+              kind = List.nth [ Ck.Gate.Nand; Ck.Gate.Nor; Ck.Gate.Not ] k;
+            })
+        node (int_bound 2);
+      map2
+        (fun pi (a, t) ->
+          E.Set_pi_spec { pi; spec = { RO.pi_arrival = a; pi_tt = t } })
+        node (pair iv iv);
+      map
+        (fun i -> E.Set_model (List.nth DM.all i))
+        (int_bound (List.length DM.all - 1));
+    ]
+
+let test_edit_codec_round_trip =
+  let nl = lazy (c17_prim ()) in
+  QCheck.Test.make ~name:"edit codec round-trips through JSON" ~count:300
+    (QCheck.make
+       (QCheck.Gen.sized (fun _ st -> (edit_gen (Lazy.force nl)) st)))
+    (fun edit ->
+      let nl = Lazy.force nl in
+      match E.edit_of_json nl (E.edit_to_json nl edit) with
+      | Ok back -> E.edit_equal edit back
+      | Error m -> QCheck.Test.fail_reportf "decode failed: %s" m)
+
+let test_edit_codec_errors () =
+  let nl = c17_prim () in
+  let bad j =
+    match E.edit_of_json nl j with Error _ -> true | Ok _ -> false
+  in
+  let parse s = match Json.parse s with Ok j -> j | Error m -> Alcotest.fail m in
+  Alcotest.(check bool) "unknown op" true
+    (bad (parse "{\"op\":\"warp\",\"signal\":\"10\"}"));
+  Alcotest.(check bool) "unknown signal" true
+    (bad (parse "{\"op\":\"extra\",\"signal\":\"zzz\",\"delta\":1e-12}"));
+  Alcotest.(check bool) "unknown model" true
+    (bad (parse "{\"op\":\"model\",\"name\":\"zzz\"}"));
+  Alcotest.(check bool) "malformed interval" true
+    (bad
+       (parse
+          "{\"op\":\"pi\",\"signal\":\"1\",\"arrival\":[1e-9],\"tt\":[0,1e-9]}"));
+  Alcotest.(check bool) "not an object" true (bad (parse "[1]"))
+
+(* ---- Run_opts builder and validation ---- *)
+
+let test_run_opts_builder () =
+  let o =
+    RO.(default |> with_jobs 4 |> with_cache true |> with_corners 3
+        |> with_mc_batch 8)
+  in
+  Alcotest.(check int) "jobs" 4 o.RO.jobs;
+  Alcotest.(check bool) "cache" true o.RO.cache;
+  Alcotest.(check int) "corners" 3 o.RO.corners;
+  Alcotest.(check int) "mc_batch" 8 o.RO.mc_batch;
+  (match RO.validate o with
+  | Ok o' -> Alcotest.(check int) "validate passes it through" 4 o'.RO.jobs
+  | Error m -> Alcotest.fail m);
+  let bad o = match RO.validate o with Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "corners < 1" true
+    (bad RO.(default |> with_corners 0));
+  Alcotest.(check bool) "mc_batch < 1" true
+    (bad RO.(default |> with_mc_batch 0));
+  Alcotest.(check bool) "negative tt window" true
+    (bad
+       RO.(
+         default
+         |> with_pi_spec
+              {
+                pi_arrival = Interval.point 0.;
+                pi_tt = Interval.make (-1e-9) 1e-9;
+              }));
+  (match RO.make ~corners:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "make accepted corners = 0")
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let suites =
+  [
+    ( "serve.protocol",
+      [
+        Alcotest.test_case "golden envelopes and codes" `Quick
+          test_protocol_golden;
+        Alcotest.test_case "oversized frame admission" `Quick
+          test_oversized_frame;
+        Alcotest.test_case "error-code wire spellings" `Quick
+          test_code_round_trip;
+        Alcotest.test_case "shutdown rejects later frames" `Quick
+          test_shutdown_drains;
+      ] );
+    ( "serve.session",
+      [
+        Alcotest.test_case "lifecycle through dispatch" `Quick
+          test_session_lifecycle;
+        Alcotest.test_case "manager admission and checkpoints" `Quick
+          test_session_manager;
+      ] );
+    ( "serve.determinism",
+      [
+        Alcotest.test_case "interleaved batch, jobs 1 = jobs 4" `Quick
+          test_batch_determinism;
+        Alcotest.test_case "record/replay bit-identity" `Quick
+          test_record_replay;
+      ] );
+    qsuite "serve.codec" [ test_edit_codec_round_trip ];
+    ( "serve.codec.errors",
+      [
+        Alcotest.test_case "edit decode failures" `Quick
+          test_edit_codec_errors;
+        Alcotest.test_case "run_opts builder and validate" `Quick
+          test_run_opts_builder;
+      ] );
+  ]

@@ -30,9 +30,25 @@ test -s "$TRACE_TMP/sta_stats.json"
 # (sizes, allocation footprints); the loose 400% gate still catches
 # order-of-magnitude footprint regressions on any CI machine.
 SSD_FAST=1 SSD_SCALE_GATES=5000 SSD_CORNERS=4000 SSD_MC=600 \
-  dune exec bench/main.exe -- scale corners mc \
+SSD_SERVE_REQS=8000 \
+  dune exec bench/main.exe -- scale corners mc serve \
   --json BENCH_9.json \
   --baseline bench/BENCH_smoke_baseline.json --gate 400
+
+# Serve smoke: a live `ssd serve --stdio` session fed the canned request
+# script must reproduce the checked-in transcript byte for byte — this
+# exercises the real transport (framing, batching reader, EOF handling)
+# end to end, and the bit-stable float rendering the record/replay
+# contract rests on.  A second pass records the session and replays it
+# through a fresh server with --check.
+SSD_FAST=1 dune exec bin/ssd.exe -- serve --stdio \
+  < tools/serve_smoke.req > "$TRACE_TMP/serve_smoke.out"
+diff tools/serve_smoke.golden "$TRACE_TMP/serve_smoke.out"
+SSD_FAST=1 dune exec bin/ssd.exe -- serve --stdio \
+  --record "$TRACE_TMP/serve_smoke.log" \
+  < tools/serve_smoke.req > /dev/null
+SSD_FAST=1 dune exec bin/ssd.exe -- serve \
+  --replay "$TRACE_TMP/serve_smoke.log" --check
 
 if command -v odoc >/dev/null 2>&1; then
   dune build @doc @doc-private
